@@ -1,0 +1,80 @@
+// Ablation: SpGEMM-with-threshold versus Bayardo-style all-pairs candidate
+// pruning (Section 3.6's suggested optimization, reference [2]) for
+// computing the thresholded out-link similarity M Mᵀ of the
+// degree-discounted factor matrix, across thresholds and graph families.
+//
+// Expected shape: both produce identical matrices (verified); the
+// all-pairs backend wins increasingly as the threshold rises, because the
+// row-level and suffix bounds cut candidate generation — the mechanism the
+// paper's complexity analysis points to for "significant speedups compared
+// to computing all the entries in the similarity matrix".
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/all_pairs.h"
+#include "gen/rmat.h"
+#include "linalg/spgemm.h"
+
+namespace dgc {
+namespace {
+
+void RunGraph(const std::string& name, const Digraph& g) {
+  auto factors = BuildSimilarityFactors(
+      g, SymmetrizationMethod::kDegreeDiscounted);
+  DGC_CHECK(factors.ok());
+  const CsrMatrix& m = factors->m;
+  std::printf("\n--- %s: factor matrix %s\n", name.c_str(),
+              m.DebugString().c_str());
+  std::printf("%-10s %12s %12s %12s %12s %10s\n", "threshold", "spgemm-s",
+              "allpairs-s", "pairs-out", "candidates", "rows-skip");
+  for (Scalar threshold : {0.02, 0.05, 0.1, 0.2}) {
+    SpGemmOptions reference;
+    reference.threshold = threshold;
+    reference.drop_diagonal = true;
+    WallTimer spgemm_timer;
+    auto dense_path = SpGemmAAt(m, reference);
+    const double spgemm_seconds = spgemm_timer.ElapsedSeconds();
+    DGC_CHECK(dense_path.ok());
+
+    AllPairsOptions pruned;
+    pruned.threshold = threshold;
+    AllPairsStats stats;
+    WallTimer allpairs_timer;
+    auto pruned_path = AllPairsSimilarity(m, pruned, &stats);
+    const double allpairs_seconds = allpairs_timer.ElapsedSeconds();
+    DGC_CHECK(pruned_path.ok());
+    DGC_CHECK_EQ(dense_path->nnz(), pruned_path->nnz())
+        << "backends disagree at threshold " << threshold;
+
+    std::printf("%-10.3f %12.3f %12.3f %12lld %12lld %10lld\n", threshold,
+                spgemm_seconds, allpairs_seconds,
+                static_cast<long long>(stats.output_pairs),
+                static_cast<long long>(stats.candidate_pairs),
+                static_cast<long long>(stats.skipped_rows));
+  }
+}
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Banner("Ablation: SpGEMM vs all-pairs candidate pruning",
+                "Satuluri & Parthasarathy, EDBT 2011, Section 3.6 / ref [2]");
+  RmatOptions rmat;
+  rmat.scale = scale >= 1.0 ? 14 : 12;
+  auto rmat_data = GenerateRmat(rmat);
+  DGC_CHECK(rmat_data.ok());
+  RunGraph(rmat_data->name, rmat_data->graph);
+
+  Dataset cora = bench::MakeCora(scale);
+  RunGraph(cora.name, cora.graph);
+
+  std::printf(
+      "\nExpected shape: identical output pair counts; the all-pairs\n"
+      "backend's advantage grows with the threshold as candidate pruning\n"
+      "kicks in (candidates << all pairs, rows-skip > 0).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

@@ -1,0 +1,128 @@
+// Shared experiment plumbing for the per-table / per-figure benchmark
+// binaries: the four synthetic stand-in datasets (Section 4.1) at a
+// configurable scale, and small output helpers.
+//
+// Scale note: the paper's datasets range from 17.6k (Cora) to 5.3M
+// (LiveJournal) vertices. The default scales here are chosen so the entire
+// harness finishes in minutes on a laptop while preserving the structural
+// features each experiment measures (hubs, reciprocity, overlapping
+// categories). Pass --scale=<factor> to any binary to grow them.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/symmetrize.h"
+#include "core/threshold_select.h"
+#include "eval/fscore.h"
+#include "gen/citation.h"
+#include "gen/hyperlink.h"
+#include "gen/planted.h"
+#include "gen/social.h"
+#include "graph/graph_stats.h"
+#include "util/logging.h"
+#include "util/options.h"
+#include "util/timer.h"
+
+namespace dgc {
+namespace bench {
+
+/// Cora stand-in: ~6k papers, 70 subfield categories.
+inline Dataset MakeCora(double scale = 1.0) {
+  CitationOptions options;
+  options.num_papers = static_cast<Index>(6000 * scale);
+  auto dataset = GenerateCitation(options);
+  DGC_CHECK(dataset.ok()) << dataset.status();
+  dataset->name = "cora-syn";
+  return std::move(dataset).ValueOrDie();
+}
+
+/// Wikipedia stand-in: ~20k articles, hubs, overlapping categories.
+inline Dataset MakeWiki(double scale = 1.0) {
+  HyperlinkOptions options;
+  options.num_articles = static_cast<Index>(20000 * scale);
+  options.num_categories = static_cast<Index>(250 * scale);
+  auto dataset = GenerateHyperlink(options);
+  DGC_CHECK(dataset.ok()) << dataset.status();
+  dataset->name = "wiki-syn";
+  return std::move(dataset).ValueOrDie();
+}
+
+/// Flickr stand-in: ~60k users, 62% reciprocity.
+inline Dataset MakeFlickr(double scale = 1.0) {
+  SocialOptions options;
+  options.num_users = static_cast<Index>(60000 * scale);
+  options.avg_out_degree = 10.0;
+  options.p_reciprocal = 0.5;
+  options.seed = 1001;
+  auto dataset = GenerateSocial(options);
+  DGC_CHECK(dataset.ok()) << dataset.status();
+  dataset->name = "flickr-syn";
+  return std::move(dataset).ValueOrDie();
+}
+
+/// LiveJournal stand-in: ~100k users, 73% reciprocity.
+inline Dataset MakeLivejournal(double scale = 1.0) {
+  SocialOptions options;
+  options.num_users = static_cast<Index>(100000 * scale);
+  options.avg_out_degree = 12.0;
+  options.p_reciprocal = 0.65;
+  options.seed = 1002;
+  auto dataset = GenerateSocial(options);
+  DGC_CHECK(dataset.ok()) << dataset.status();
+  dataset->name = "livejournal-syn";
+  return std::move(dataset).ValueOrDie();
+}
+
+/// Symmetrizes with an automatically selected prune threshold (sampling
+/// procedure of Section 5.3.1) for the similarity methods; A+Aᵀ and Random
+/// walk need no pruning.
+inline UGraph SymmetrizeAuto(const Digraph& g, SymmetrizationMethod method,
+                             Index target_degree,
+                             double* threshold_out = nullptr) {
+  SymmetrizationOptions options;
+  if (method == SymmetrizationMethod::kBibliometric ||
+      method == SymmetrizationMethod::kDegreeDiscounted) {
+    ThresholdSelectOptions select;
+    select.target_avg_degree = target_degree;
+    auto selection = SelectPruneThreshold(g, method, options, select);
+    DGC_CHECK(selection.ok()) << selection.status();
+    options.prune_threshold =
+        method == SymmetrizationMethod::kBibliometric
+            ? std::max(0.0, std::floor(selection->threshold))
+            : selection->threshold;
+  }
+  if (threshold_out != nullptr) *threshold_out = options.prune_threshold;
+  auto u = Symmetrize(g, method, options);
+  DGC_CHECK(u.ok()) << u.status();
+  return std::move(u).ValueOrDie();
+}
+
+/// Evaluates a clustering against the dataset's ground truth (micro-
+/// averaged best-match F, Section 4.3).
+inline double AvgF(const Clustering& clustering, const GroundTruth& truth) {
+  auto result = EvaluateFScore(clustering, truth);
+  DGC_CHECK(result.ok()) << result.status();
+  return result->avg_f;
+}
+
+/// Prints the experiment banner with the paper reference.
+inline void Banner(const std::string& experiment,
+                   const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Parses --scale (default 1.0) from the command line.
+inline double ScaleArg(int argc, const char* const* argv,
+                       double default_scale = 1.0) {
+  auto options = Options::Parse(argc, argv);
+  DGC_CHECK(options.ok()) << options.status();
+  return options->GetDouble("scale", default_scale);
+}
+
+}  // namespace bench
+}  // namespace dgc

@@ -1,0 +1,95 @@
+// Figure 6: Degree-discounted symmetrization + {MLR-MCL, Graclus, Metis}
+// versus Meila & Pentney's BestWCut on Cora: (a) Avg F-scores, (b)
+// clustering times.
+//
+// Paper shape to match: every multilevel clusterer on the degree-
+// discounted graph beats BestWCut on quality (peaks 36.6/34.7/34.3 vs
+// 29.9) and is orders of magnitude faster (Fig. 6b is log-scale seconds).
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/bestwcut.h"
+#include "cluster/graclus.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+
+namespace dgc {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Banner(
+      "Figure 6: Degree-discounted + multilevel clusterers vs BestWCut",
+      "Satuluri & Parthasarathy, EDBT 2011, Figure 6(a,b)");
+  Dataset cora = bench::MakeCora(scale);
+  const std::vector<Index> ks = {20, 50, 70, 110, 140};
+
+  double symmetrize_seconds = 0.0;
+  WallTimer sym_timer;
+  UGraph dd = bench::SymmetrizeAuto(
+      cora.graph, SymmetrizationMethod::kDegreeDiscounted, 100);
+  symmetrize_seconds = sym_timer.ElapsedSeconds();
+  std::printf("degree-discounted symmetrization: %.2f s\n\n",
+              symmetrize_seconds);
+
+  std::printf("%-28s %9s %8s %10s\n", "method", "clusters", "AvgF",
+              "time(s)");
+  // MLR-MCL: inflation sweep to cover the cluster range.
+  for (double inflation : {1.4, 1.8, 2.2, 2.8}) {
+    MlrMclOptions options;
+    options.rmcl.inflation = inflation;
+    WallTimer timer;
+    auto clustering = MlrMcl(dd, options);
+    DGC_CHECK(clustering.ok());
+    std::printf("%-28s %9d %8.2f %10.2f\n", "DD + MLR-MCL",
+                clustering->NumClusters(),
+                100.0 * bench::AvgF(*clustering, cora.truth),
+                timer.ElapsedSeconds());
+  }
+  for (Index k : ks) {
+    GraclusOptions options;
+    options.k = k;
+    WallTimer timer;
+    auto clustering = GraclusCluster(dd, options);
+    DGC_CHECK(clustering.ok());
+    std::printf("%-28s %9d %8.2f %10.2f\n", "DD + Graclus", k,
+                100.0 * bench::AvgF(*clustering, cora.truth),
+                timer.ElapsedSeconds());
+  }
+  for (Index k : ks) {
+    MetisOptions options;
+    options.k = k;
+    WallTimer timer;
+    auto clustering = MetisPartition(dd, options);
+    DGC_CHECK(clustering.ok());
+    std::printf("%-28s %9d %8.2f %10.2f\n", "DD + Metis", k,
+                100.0 * bench::AvgF(*clustering, cora.truth),
+                timer.ElapsedSeconds());
+  }
+  // BestWCut: spectral, so cap the eigen subspace to keep the sweep
+  // tractable; it is still far slower than the multilevel methods.
+  for (Index k : ks) {
+    BestWCutOptions options;
+    options.k = k;
+    options.spectral.max_subspace = static_cast<int>(2 * k + 50);
+    options.spectral.kmeans_restarts = 1;
+    WallTimer timer;
+    auto result = BestWCut(cora.graph, options);
+    DGC_CHECK(result.ok()) << result.status();
+    std::printf("%-28s %9d %8.2f %10.2f  (weights: %s)\n", "BestWCut", k,
+                100.0 * bench::AvgF(result->clustering, cora.truth),
+                timer.ElapsedSeconds(),
+                WCutWeightingName(result->chosen).data());
+  }
+
+  std::printf(
+      "\nExpected shape vs paper (Fig. 6): the three multilevel methods on\n"
+      "the degree-discounted graph all reach higher Avg F than BestWCut,\n"
+      "at 1-3 orders of magnitude lower clustering time.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

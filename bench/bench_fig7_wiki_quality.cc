@@ -1,0 +1,81 @@
+// Figure 7: effectiveness of the symmetrizations on Wikipedia using (a)
+// MLR-MCL and (b) Metis. The paper sweeps 5,000-20,000 clusters on the
+// 1.1M-node graph (avg cluster size 60-200); our stand-in sweeps the
+// equivalent k range for its size.
+//
+// Paper shape to match: Degree-discounted best (peak 22.79 MLR-MCL, 20.15
+// Metis), A+Aᵀ next, Random walk slightly worse, Bibliometric collapses
+// (~13) because pruning strands half the graph as singletons.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+
+namespace dgc {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv, 0.6);
+  bench::Banner("Figure 7: symmetrization effectiveness on Wikipedia",
+                "Satuluri & Parthasarathy, EDBT 2011, Figure 7(a,b)");
+  Dataset wiki = bench::MakeWiki(scale);
+  std::printf("dataset: %d vertices, %lld edges, %d categories\n\n",
+              wiki.graph.NumVertices(),
+              static_cast<long long>(wiki.graph.NumEdges()),
+              wiki.truth.NumCategories());
+  // Paper k range scaled by |V|: 5000..20000 on 1.13M nodes is avg cluster
+  // size 57..226; for our stand-in that is k = n/226 .. n/57.
+  const Index n = wiki.graph.NumVertices();
+  const std::vector<Index> ks = {n / 220, n / 140, n / 90, n / 60};
+
+  std::printf("(a) MLR-MCL (inflation sweep -> clusters, Avg F)\n");
+  std::printf("%-18s %-9s %9s %8s %8s\n", "symmetrization", "inflation",
+              "clusters", "AvgF", "sec");
+  for (SymmetrizationMethod method : kAllSymmetrizations) {
+    UGraph u = bench::SymmetrizeAuto(wiki.graph, method, 80);
+    for (double inflation : {1.5, 2.0, 2.6}) {
+      MlrMclOptions options;
+      options.rmcl.inflation = inflation;
+      WallTimer timer;
+      auto clustering = MlrMcl(u, options);
+      DGC_CHECK(clustering.ok()) << clustering.status();
+      std::printf("%-18s %-9.2f %9d %8.2f %8.2f\n",
+                  SymmetrizationMethodName(method).data(), inflation,
+                  clustering->NumClusters(),
+                  100.0 * bench::AvgF(*clustering, wiki.truth),
+                  timer.ElapsedSeconds());
+    }
+  }
+
+  std::printf("\n(b) Metis (k sweep; Random walk omitted as in the paper)\n");
+  std::printf("%-18s %9s %8s %8s\n", "symmetrization", "clusters", "AvgF",
+              "sec");
+  for (SymmetrizationMethod method :
+       {SymmetrizationMethod::kDegreeDiscounted,
+        SymmetrizationMethod::kAPlusAT,
+        SymmetrizationMethod::kBibliometric}) {
+    UGraph u = bench::SymmetrizeAuto(wiki.graph, method, 80);
+    for (Index k : ks) {
+      MetisOptions options;
+      options.k = k;
+      WallTimer timer;
+      auto clustering = MetisPartition(u, options);
+      DGC_CHECK(clustering.ok()) << clustering.status();
+      std::printf("%-18s %9d %8.2f %8.2f\n",
+                  SymmetrizationMethodName(method).data(), k,
+                  100.0 * bench::AvgF(*clustering, wiki.truth),
+                  timer.ElapsedSeconds());
+    }
+  }
+
+  std::printf(
+      "\nExpected shape vs paper (Fig. 7): Degree-discounted best for both\n"
+      "clusterers; Bibliometric far behind (hub-induced pruning damage).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

@@ -1,0 +1,73 @@
+// Figure 8: clustering times on Wikipedia using (a) MLR-MCL and (b) Metis
+// for each symmetrization.
+//
+// Paper shape to match: clustering the Degree-discounted graph is fastest
+// for both algorithms — 4.5-5x faster than the alternatives at high
+// cluster counts — because hubs are gone and cluster structure is cleaner.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+
+namespace dgc {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv, 0.6);
+  bench::Banner("Figure 8: clustering times on Wikipedia",
+                "Satuluri & Parthasarathy, EDBT 2011, Figure 8(a,b)");
+  Dataset wiki = bench::MakeWiki(scale);
+  const Index n = wiki.graph.NumVertices();
+  const std::vector<Index> ks = {n / 220, n / 140, n / 90, n / 60};
+
+  std::printf("(a) MLR-MCL time (s) per symmetrization\n");
+  std::printf("%-18s %12s %9s %9s %10s\n", "symmetrization", "sym-edges",
+              "inflation", "clusters", "time(s)");
+  for (SymmetrizationMethod method : kAllSymmetrizations) {
+    UGraph u = bench::SymmetrizeAuto(wiki.graph, method, 80);
+    for (double inflation : {1.5, 2.0, 2.6}) {
+      MlrMclOptions options;
+      options.rmcl.inflation = inflation;
+      WallTimer timer;
+      auto clustering = MlrMcl(u, options);
+      DGC_CHECK(clustering.ok());
+      std::printf("%-18s %12lld %9.2f %9d %10.2f\n",
+                  SymmetrizationMethodName(method).data(),
+                  static_cast<long long>(u.NumEdges()), inflation,
+                  clustering->NumClusters(), timer.ElapsedSeconds());
+    }
+  }
+
+  std::printf("\n(b) Metis time (s) per symmetrization\n");
+  std::printf("%-18s %12s %9s %10s\n", "symmetrization", "sym-edges",
+              "clusters", "time(s)");
+  for (SymmetrizationMethod method :
+       {SymmetrizationMethod::kDegreeDiscounted,
+        SymmetrizationMethod::kAPlusAT,
+        SymmetrizationMethod::kBibliometric}) {
+    UGraph u = bench::SymmetrizeAuto(wiki.graph, method, 80);
+    for (Index k : ks) {
+      MetisOptions options;
+      options.k = k;
+      WallTimer timer;
+      auto clustering = MetisPartition(u, options);
+      DGC_CHECK(clustering.ok());
+      std::printf("%-18s %12lld %9d %10.2f\n",
+                  SymmetrizationMethodName(method).data(),
+                  static_cast<long long>(u.NumEdges()), k,
+                  timer.ElapsedSeconds());
+    }
+  }
+
+  std::printf(
+      "\nExpected shape vs paper (Fig. 8): the Degree-discounted graph\n"
+      "clusters fastest under both algorithms, with the gap widening at\n"
+      "higher cluster counts.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

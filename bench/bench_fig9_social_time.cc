@@ -1,0 +1,52 @@
+// Figure 9: clustering times with MLR-MCL on (a) Flickr and (b)
+// LiveJournal. The paper omits Bibliometric here — its pruned graph
+// strands too many singletons to be viable (Table 2) — and so do we.
+//
+// Paper shape to match: Degree-discounted is at least ~2x faster to
+// cluster than A+Aᵀ / Random walk at the higher cluster counts.
+#include "bench/bench_common.h"
+#include "cluster/mlr_mcl.h"
+
+namespace dgc {
+namespace {
+
+void RunDataset(const Dataset& dataset) {
+  std::printf("\n--- %s: %d vertices, %lld edges\n", dataset.name.c_str(),
+              dataset.graph.NumVertices(),
+              static_cast<long long>(dataset.graph.NumEdges()));
+  std::printf("%-18s %12s %9s %9s %10s\n", "symmetrization", "sym-edges",
+              "inflation", "clusters", "time(s)");
+  for (SymmetrizationMethod method :
+       {SymmetrizationMethod::kAPlusAT, SymmetrizationMethod::kRandomWalk,
+        SymmetrizationMethod::kDegreeDiscounted}) {
+    UGraph u = bench::SymmetrizeAuto(dataset.graph, method, 30);
+    for (double inflation : {1.6, 2.2}) {
+      MlrMclOptions options;
+      options.rmcl.inflation = inflation;
+      WallTimer timer;
+      auto clustering = MlrMcl(u, options);
+      DGC_CHECK(clustering.ok());
+      std::printf("%-18s %12lld %9.2f %9d %10.2f\n",
+                  SymmetrizationMethodName(method).data(),
+                  static_cast<long long>(u.NumEdges()), inflation,
+                  clustering->NumClusters(), timer.ElapsedSeconds());
+    }
+  }
+}
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv, 0.35);
+  bench::Banner("Figure 9: clustering times on Flickr and LiveJournal",
+                "Satuluri & Parthasarathy, EDBT 2011, Figure 9(a,b)");
+  RunDataset(bench::MakeFlickr(scale));
+  RunDataset(bench::MakeLivejournal(scale));
+  std::printf(
+      "\nExpected shape vs paper (Fig. 9): Degree-discounted clusters\n"
+      "fastest on both social graphs, mirroring the Wikipedia trends.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels the
+// symmetrization framework is built on: sparse transpose, SpGEMM with and
+// without pruning, PageRank power iteration, and the four symmetrizations,
+// on R-MAT graphs (the paper's reference [14] for realistic directed
+// networks). Complements the per-table experiment binaries.
+#include <benchmark/benchmark.h>
+
+#include "core/symmetrize.h"
+#include "gen/rmat.h"
+#include "util/logging.h"
+#include "linalg/power_iteration.h"
+#include "linalg/spgemm.h"
+
+namespace dgc {
+namespace {
+
+Dataset MakeGraph(int scale) {
+  RmatOptions options;
+  options.scale = scale;
+  options.edge_factor = 8.0;
+  auto dataset = GenerateRmat(options);
+  DGC_CHECK(dataset.ok());
+  return std::move(dataset).ValueOrDie();
+}
+
+void BM_Transpose(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  const CsrMatrix& a = d.graph.adjacency();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Transpose());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose)->Arg(12)->Arg(14);
+
+void BM_SpGemmAAt(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  const CsrMatrix& a = d.graph.adjacency();
+  SpGemmOptions options;
+  options.threshold = 0.5;  // keep counts >= 1
+  for (auto _ : state) {
+    auto c = SpGemmAAt(a, options);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          SpGemmFlops(a, a.Transpose()));
+}
+BENCHMARK(BM_SpGemmAAt)->Arg(10)->Arg(12);
+
+void BM_PageRank(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  PageRankOptions options;
+  options.teleport = 0.05;
+  for (auto _ : state) {
+    auto pr = PageRank(d.graph.adjacency(), options);
+    benchmark::DoNotOptimize(pr);
+  }
+  state.SetItemsProcessed(state.iterations() * d.graph.NumEdges());
+}
+BENCHMARK(BM_PageRank)->Arg(12)->Arg(14);
+
+void BM_SymmetrizeAPlusAT(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto u = SymmetrizeAPlusAT(d.graph);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SymmetrizeAPlusAT)->Arg(12)->Arg(14);
+
+void BM_SymmetrizeRandomWalk(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto u = SymmetrizeRandomWalk(d.graph);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SymmetrizeRandomWalk)->Arg(12)->Arg(14);
+
+void BM_SymmetrizeBibliometric(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  SymmetrizationOptions options;
+  options.prune_threshold = 2.0;
+  for (auto _ : state) {
+    auto u = SymmetrizeBibliometric(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SymmetrizeBibliometric)->Arg(10)->Arg(12);
+
+void BM_SymmetrizeDegreeDiscounted(benchmark::State& state) {
+  Dataset d = MakeGraph(static_cast<int>(state.range(0)));
+  SymmetrizationOptions options;
+  options.prune_threshold = 0.05;
+  for (auto _ : state) {
+    auto u = SymmetrizeDegreeDiscounted(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_SymmetrizeDegreeDiscounted)->Arg(10)->Arg(12);
+
+void BM_DegreeDiscountedParallel(benchmark::State& state) {
+  Dataset d = MakeGraph(12);
+  SymmetrizationOptions options;
+  options.prune_threshold = 0.05;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto u = SymmetrizeDegreeDiscounted(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_DegreeDiscountedParallel)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace dgc
+
+BENCHMARK_MAIN();

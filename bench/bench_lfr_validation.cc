@@ -1,0 +1,102 @@
+// Validation on synthetically controlled datasets — the experiment the
+// paper's conclusion calls for but could not run ("we would like to
+// validate results on synthetically controlled datasets. Unfortunately, we
+// are aware of no synthetic graph generators for producing realistic
+// directed graphs with known ground truth clusters").
+//
+// Using the directed LFR-style generator (src/gen/lfr.*), this sweeps the
+// mixing parameter mu under both intra-community edge styles and reports
+// NMI per symmetrization (Graclus, k = true community count):
+//   * dense style (members cite each other): all methods work at low mu
+//     and degrade together as mu grows — symmetrization choice matters
+//     little when interconnectivity carries the signal;
+//   * co-citation style with authority overlap (the Figure-1 regime):
+//     A+Aᵀ fails even at low mu while Degree-discounted stays accurate,
+//     directly validating the paper's central hypothesis under controlled
+//     conditions.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/pipeline.h"
+#include "eval/partition_metrics.h"
+#include "gen/lfr.h"
+
+namespace dgc {
+namespace {
+
+double RunOne(const Dataset& dataset, const Clustering& truth_clustering,
+              SymmetrizationMethod method) {
+  PipelineOptions pipeline;
+  pipeline.method = method;
+  if (method == SymmetrizationMethod::kBibliometric ||
+      method == SymmetrizationMethod::kDegreeDiscounted) {
+    ThresholdSelectOptions select;
+    select.target_avg_degree = 80;
+    auto selection = SelectPruneThreshold(dataset.graph, method,
+                                          pipeline.symmetrization, select);
+    DGC_CHECK(selection.ok());
+    pipeline.symmetrization.prune_threshold = selection->threshold;
+  }
+  pipeline.algorithm = ClusterAlgorithm::kGraclus;
+  pipeline.graclus.k = dataset.truth.NumCategories();
+  auto result = SymmetrizeAndCluster(dataset.graph, pipeline);
+  DGC_CHECK(result.ok()) << result.status();
+  auto cmp = ComparePartitions(result->clustering, truth_clustering);
+  DGC_CHECK(cmp.ok());
+  return cmp->nmi;
+}
+
+void RunStyle(LfrCommunityStyle style, double authority_overlap, Index n,
+              uint64_t seed) {
+  std::printf("%-6s %10s %10s %10s %10s\n", "mu", "A+A'", "RandomWalk",
+              "Biblio", "DegDisc");
+  for (double mu : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    LfrOptions options;
+    options.num_vertices = n;
+    options.mixing = mu;
+    options.style = style;
+    options.authority_overlap = authority_overlap;
+    options.seed = seed;
+    auto dataset = GenerateLfr(options);
+    DGC_CHECK(dataset.ok()) << dataset.status();
+    auto truth_clustering =
+        TruthToClustering(dataset->truth, dataset->graph.NumVertices());
+    DGC_CHECK(truth_clustering.ok());
+    std::printf("%-6.2f", mu);
+    for (SymmetrizationMethod method : kAllSymmetrizations) {
+      std::printf(" %10.3f", RunOne(*dataset, *truth_clustering, method));
+    }
+    std::printf("\n");
+  }
+}
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  const Index n = static_cast<Index>(4000 * scale);
+  bench::Banner(
+      "LFR validation: controlled directed graphs with known clusters",
+      "Satuluri & Parthasarathy, EDBT 2011, Section 6 (future work)");
+
+  std::printf("\n(a) dense style (classic LFR: members cite each other)\n");
+  RunStyle(LfrCommunityStyle::kDense, 0.0, n, 101);
+
+  std::printf(
+      "\n(b) co-citation style, authority overlap 0.5 (Figure-1 regime)\n");
+  RunStyle(LfrCommunityStyle::kCocitation, 0.5, n, 102);
+
+  std::printf(
+      "\nExpected shape: in (a) all symmetrizations work at low mu and\n"
+      "degrade together; in (b) the similarity symmetrizations retain much\n"
+      "higher NMI than A+A' and Random walk at every mu - the members do\n"
+      "not inter-link, so only in/out-link similarity carries the cluster\n"
+      "signal. Bibliometric matches Degree-discounted here because LFR\n"
+      "communities have no hub contamination to discount; the hub-heavy\n"
+      "Wikipedia experiments (Figs. 7-8) are where discounting separates\n"
+      "them.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

@@ -1,0 +1,111 @@
+// Section 5.6: statistical significance of the Degree-discounted
+// improvements via the paired binomial sign test. The paper reports
+// p-values down to 1e-22767; we compute them in log10 space.
+//
+// Paper shape to match: Degree-discounted beats A+Aᵀ and BestWCut with
+// overwhelmingly significant (hugely negative log10 p) margins on both
+// labeled datasets.
+#include "bench/bench_common.h"
+#include "cluster/bestwcut.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+#include "eval/sign_test.h"
+
+namespace dgc {
+namespace {
+
+void Report(const std::string& label, const std::vector<bool>& a,
+            const std::vector<bool>& b) {
+  auto sign = PairedSignTest(a, b);
+  DGC_CHECK(sign.ok());
+  std::printf("%-46s %8lld %8lld %14.1f\n", label.c_str(),
+              static_cast<long long>(sign->a_only),
+              static_cast<long long>(sign->b_only), sign->log10_p_value);
+}
+
+std::vector<bool> Mask(const Clustering& c, const GroundTruth& truth) {
+  auto mask = CorrectlyClusteredMask(c, truth);
+  DGC_CHECK(mask.ok());
+  return std::move(mask).ValueOrDie();
+}
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Banner("Section 5.6: paired binomial sign tests",
+                "Satuluri & Parthasarathy, EDBT 2011, Section 5.6");
+  std::printf("%-46s %8s %8s %14s\n", "comparison (A vs B)", "A-only",
+              "B-only", "log10(p)");
+
+  {
+    Dataset cora = bench::MakeCora(scale);
+    UGraph dd = bench::SymmetrizeAuto(
+        cora.graph, SymmetrizationMethod::kDegreeDiscounted, 100);
+    UGraph sum = bench::SymmetrizeAuto(cora.graph,
+                                       SymmetrizationMethod::kAPlusAT, 100);
+    MlrMclOptions mcl;
+    mcl.rmcl.inflation = 2.0;
+    auto dd_mcl = MlrMcl(dd, mcl);
+    auto sum_mcl = MlrMcl(sum, mcl);
+    DGC_CHECK(dd_mcl.ok());
+    DGC_CHECK(sum_mcl.ok());
+    Report("Cora: DD+MLR-MCL vs A+A'+MLR-MCL",
+           Mask(*dd_mcl, cora.truth), Mask(*sum_mcl, cora.truth));
+
+    MetisOptions metis;
+    metis.k = 70;
+    auto dd_metis = MetisPartition(dd, metis);
+    auto sum_metis = MetisPartition(sum, metis);
+    DGC_CHECK(dd_metis.ok());
+    DGC_CHECK(sum_metis.ok());
+    Report("Cora: DD+Metis vs A+A'+Metis", Mask(*dd_metis, cora.truth),
+           Mask(*sum_metis, cora.truth));
+
+    BestWCutOptions wcut;
+    wcut.k = 70;
+    wcut.spectral.max_subspace = 190;
+    wcut.spectral.kmeans_restarts = 1;
+    auto best = BestWCut(cora.graph, wcut);
+    DGC_CHECK(best.ok());
+    Report("Cora: DD+MLR-MCL vs BestWCut", Mask(*dd_mcl, cora.truth),
+           Mask(best->clustering, cora.truth));
+    Report("Cora: DD+Metis vs BestWCut", Mask(*dd_metis, cora.truth),
+           Mask(best->clustering, cora.truth));
+  }
+
+  {
+    Dataset wiki = bench::MakeWiki(scale * 0.5);
+    const Index k = wiki.graph.NumVertices() / 100;
+    UGraph dd = bench::SymmetrizeAuto(
+        wiki.graph, SymmetrizationMethod::kDegreeDiscounted, 80);
+    UGraph sum = bench::SymmetrizeAuto(wiki.graph,
+                                       SymmetrizationMethod::kAPlusAT, 80);
+    MetisOptions metis;
+    metis.k = k;
+    auto dd_metis = MetisPartition(dd, metis);
+    auto sum_metis = MetisPartition(sum, metis);
+    DGC_CHECK(dd_metis.ok());
+    DGC_CHECK(sum_metis.ok());
+    Report("Wiki: DD+Metis vs A+A'+Metis", Mask(*dd_metis, wiki.truth),
+           Mask(*sum_metis, wiki.truth));
+
+    MlrMclOptions mcl;
+    mcl.rmcl.inflation = 2.0;
+    auto dd_mcl = MlrMcl(dd, mcl);
+    auto sum_mcl = MlrMcl(sum, mcl);
+    DGC_CHECK(dd_mcl.ok());
+    DGC_CHECK(sum_mcl.ok());
+    Report("Wiki: DD+MLR-MCL vs A+A'+MLR-MCL", Mask(*dd_mcl, wiki.truth),
+           Mask(*sum_mcl, wiki.truth));
+  }
+
+  std::printf(
+      "\nExpected shape vs paper (Section 5.6): every Degree-discounted\n"
+      "comparison wins far more nodes than it loses, with log10 p-values\n"
+      "deep below zero (the paper reports -312 to -22767 at full scale).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

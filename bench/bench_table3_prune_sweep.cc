@@ -1,0 +1,71 @@
+// Table 3: effect of varying the Degree-discounted pruning threshold on
+// Wikipedia — number of edges, Avg F, and clustering time for MLR-MCL and
+// Metis at each threshold.
+//
+// Paper shape to match: raising the threshold removes edges, costs a
+// gradual sliver of F-score, and buys large clustering-time savings; even
+// the most aggressive threshold beats A+Aᵀ on both axes.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+
+namespace dgc {
+namespace {
+
+int Run(int argc, const char* const* argv) {
+  const double scale = bench::ScaleArg(argc, argv, 0.75);
+  bench::Banner("Table 3: effect of the pruning threshold",
+                "Satuluri & Parthasarathy, EDBT 2011, Table 3");
+  Dataset wiki = bench::MakeWiki(scale);
+  const Index n = wiki.graph.NumVertices();
+  const Index metis_k = n / 100;
+
+  // Anchor the threshold ladder on the auto-selected value.
+  double base = 0.0;
+  bench::SymmetrizeAuto(wiki.graph,
+                        SymmetrizationMethod::kDegreeDiscounted, 100, &base);
+  if (base <= 0.0) base = 0.01;
+  const std::vector<double> thresholds = {base, base * 1.5, base * 2.0,
+                                          base * 2.5};
+
+  std::printf("%-10s %12s | %8s %10s | %8s %10s\n", "threshold", "edges",
+              "mcl-F", "mcl-sec", "metis-F", "metis-sec");
+  for (double threshold : thresholds) {
+    SymmetrizationOptions options;
+    options.prune_threshold = threshold;
+    auto u = SymmetrizeDegreeDiscounted(wiki.graph, options);
+    DGC_CHECK(u.ok());
+
+    MlrMclOptions mcl;
+    mcl.rmcl.inflation = 2.0;
+    WallTimer mcl_timer;
+    auto mcl_clustering = MlrMcl(*u, mcl);
+    DGC_CHECK(mcl_clustering.ok());
+    const double mcl_seconds = mcl_timer.ElapsedSeconds();
+    const double mcl_f = bench::AvgF(*mcl_clustering, wiki.truth);
+
+    MetisOptions metis;
+    metis.k = metis_k;
+    WallTimer metis_timer;
+    auto metis_clustering = MetisPartition(*u, metis);
+    DGC_CHECK(metis_clustering.ok());
+    const double metis_seconds = metis_timer.ElapsedSeconds();
+    const double metis_f = bench::AvgF(*metis_clustering, wiki.truth);
+
+    std::printf("%-10.4f %12lld | %8.2f %10.2f | %8.2f %10.2f\n", threshold,
+                static_cast<long long>(u->NumArcs()), 100.0 * mcl_f,
+                mcl_seconds, 100.0 * metis_f, metis_seconds);
+  }
+
+  std::printf(
+      "\nExpected shape vs paper (Table 3): edges and clustering time fall\n"
+      "as the threshold rises, while Avg F drops only gradually.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgc
+
+int main(int argc, char** argv) { return dgc::Run(argc, argv); }

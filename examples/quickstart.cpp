@@ -1,0 +1,65 @@
+// Quickstart: the two-stage framework in ~30 lines.
+//
+// Build a small directed graph, symmetrize it with the Degree-discounted
+// transformation (Section 3.4 of Satuluri & Parthasarathy, EDBT 2011), and
+// cluster the result with MLR-MCL.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "cluster/pipeline.h"
+#include "graph/digraph.h"
+
+int main() {
+  using namespace dgc;
+
+  // A directed graph with two "co-citation" clusters (the paper's Figure 1
+  // pattern): members never link to each other, but share targets/sources.
+  //   cluster {0,1,2}: all point to 6,7 and are pointed to by 8
+  //   cluster {3,4,5}: all point to 9,10 and are pointed to by 11
+  std::vector<Edge> edges;
+  for (Index m : {0, 1, 2}) {
+    edges.push_back({m, 6, 1.0});
+    edges.push_back({m, 7, 1.0});
+    edges.push_back({8, m, 1.0});
+  }
+  for (Index m : {3, 4, 5}) {
+    edges.push_back({m, 9, 1.0});
+    edges.push_back({m, 10, 1.0});
+    edges.push_back({11, m, 1.0});
+  }
+  auto graph = Digraph::FromEdges(12, edges);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph construction failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Stage 1 + 2: Degree-discounted symmetrization, then MLR-MCL.
+  PipelineOptions options;
+  options.method = SymmetrizationMethod::kDegreeDiscounted;
+  options.algorithm = ClusterAlgorithm::kMlrMcl;
+  options.mlr_mcl.rmcl.inflation = 2.0;
+  auto result = SymmetrizeAndCluster(*graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("symmetrized graph: %lld undirected edges\n",
+              static_cast<long long>(result->symmetrized.NumEdges()));
+  std::printf("found %d clusters:\n", result->num_clusters);
+  for (const auto& members : result->clustering.ToClusters()) {
+    std::printf("  {");
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", members[i]);
+    }
+    std::printf("}\n");
+  }
+  std::printf(
+      "\nNote how {0,1,2} and {3,4,5} cluster together despite having no\n"
+      "edges among themselves - the similarity comes entirely from shared\n"
+      "in- and out-links, which A+A' symmetrization cannot capture.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The paper's introduction scenario (Section 2.1.1): websites of competing
+// companies serve the same market, so they point to a common set of
+// external pages (suppliers, standards, reviews) and are pointed to by a
+// common set of pages (directories, press) — but never link to each other,
+// "for fear of driving customers to a competitor's website".
+//
+// This example builds several such market segments, shows the directed
+// normalized cut of a true segment is terrible (so directed-Ncut methods
+// reject it), and then recovers the segments via Degree-discounted
+// symmetrization while A+Aᵀ provably cannot.
+//
+//   $ ./web_competitors
+#include <cstdio>
+
+#include "cluster/pipeline.h"
+#include "eval/fscore.h"
+#include "eval/ncut.h"
+#include "gen/planted.h"
+#include "linalg/power_iteration.h"
+
+int main() {
+  using namespace dgc;
+
+  PlantedOptions options;
+  options.num_clusters = 8;       // 8 market segments
+  options.cluster_size = 12;      // 12 competitor sites each
+  options.targets_per_cluster = 6;  // shared suppliers/standards pages
+  options.sources_per_cluster = 4;  // shared directories/press pages
+  options.target_pool = 16;       // segments share some external pages
+  options.source_pool = 10;
+  options.p_intra = 0.0;          // competitors never link to each other
+  options.noise_per_vertex = 0.5;
+  options.seed = 99;
+  auto dataset = GeneratePlanted(options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const Digraph& web = dataset->graph;
+  std::printf("web graph: %d sites, %lld links\n", web.NumVertices(),
+              static_cast<long long>(web.NumEdges()));
+
+  // 1. Directed normalized cut (Eq. 3) of the first true segment: high,
+  // i.e. the objective the prior spectral work optimizes would never pick
+  // this cluster.
+  auto pagerank = PageRank(web.adjacency());
+  if (!pagerank.ok()) return 1;
+  std::vector<bool> segment(static_cast<size_t>(web.NumVertices()), false);
+  for (Index v : dataset->truth.categories[0]) {
+    segment[static_cast<size_t>(v)] = true;
+  }
+  std::printf(
+      "\ndirected Ncut of true segment 0: %.3f (out of a max of 2.0 -\n"
+      "every random-walk step leaves the segment, so directed-cut\n"
+      "objectives consider it a terrible cluster)\n",
+      DirectedNormalizedCut(web, pagerank->pi, segment));
+
+  // 2. Cluster via both A+Aᵀ and Degree-discounted symmetrization.
+  for (SymmetrizationMethod method : {SymmetrizationMethod::kAPlusAT,
+                                      SymmetrizationMethod::kDegreeDiscounted}) {
+    PipelineOptions pipeline;
+    pipeline.method = method;
+    pipeline.algorithm = ClusterAlgorithm::kGraclus;
+    pipeline.graclus.k = 10;
+    auto result = SymmetrizeAndCluster(web, pipeline);
+    if (!result.ok()) return 1;
+    auto f = EvaluateFScore(result->clustering, dataset->truth);
+    if (!f.ok()) return 1;
+    std::printf("\n%s + Graclus: AvgF = %.1f%%\n",
+                SymmetrizationMethodName(method).data(), 100.0 * f->avg_f);
+    // How intact is segment 0 in the output?
+    const auto& members = dataset->truth.categories[0];
+    Index label0 = result->clustering.LabelOf(members[0]);
+    int intact = 0;
+    for (Index v : members) {
+      if (result->clustering.LabelOf(v) == label0) ++intact;
+    }
+    std::printf("  segment 0: %d/%zu competitor sites in one cluster\n",
+                intact, members.size());
+  }
+  std::printf(
+      "\nA+A' leaves competitor sites disconnected from one another, so\n"
+      "they scatter; Degree-discounted connects them through their shared\n"
+      "in/out-link profile and recovers the market segments.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "cluster/bestwcut.h"
+
+#include <array>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+
+namespace dgc {
+
+namespace {
+
+/// Builds the candidate transition-weight vector t'.
+Result<std::vector<Scalar>> BuildWeights(const Digraph& g, WCutWeighting w,
+                                         const PageRankOptions& pagerank) {
+  const size_t n = static_cast<size_t>(g.NumVertices());
+  switch (w) {
+    case WCutWeighting::kUniform:
+      return std::vector<Scalar>(n, 1.0);
+    case WCutWeighting::kInDegree: {
+      std::vector<Offset> indeg = g.InDegrees();
+      std::vector<Scalar> t(n);
+      for (size_t i = 0; i < n; ++i) {
+        t[i] = static_cast<Scalar>(indeg[i]) + 1.0;  // +1 keeps weights > 0
+      }
+      return t;
+    }
+    case WCutWeighting::kPageRank: {
+      DGC_ASSIGN_OR_RETURN(PageRankResult pr,
+                           PageRank(g.adjacency(), pagerank));
+      // Scale to mean 1 so objectives are comparable across weightings.
+      Scalar mean = 1.0 / static_cast<Scalar>(n);
+      for (Scalar& v : pr.pi) v /= mean;
+      return pr.pi;
+    }
+  }
+  return Status::InvalidArgument("unknown WCut weighting");
+}
+
+/// H = Diag(t') A + Aᵀ Diag(t'), the symmetric cut matrix of the weighting.
+Result<CsrMatrix> BuildCutMatrix(const Digraph& g,
+                                 const std::vector<Scalar>& t_prime) {
+  CsrMatrix h = g.adjacency();
+  h.ScaleRows(t_prime);
+  DGC_ASSIGN_OR_RETURN(CsrMatrix sym, CsrMatrix::Add(h, h.Transpose()));
+  return sym.Pruned(0.0, /*drop_diagonal=*/true);
+}
+
+}  // namespace
+
+std::string_view WCutWeightingName(WCutWeighting w) {
+  switch (w) {
+    case WCutWeighting::kUniform:
+      return "uniform";
+    case WCutWeighting::kInDegree:
+      return "in-degree";
+    case WCutWeighting::kPageRank:
+      return "pagerank";
+  }
+  return "?";
+}
+
+Result<double> WCutObjective(const Digraph& g, const Clustering& clustering,
+                             WCutWeighting w,
+                             const PageRankOptions& pagerank) {
+  if (clustering.NumVertices() != g.NumVertices()) {
+    return Status::InvalidArgument("clustering size != graph size");
+  }
+  DGC_ASSIGN_OR_RETURN(std::vector<Scalar> t_prime,
+                       BuildWeights(g, w, pagerank));
+  DGC_ASSIGN_OR_RETURN(CsrMatrix h, BuildCutMatrix(g, t_prime));
+  Clustering compact = clustering;
+  const Index k = compact.Compact();
+  if (k == 0) return 0.0;
+  const std::vector<Scalar> volume = h.RowSums();
+  std::vector<Scalar> cut(static_cast<size_t>(k), 0.0);
+  std::vector<Scalar> vol(static_cast<size_t>(k), 0.0);
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    const Index cu = compact.LabelOf(u);
+    if (cu == Clustering::kUnassigned) continue;
+    vol[static_cast<size_t>(cu)] += volume[static_cast<size_t>(u)];
+    auto cols = h.RowCols(u);
+    auto vals = h.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (compact.LabelOf(cols[i]) != cu) {
+        cut[static_cast<size_t>(cu)] += vals[i];
+      }
+    }
+  }
+  double total = 0.0;
+  for (Index c = 0; c < k; ++c) {
+    if (vol[static_cast<size_t>(c)] > 0.0) {
+      total += cut[static_cast<size_t>(c)] / vol[static_cast<size_t>(c)];
+    }
+  }
+  return total;
+}
+
+Result<BestWCutResult> BestWCut(const Digraph& g,
+                                const BestWCutOptions& options) {
+  if (options.k < 1 || options.k > g.NumVertices()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  constexpr std::array<WCutWeighting, 3> kCandidates = {
+      WCutWeighting::kUniform,
+      WCutWeighting::kInDegree,
+      WCutWeighting::kPageRank,
+  };
+  BestWCutResult best;
+  best.wcut = std::numeric_limits<double>::max();
+  for (WCutWeighting w : kCandidates) {
+    DGC_ASSIGN_OR_RETURN(std::vector<Scalar> t_prime,
+                         BuildWeights(g, w, options.pagerank));
+    DGC_ASSIGN_OR_RETURN(CsrMatrix h, BuildCutMatrix(g, t_prime));
+    SpectralOptions spectral = options.spectral;
+    spectral.k = options.k;
+    spectral.seed = options.seed;
+    DGC_ASSIGN_OR_RETURN(Clustering clustering,
+                         SpectralClusterSymmetric(h, spectral));
+    DGC_ASSIGN_OR_RETURN(double objective,
+                         WCutObjective(g, clustering, w, options.pagerank));
+    if (objective < best.wcut) {
+      best.wcut = objective;
+      best.chosen = w;
+      best.clustering = std::move(clustering);
+    }
+  }
+  return best;
+}
+
+}  // namespace dgc

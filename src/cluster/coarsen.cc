@@ -1,0 +1,122 @@
+#include "cluster/coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dgc {
+
+std::pair<std::vector<Index>, Index> HeavyEdgeMatching(const CsrMatrix& adj,
+                                                       uint64_t seed) {
+  const Index n = adj.rows();
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+
+  std::vector<Index> match(static_cast<size_t>(n), -1);
+  for (Index u : order) {
+    if (match[static_cast<size_t>(u)] != -1) continue;
+    Index best = -1;
+    Scalar best_weight = -1.0;
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const Index v = cols[i];
+      if (v == u || match[static_cast<size_t>(v)] != -1) continue;
+      if (vals[i] > best_weight) {
+        best_weight = vals[i];
+        best = v;
+      }
+    }
+    if (best != -1) {
+      match[static_cast<size_t>(u)] = best;
+      match[static_cast<size_t>(best)] = u;
+    } else {
+      match[static_cast<size_t>(u)] = u;  // stays alone
+    }
+  }
+  // Assign coarse ids: the smaller endpoint of each pair owns the id.
+  std::vector<Index> to_coarser(static_cast<size_t>(n), -1);
+  Index next = 0;
+  for (Index u = 0; u < n; ++u) {
+    const Index v = match[static_cast<size_t>(u)];
+    if (v >= u) {  // owner (or self-matched)
+      to_coarser[static_cast<size_t>(u)] = next;
+      if (v != u) to_coarser[static_cast<size_t>(v)] = next;
+      ++next;
+    }
+  }
+  return {std::move(to_coarser), next};
+}
+
+Result<GraphLevel> ContractGraph(const CsrMatrix& adj,
+                                 const std::vector<Scalar>& node_weight,
+                                 const std::vector<Index>& to_coarser,
+                                 Index num_coarse) {
+  if (static_cast<Index>(to_coarser.size()) != adj.rows() ||
+      static_cast<Index>(node_weight.size()) != adj.rows()) {
+    return Status::InvalidArgument("contract: size mismatch");
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(adj.nnz()));
+  for (Index u = 0; u < adj.rows(); ++u) {
+    const Index cu = to_coarser[static_cast<size_t>(u)];
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const Index cv = to_coarser[static_cast<size_t>(cols[i])];
+      triplets.push_back(Triplet{cu, cv, vals[i]});
+    }
+  }
+  GraphLevel level;
+  DGC_ASSIGN_OR_RETURN(
+      level.adj,
+      CsrMatrix::FromTriplets(num_coarse, num_coarse, std::move(triplets)));
+  level.node_weight.assign(static_cast<size_t>(num_coarse), 0.0);
+  for (size_t u = 0; u < to_coarser.size(); ++u) {
+    level.node_weight[static_cast<size_t>(to_coarser[u])] += node_weight[u];
+  }
+  return level;
+}
+
+Result<Hierarchy> BuildHierarchy(const UGraph& g,
+                                 const CoarsenOptions& options) {
+  Hierarchy hierarchy;
+  GraphLevel finest;
+  finest.adj = g.adjacency();
+  finest.node_weight.assign(static_cast<size_t>(g.NumVertices()), 1.0);
+  hierarchy.levels.push_back(std::move(finest));
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    GraphLevel& current = hierarchy.levels.back();
+    const Index n = current.adj.rows();
+    if (n <= options.target_vertices) break;
+    auto [to_coarser, num_coarse] =
+        HeavyEdgeMatching(current.adj, options.seed + static_cast<uint64_t>(
+                                                          level));
+    if (static_cast<double>(num_coarse) >
+        options.min_shrink * static_cast<double>(n)) {
+      break;  // matching stalled
+    }
+    DGC_ASSIGN_OR_RETURN(GraphLevel coarse,
+                         ContractGraph(current.adj, current.node_weight,
+                                       to_coarser, num_coarse));
+    current.to_coarser = std::move(to_coarser);
+    hierarchy.levels.push_back(std::move(coarse));
+  }
+  return hierarchy;
+}
+
+std::vector<Index> ProjectLabels(const std::vector<Index>& coarse_labels,
+                                 const std::vector<Index>& to_coarser) {
+  std::vector<Index> fine(to_coarser.size());
+  for (size_t u = 0; u < to_coarser.size(); ++u) {
+    fine[u] = coarse_labels[static_cast<size_t>(to_coarser[u])];
+  }
+  return fine;
+}
+
+}  // namespace dgc

@@ -1,0 +1,67 @@
+// Multilevel coarsening via heavy-edge matching (Karypis-Kumar 1999),
+// shared by the Metis-like partitioner, the Graclus-like normalized-cut
+// clusterer, and MLR-MCL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ugraph.h"
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// One level of the coarsening hierarchy. Level 0 is the input graph.
+/// Coarse adjacency keeps collapsed intra-supernode edges as *diagonal*
+/// entries so that normalized-cut degrees stay exact across levels.
+struct GraphLevel {
+  CsrMatrix adj;                     ///< symmetric; diagonal = internal weight
+  std::vector<Scalar> node_weight;   ///< number of original vertices inside
+  /// Map from this level's vertices to the next-coarser level's vertices
+  /// (empty at the coarsest level).
+  std::vector<Index> to_coarser;
+};
+
+/// A full coarsening hierarchy, finest first.
+struct Hierarchy {
+  std::vector<GraphLevel> levels;
+
+  const GraphLevel& coarsest() const { return levels.back(); }
+  int NumLevels() const { return static_cast<int>(levels.size()); }
+};
+
+struct CoarsenOptions {
+  /// Stop when the coarsest graph has at most this many vertices.
+  Index target_vertices = 1000;
+  /// Stop after this many coarsening steps regardless.
+  int max_levels = 20;
+  /// Stop early when a step shrinks the graph by less than this factor
+  /// (matching has stalled, e.g. on star graphs).
+  double min_shrink = 0.9;
+  uint64_t seed = 11;
+};
+
+/// \brief Builds the hierarchy by repeated heavy-edge matching: vertices are
+/// visited in random order and matched to the unmatched neighbor connected
+/// by the heaviest edge.
+Result<Hierarchy> BuildHierarchy(const UGraph& g,
+                                 const CoarsenOptions& options = {});
+
+/// \brief Heavy-edge matching on one level; returns the fine-to-coarse map
+/// and the number of coarse vertices.
+std::pair<std::vector<Index>, Index> HeavyEdgeMatching(const CsrMatrix& adj,
+                                                       uint64_t seed);
+
+/// \brief Contracts `adj` according to the fine-to-coarse map. Internal
+/// edges accumulate on the coarse diagonal; node weights are summed.
+Result<GraphLevel> ContractGraph(const CsrMatrix& adj,
+                                 const std::vector<Scalar>& node_weight,
+                                 const std::vector<Index>& to_coarser,
+                                 Index num_coarse);
+
+/// Projects coarse labels back to the finer level through `to_coarser`.
+std::vector<Index> ProjectLabels(const std::vector<Index>& coarse_labels,
+                                 const std::vector<Index>& to_coarser);
+
+}  // namespace dgc

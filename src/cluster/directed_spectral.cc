@@ -1,0 +1,67 @@
+#include "cluster/directed_spectral.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "linalg/lanczos.h"
+
+namespace dgc {
+
+Result<CsrMatrix> DirectedLaplacianKernel(const Digraph& g,
+                                          const PageRankOptions& pagerank) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  DGC_ASSIGN_OR_RETURN(PageRankResult pr, PageRank(g.adjacency(), pagerank));
+  std::vector<Scalar> sqrt_pi(pr.pi.size());
+  std::vector<Scalar> inv_sqrt_pi(pr.pi.size());
+  for (size_t i = 0; i < pr.pi.size(); ++i) {
+    sqrt_pi[i] = std::sqrt(pr.pi[i]);
+    inv_sqrt_pi[i] = pr.pi[i] > 0.0 ? 1.0 / sqrt_pi[i] : 0.0;
+  }
+  // M = Π^{1/2} P Π^{-1/2}; S = (M + Mᵀ) / 2.
+  CsrMatrix m = RowStochastic(g.adjacency());
+  m.ScaleRows(sqrt_pi);
+  m.ScaleCols(inv_sqrt_pi);
+  DGC_ASSIGN_OR_RETURN(CsrMatrix s, CsrMatrix::Add(m, m.Transpose()));
+  for (Scalar& v : s.mutable_values()) v *= 0.5;
+  return s;
+}
+
+Result<Clustering> DirectedSpectralZhou(
+    const Digraph& g, const DirectedSpectralOptions& options) {
+  if (options.k < 1 || options.k > g.NumVertices()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  DGC_ASSIGN_OR_RETURN(CsrMatrix s,
+                       DirectedLaplacianKernel(g, options.pagerank));
+  LanczosOptions lanczos;
+  lanczos.num_eigenpairs = options.k;
+  lanczos.which = SpectrumEnd::kLargest;  // top of S = bottom of L = I - S
+  lanczos.max_subspace = options.spectral.max_subspace;
+  lanczos.seed = options.seed;
+  DGC_ASSIGN_OR_RETURN(EigenResult eigen, LanczosSymmetric(s, lanczos));
+
+  const Index found = eigen.eigenvectors.cols();
+  DenseMatrix embedding(g.NumVertices(), found);
+  for (Index i = 0; i < g.NumVertices(); ++i) {
+    Scalar norm = 0.0;
+    for (Index j = 0; j < found; ++j) {
+      const Scalar v = eigen.eigenvectors(i, j);
+      embedding(i, j) = v;
+      norm += v * v;
+    }
+    if (norm > 0.0) {
+      const Scalar inv = 1.0 / std::sqrt(norm);
+      for (Index j = 0; j < found; ++j) embedding(i, j) *= inv;
+    }
+  }
+  KMeansOptions kmeans;
+  kmeans.k = options.k;
+  kmeans.restarts = options.spectral.kmeans_restarts;
+  kmeans.seed = options.seed;
+  DGC_ASSIGN_OR_RETURN(KMeansResult result, KMeans(embedding, kmeans));
+  return result.clustering;
+}
+
+}  // namespace dgc

@@ -1,0 +1,34 @@
+// Directed spectral clustering with the random-walk Laplacian of Zhou,
+// Huang & Scholkopf (ICML 2005) / Chung (2005), Eq. 5 of the paper:
+//   L = I - (Π^{1/2} P Π^{-1/2} + Π^{-1/2} Pᵀ Π^{1/2}) / 2.
+// The paper reports this method "did not finish execution on any of our
+// datasets"; we include it as a runnable baseline for completeness.
+#pragma once
+
+#include "cluster/spectral.h"
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "linalg/power_iteration.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct DirectedSpectralOptions {
+  Index k = 16;
+  SpectralOptions spectral;
+  PageRankOptions pagerank;
+  uint64_t seed = 41;
+};
+
+/// \brief Clusters the digraph with the bottom-k eigenvectors of the
+/// directed Laplacian (equivalently the top-k of its symmetric kernel)
+/// followed by k-means on the row-normalized embedding.
+Result<Clustering> DirectedSpectralZhou(
+    const Digraph& g, const DirectedSpectralOptions& options = {});
+
+/// The symmetric kernel S = (Π^{1/2} P Π^{-1/2} + Π^{-1/2} Pᵀ Π^{1/2}) / 2
+/// used above; exposed for tests (its eigenstructure defines N cut_dir).
+Result<CsrMatrix> DirectedLaplacianKernel(const Digraph& g,
+                                          const PageRankOptions& pagerank = {});
+
+}  // namespace dgc

@@ -1,0 +1,36 @@
+// Graclus-like multilevel normalized-cut clusterer (Dhillon, Guan, Kulis
+// 2007: "Weighted Graph Cuts without Eigenvectors"). Same multilevel
+// skeleton as the Metis-like partitioner, but the per-level refinement is
+// weighted-kernel-k-means local search that directly minimizes the k-way
+// normalized cut instead of the edge cut.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/coarsen.h"
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct GraclusOptions {
+  Index k = 16;
+  /// Normalized-cut local-search passes per level.
+  int refinement_passes = 8;
+  CoarsenOptions coarsen;
+  uint64_t seed = 19;
+};
+
+/// \brief Clusters g into options.k groups minimizing the k-way normalized
+/// cut. Every vertex is assigned. Returns InvalidArgument if k < 1 or
+/// k > |V|.
+Result<Clustering> GraclusCluster(const UGraph& g,
+                                  const GraclusOptions& options = {});
+
+/// k-way Ncut objective sum_c cut(c)/deg(c) over a labeled level graph
+/// (diagonal entries count toward degree but never toward the cut).
+Scalar LevelNormalizedCut(const CsrMatrix& adj,
+                          const std::vector<Index>& labels, Index k);
+
+}  // namespace dgc

@@ -1,0 +1,94 @@
+#include "cluster/initial_partition.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dgc {
+
+std::vector<Index> GreedyGrowPartition(const GraphLevel& level, Index k,
+                                       double cap, Rng& rng) {
+  // Sequential greedy graph growing (Karypis-Kumar): fill one part at a
+  // time by BFS from a random unassigned seed until the part reaches its
+  // weight quota, then move on. Growing parts one after another keeps
+  // locally dense regions intact, which parallel multi-source growth
+  // tends to interleave and split.
+  const Index n = level.adj.rows();
+  std::vector<Index> labels(static_cast<size_t>(n), -1);
+  std::vector<Scalar> part_weight(static_cast<size_t>(k), 0.0);
+
+  Scalar total_weight = 0.0;
+  for (Scalar w : level.node_weight) total_weight += w;
+  const double quota = total_weight / static_cast<double>(k);
+
+  // Random visiting order supplies fresh seeds cheaply.
+  std::vector<Index> seed_order(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) seed_order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(seed_order);
+  size_t next_seed = 0;
+
+  std::deque<Index> queue;
+  for (Index part = 0; part < k; ++part) {
+    // The last part absorbs whatever quota rounding left behind.
+    const double limit = part == k - 1 ? cap : std::min(cap, quota);
+    queue.clear();
+    while (part_weight[static_cast<size_t>(part)] < limit) {
+      Index u = -1;
+      if (!queue.empty()) {
+        u = queue.front();
+        queue.pop_front();
+        if (labels[static_cast<size_t>(u)] != -1) continue;
+      } else {
+        while (next_seed < seed_order.size() &&
+               labels[seed_order[next_seed]] != -1) {
+          ++next_seed;
+        }
+        if (next_seed >= seed_order.size()) break;  // everything assigned
+        u = seed_order[next_seed++];
+      }
+      if (part_weight[static_cast<size_t>(part)] +
+              level.node_weight[static_cast<size_t>(u)] >
+          cap) {
+        continue;
+      }
+      labels[static_cast<size_t>(u)] = part;
+      part_weight[static_cast<size_t>(part)] +=
+          level.node_weight[static_cast<size_t>(u)];
+      for (Index v : level.adj.RowCols(u)) {
+        if (labels[static_cast<size_t>(v)] == -1) queue.push_back(v);
+      }
+    }
+  }
+  // Leftovers (capped out everywhere): lightest part wins.
+  for (Index v = 0; v < n; ++v) {
+    if (labels[static_cast<size_t>(v)] != -1) continue;
+    const Index lightest = static_cast<Index>(
+        std::min_element(part_weight.begin(), part_weight.end()) -
+        part_weight.begin());
+    labels[static_cast<size_t>(v)] = lightest;
+    part_weight[static_cast<size_t>(lightest)] +=
+        level.node_weight[static_cast<size_t>(v)];
+  }
+  // Guarantee every part is non-empty (k <= n): empty parts steal one
+  // vertex from the currently largest part.
+  std::vector<Index> part_size(static_cast<size_t>(k), 0);
+  for (Index v = 0; v < n; ++v) {
+    ++part_size[static_cast<size_t>(labels[static_cast<size_t>(v)])];
+  }
+  for (Index part = 0; part < k; ++part) {
+    if (part_size[static_cast<size_t>(part)] > 0) continue;
+    const Index donor = static_cast<Index>(
+        std::max_element(part_size.begin(), part_size.end()) -
+        part_size.begin());
+    for (Index v = 0; v < n; ++v) {
+      if (labels[static_cast<size_t>(v)] == donor) {
+        labels[static_cast<size_t>(v)] = part;
+        --part_size[static_cast<size_t>(donor)];
+        ++part_size[static_cast<size_t>(part)];
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace dgc

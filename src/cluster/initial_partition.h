@@ -1,0 +1,21 @@
+// Initial partitioning at the coarsest level of a multilevel hierarchy:
+// greedy multi-source BFS growing from random seeds, shared by the
+// Metis-like and Graclus-like clusterers.
+#pragma once
+
+#include <vector>
+
+#include "cluster/coarsen.h"
+#include "util/rng.h"
+
+namespace dgc {
+
+/// \brief Sequential greedy graph growing (Karypis-Kumar): parts are filled
+/// one at a time by BFS from random seeds until each reaches its weight
+/// quota (capped at `cap`); leftovers go to the lightest part and empty
+/// parts steal a vertex from the largest. Every vertex gets a label in
+/// [0, k) and every part is non-empty when k <= |V|.
+std::vector<Index> GreedyGrowPartition(const GraphLevel& level, Index k,
+                                       double cap, Rng& rng);
+
+}  // namespace dgc

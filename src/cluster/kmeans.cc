@@ -1,0 +1,144 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dgc {
+
+namespace {
+
+double SquaredDistance(std::span<const Scalar> a, std::span<const Scalar> b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// proportionally to squared distance from the nearest chosen center.
+DenseMatrix SeedPlusPlus(const DenseMatrix& points, Index k, Rng& rng) {
+  const Index n = points.rows();
+  const Index dim = points.cols();
+  DenseMatrix centers(k, dim);
+  std::vector<double> dist2(static_cast<size_t>(n),
+                            std::numeric_limits<double>::max());
+  Index first = static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+  for (Index d = 0; d < dim; ++d) centers(0, d) = points(first, d);
+  for (Index c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const double d2 =
+          SquaredDistance(points.Row(i), centers.Row(c - 1));
+      dist2[static_cast<size_t>(i)] =
+          std::min(dist2[static_cast<size_t>(i)], d2);
+      total += dist2[static_cast<size_t>(i)];
+    }
+    Index chosen = n - 1;
+    if (total > 0.0) {
+      double roll = rng.UniformDouble() * total;
+      for (Index i = 0; i < n; ++i) {
+        roll -= dist2[static_cast<size_t>(i)];
+        if (roll <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+    }
+    for (Index d = 0; d < dim; ++d) centers(c, d) = points(chosen, d);
+  }
+  return centers;
+}
+
+struct SingleRun {
+  std::vector<Index> labels;
+  double sse = 0.0;
+  int iterations = 0;
+};
+
+SingleRun RunOnce(const DenseMatrix& points, const KMeansOptions& options,
+                  Rng& rng) {
+  const Index n = points.rows();
+  const Index dim = points.cols();
+  const Index k = options.k;
+  DenseMatrix centers = SeedPlusPlus(points, k, rng);
+  SingleRun run;
+  run.labels.assign(static_cast<size_t>(n), 0);
+  std::vector<Index> counts(static_cast<size_t>(k), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    run.sse = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      Index best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (Index c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points.Row(i), centers.Row(c));
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (run.labels[static_cast<size_t>(i)] != best) {
+        run.labels[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+      run.sse += best_d;
+    }
+    run.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    centers = DenseMatrix(k, dim, 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (Index i = 0; i < n; ++i) {
+      const Index c = run.labels[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (Index d = 0; d < dim; ++d) centers(c, d) += points(i, d);
+    }
+    for (Index c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Reseed an empty cluster from a random point.
+        const Index p = static_cast<Index>(
+            rng.UniformU64(static_cast<uint64_t>(n)));
+        for (Index d = 0; d < dim; ++d) centers(c, d) = points(p, d);
+        continue;
+      }
+      const double inv =
+          1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+      for (Index d = 0; d < dim; ++d) centers(c, d) *= inv;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const DenseMatrix& points,
+                            const KMeansOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.k > points.rows()) {
+    return Status::InvalidArgument("k exceeds number of points");
+  }
+  Rng rng(options.seed);
+  SingleRun best;
+  best.sse = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    SingleRun run = RunOnce(points, options, rng);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+  KMeansResult result;
+  result.clustering = Clustering(std::move(best.labels));
+  result.sse = best.sse;
+  result.iterations = best.iterations;
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,34 @@
+// Lloyd's k-means with k-means++ seeding on dense embedding rows — the
+// final step of every spectral clustering baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/clustering.h"
+#include "linalg/dense_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct KMeansOptions {
+  Index k = 8;
+  int max_iterations = 50;
+  /// Restarts; the assignment with the lowest within-cluster SSE wins.
+  int restarts = 3;
+  uint64_t seed = 29;
+};
+
+struct KMeansResult {
+  Clustering clustering;
+  double sse = 0.0;  ///< within-cluster sum of squared distances
+  int iterations = 0;
+};
+
+/// \brief Clusters the rows of `points` into k groups. Empty clusters are
+/// reseeded from the farthest point. Returns InvalidArgument if k < 1 or
+/// k > rows.
+Result<KMeansResult> KMeans(const DenseMatrix& points,
+                            const KMeansOptions& options = {});
+
+}  // namespace dgc

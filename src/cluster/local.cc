@@ -1,0 +1,141 @@
+#include "cluster/local.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dgc {
+
+Result<std::vector<std::pair<Index, Scalar>>> ApproximatePersonalizedPageRank(
+    const UGraph& g, Index seed, const LocalClusterOptions& options) {
+  if (seed < 0 || seed >= g.NumVertices()) {
+    return Status::InvalidArgument("seed out of range");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const std::vector<Scalar> degree = g.WeightedDegrees();
+  if (degree[static_cast<size_t>(seed)] <= 0.0) {
+    return Status::NotFound("seed vertex is isolated");
+  }
+  // Sparse p (approximation) and r (residual) maps; push until every
+  // residual is below epsilon * degree.
+  std::unordered_map<Index, Scalar> p, r;
+  r[seed] = 1.0;
+  std::deque<Index> queue = {seed};
+  std::unordered_set<Index> queued = {seed};
+  const Scalar alpha = options.alpha;
+  while (!queue.empty()) {
+    const Index u = queue.front();
+    queue.pop_front();
+    queued.erase(u);
+    const Scalar du = degree[static_cast<size_t>(u)];
+    Scalar& ru = r[u];
+    if (du <= 0.0 || ru < options.epsilon * du) continue;
+    // Push: move alpha fraction to p, spread the rest over neighbors.
+    const Scalar mass = ru;
+    p[u] += alpha * mass;
+    ru = 0.0;
+    const Scalar spread = (1.0 - alpha) * mass;
+    auto cols = g.Neighbors(u);
+    auto vals = g.NeighborWeights(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const Index v = cols[i];
+      Scalar& rv = r[v];
+      rv += spread * vals[i] / du;
+      const Scalar dv = degree[static_cast<size_t>(v)];
+      if (dv > 0.0 && rv >= options.epsilon * dv && !queued.count(v)) {
+        queue.push_back(v);
+        queued.insert(v);
+      }
+    }
+    // u itself may exceed the threshold again (self-mass via neighbors).
+    if (r[u] >= options.epsilon * du && !queued.count(u)) {
+      queue.push_back(u);
+      queued.insert(u);
+    }
+  }
+  std::vector<std::pair<Index, Scalar>> result(p.begin(), p.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Scalar Conductance(const UGraph& g, const std::vector<Index>& subset) {
+  std::unordered_set<Index> in(subset.begin(), subset.end());
+  Scalar cut = 0.0, vol_s = 0.0;
+  Scalar total = 0.0;
+  const CsrMatrix& adj = g.adjacency();
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    const bool us = in.count(u) > 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      total += vals[i];
+      if (!us) continue;
+      vol_s += vals[i];
+      if (!in.count(cols[i])) cut += vals[i];
+    }
+  }
+  const Scalar denom = std::min(vol_s, total - vol_s);
+  return denom > 0.0 ? cut / denom : 1.0;
+}
+
+Result<LocalClusterResult> LocalCluster(const UGraph& g, Index seed,
+                                        const LocalClusterOptions& options) {
+  DGC_ASSIGN_OR_RETURN(auto ppr,
+                       ApproximatePersonalizedPageRank(g, seed, options));
+  const std::vector<Scalar> degree = g.WeightedDegrees();
+  // Sweep order: decreasing p(v)/d(v).
+  std::sort(ppr.begin(), ppr.end(), [&degree](const auto& a, const auto& b) {
+    return a.second / degree[static_cast<size_t>(a.first)] >
+           b.second / degree[static_cast<size_t>(b.first)];
+  });
+  const size_t limit =
+      options.max_cluster_size > 0
+          ? std::min(ppr.size(), static_cast<size_t>(options.max_cluster_size))
+          : ppr.size();
+
+  // Incremental sweep: track cut and volume as vertices join the prefix.
+  Scalar total_volume = g.Volume();
+  std::unordered_set<Index> in;
+  Scalar cut = 0.0, vol = 0.0;
+  Scalar best_conductance = 2.0;
+  size_t best_prefix = 0;
+  const CsrMatrix& adj = g.adjacency();
+  for (size_t i = 0; i < limit; ++i) {
+    const Index u = ppr[i].first;
+    in.insert(u);
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    Scalar to_inside = 0.0, du = 0.0;
+    for (size_t e = 0; e < cols.size(); ++e) {
+      du += vals[e];
+      if (in.count(cols[e])) to_inside += vals[e];
+    }
+    vol += du;
+    cut += du - 2.0 * to_inside;
+    const Scalar denom = std::min(vol, total_volume - vol);
+    if (denom <= 0.0) break;
+    const Scalar conductance = cut / denom;
+    if (conductance < best_conductance) {
+      best_conductance = conductance;
+      best_prefix = i + 1;
+    }
+  }
+  LocalClusterResult result;
+  result.support = static_cast<Index>(ppr.size());
+  result.conductance = best_conductance;
+  result.cluster.reserve(best_prefix);
+  for (size_t i = 0; i < best_prefix; ++i) {
+    result.cluster.push_back(ppr[i].first);
+  }
+  std::sort(result.cluster.begin(), result.cluster.end());
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,51 @@
+// Local partitioning via approximate personalized PageRank (Andersen,
+// Chung, Lang 2007 — the paper's reference [1], the one prior directed-
+// clustering approach that scales). Finds a low-conductance cluster around
+// a seed vertex without touching the whole graph: APPR push followed by a
+// sweep cut. Combined with a symmetrized graph this gives local versions
+// of the paper's pipeline.
+#pragma once
+
+#include <vector>
+
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct LocalClusterOptions {
+  /// Teleport probability of the personalized walk.
+  Scalar alpha = 0.15;
+  /// Push tolerance: residual per unit degree kept below this. Smaller =
+  /// larger explored region.
+  Scalar epsilon = 1e-5;
+  /// Cap on the sweep prefix length (0 = no cap).
+  Index max_cluster_size = 0;
+};
+
+struct LocalClusterResult {
+  /// Vertices of the best sweep cut, ordered by decreasing ppr/degree.
+  std::vector<Index> cluster;
+  /// Conductance (undirected Ncut numerator/denominator form) of the cut.
+  Scalar conductance = 0.0;
+  /// Number of vertices touched by the push (work bound).
+  Index support = 0;
+};
+
+/// \brief Approximate personalized PageRank vector around `seed` by the
+/// Andersen-Chung-Lang push algorithm. Returns (vertex, value) pairs for
+/// the support only.
+Result<std::vector<std::pair<Index, Scalar>>> ApproximatePersonalizedPageRank(
+    const UGraph& g, Index seed, const LocalClusterOptions& options = {});
+
+/// \brief Local cluster around `seed`: APPR + sweep over prefixes of the
+/// degree-normalized ranking, returning the prefix with minimum
+/// conductance. Returns InvalidArgument for a bad seed, NotFound when the
+/// seed is isolated.
+Result<LocalClusterResult> LocalCluster(const UGraph& g, Index seed,
+                                        const LocalClusterOptions& options = {});
+
+/// Conductance of a vertex subset: cut(S, S̄) / min(vol(S), vol(S̄)).
+Scalar Conductance(const UGraph& g, const std::vector<Index>& subset);
+
+}  // namespace dgc

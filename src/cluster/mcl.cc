@@ -1,0 +1,276 @@
+#include "cluster/mcl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+namespace {
+
+/// Inflates (entry^r), prunes, caps and renormalizes one flow row held in
+/// unsorted (cols, vals). Because inflation is monotone, the top-k
+/// selection happens on raw values *before* the expensive pow() calls, so
+/// cost is O(t) for the selection plus O(k log k) for the final sort —
+/// never O(t log t) on the (possibly dense) expanded row.
+void InflatePruneRow(std::vector<Index>& cols, std::vector<Scalar>& vals,
+                     const RmclOptions& options,
+                     std::vector<std::pair<Scalar, Index>>& scratch) {
+  if (cols.empty()) return;
+  scratch.clear();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    scratch.emplace_back(vals[i], cols[i]);
+  }
+  const size_t cap = static_cast<size_t>(options.max_row_nnz);
+  if (scratch.size() > cap) {
+    std::nth_element(
+        scratch.begin(), scratch.begin() + static_cast<long>(cap),
+        scratch.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    scratch.resize(cap);
+  }
+  // Inflate the survivors and normalize among them.
+  Scalar sum = 0.0;
+  for (auto& [v, c] : scratch) {
+    v = std::pow(v, options.inflation);
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    cols.resize(1);
+    vals.resize(1);
+    vals[0] = 1.0;
+    return;
+  }
+  // Drop normalized entries below the prune threshold, keeping at least
+  // the largest so the row never empties.
+  size_t out = 0;
+  size_t best = 0;
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    if (scratch[i].first > scratch[best].first) best = i;
+    if (scratch[i].first / sum < options.prune_threshold) continue;
+    scratch[out++] = scratch[i];
+  }
+  if (out == 0) {
+    scratch[0] = scratch[best];
+    out = 1;
+  }
+  scratch.resize(out);
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  Scalar kept = 0.0;
+  for (const auto& [v, c] : scratch) kept += v;
+  cols.resize(out);
+  vals.resize(out);
+  for (size_t i = 0; i < out; ++i) {
+    cols[i] = scratch[i].second;
+    vals[i] = scratch[i].first / kept;
+  }
+}
+
+}  // namespace
+
+CsrMatrix BuildFlowMatrixFromAdjacency(const CsrMatrix& adj,
+                                       Scalar self_loop_scale) {
+  const Index n = adj.rows();
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  col_idx.reserve(static_cast<size_t>(adj.nnz() + n));
+  values.reserve(static_cast<size_t>(adj.nnz() + n));
+  for (Index u = 0; u < n; ++u) {
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    // Mean incident weight (excluding any existing diagonal).
+    Scalar sum = 0.0;
+    Offset count = 0;
+    Scalar existing_self = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == u) {
+        existing_self = vals[i];
+        continue;
+      }
+      sum += vals[i];
+      ++count;
+    }
+    const Scalar self =
+        existing_self +
+        self_loop_scale * (count > 0 ? sum / static_cast<Scalar>(count)
+                                     : 1.0);
+    // Merge the self-loop into the sorted row.
+    bool inserted = false;
+    Scalar row_total = 0.0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == u) {
+        col_idx.push_back(u);
+        values.push_back(self);
+        row_total += self;
+        inserted = true;
+      } else {
+        if (!inserted && cols[i] > u) {
+          col_idx.push_back(u);
+          values.push_back(self);
+          row_total += self;
+          inserted = true;
+        }
+        col_idx.push_back(cols[i]);
+        values.push_back(vals[i]);
+        row_total += vals[i];
+      }
+    }
+    if (!inserted) {
+      col_idx.push_back(u);
+      values.push_back(self);
+      row_total += self;
+    }
+    // Normalize the row in place.
+    for (size_t i = static_cast<size_t>(row_ptr[static_cast<size_t>(u)]);
+         i < values.size(); ++i) {
+      values[i] /= row_total;
+    }
+    row_ptr[static_cast<size_t>(u) + 1] =
+        static_cast<Offset>(col_idx.size());
+  }
+  auto result = CsrMatrix::FromParts(n, n, std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  DGC_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+CsrMatrix BuildFlowMatrix(const UGraph& g, Scalar self_loop_scale) {
+  return BuildFlowMatrixFromAdjacency(g.adjacency(), self_loop_scale);
+}
+
+Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
+                              const RmclOptions& options, int iterations) {
+  if (m.rows() != mg.rows() || m.cols() != mg.cols()) {
+    return Status::InvalidArgument("flow/graph matrix shape mismatch");
+  }
+  if (options.inflation <= 1.0) {
+    return Status::InvalidArgument("inflation must be > 1");
+  }
+  const Index n = m.rows();
+  std::vector<Scalar> accum(static_cast<size_t>(n), 0.0);
+  std::vector<Index> marker(static_cast<size_t>(n), -1);
+  std::vector<Index> touched;
+  std::vector<Index> row_cols;
+  std::vector<Scalar> row_vals;
+  std::vector<std::pair<Scalar, Index>> scratch;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    const CsrMatrix& right = options.regularized ? mg : m;
+    std::vector<Offset> new_row_ptr(static_cast<size_t>(n) + 1, 0);
+    std::vector<Index> new_cols;
+    std::vector<Scalar> new_vals;
+    new_cols.reserve(static_cast<size_t>(m.nnz()));
+    new_vals.reserve(static_cast<size_t>(m.nnz()));
+    Scalar total_diff = 0.0;
+    for (Index r = 0; r < n; ++r) {
+      // Expansion: row r of M * right.
+      touched.clear();
+      auto mcols = m.RowCols(r);
+      auto mvals = m.RowValues(r);
+      for (size_t i = 0; i < mcols.size(); ++i) {
+        const Index k = mcols[i];
+        const Scalar mv = mvals[i];
+        auto rcols = right.RowCols(k);
+        auto rvals = right.RowValues(k);
+        for (size_t j = 0; j < rcols.size(); ++j) {
+          const Index c = rcols[j];
+          if (marker[static_cast<size_t>(c)] != r) {
+            marker[static_cast<size_t>(c)] = r;
+            accum[static_cast<size_t>(c)] = 0.0;
+            touched.push_back(c);
+          }
+          accum[static_cast<size_t>(c)] += mv * rvals[j];
+        }
+      }
+      row_cols.assign(touched.begin(), touched.end());
+      row_vals.resize(touched.size());
+      for (size_t i = 0; i < touched.size(); ++i) {
+        row_vals[i] = accum[static_cast<size_t>(touched[i])];
+      }
+      InflatePruneRow(row_cols, row_vals, options, scratch);
+      // L1 change of this row versus the previous flow (sorted merge).
+      {
+        auto old_cols = m.RowCols(r);
+        auto old_vals = m.RowValues(r);
+        size_t a = 0, b = 0;
+        while (a < row_cols.size() || b < old_cols.size()) {
+          if (b >= old_cols.size() ||
+              (a < row_cols.size() && row_cols[a] < old_cols[b])) {
+            total_diff += std::abs(row_vals[a]);
+            ++a;
+          } else if (a >= row_cols.size() || old_cols[b] < row_cols[a]) {
+            total_diff += std::abs(old_vals[b]);
+            ++b;
+          } else {
+            total_diff += std::abs(row_vals[a] - old_vals[b]);
+            ++a;
+            ++b;
+          }
+        }
+      }
+      new_cols.insert(new_cols.end(), row_cols.begin(), row_cols.end());
+      new_vals.insert(new_vals.end(), row_vals.begin(), row_vals.end());
+      new_row_ptr[static_cast<size_t>(r) + 1] =
+          static_cast<Offset>(new_cols.size());
+    }
+    DGC_ASSIGN_OR_RETURN(m, CsrMatrix::FromParts(n, n, std::move(new_row_ptr),
+                                                 std::move(new_cols),
+                                                 std::move(new_vals)));
+    if (total_diff / static_cast<Scalar>(n) < options.convergence_tol) {
+      break;
+    }
+  }
+  return m;
+}
+
+Clustering FlowToClustering(const CsrMatrix& m) {
+  const Index n = m.rows();
+  // Union vertices with their attractors; components become clusters.
+  std::vector<Index> parent(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  std::function<Index(Index)> find = [&](Index x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (Index r = 0; r < n; ++r) {
+    auto cols = m.RowCols(r);
+    auto vals = m.RowValues(r);
+    Index best = -1;
+    Scalar best_val = -1.0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (vals[i] > best_val) {
+        best_val = vals[i];
+        best = cols[i];
+      }
+    }
+    if (best == -1) continue;  // empty row -> singleton
+    const Index ra = find(r);
+    const Index rb = find(best);
+    if (ra != rb) parent[static_cast<size_t>(ra)] = rb;
+  }
+  Clustering clustering(n);
+  for (Index v = 0; v < n; ++v) clustering.Assign(v, find(v));
+  clustering.Compact();
+  return clustering;
+}
+
+Result<Clustering> Rmcl(const UGraph& g, const RmclOptions& options) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty graph");
+  }
+  CsrMatrix mg = BuildFlowMatrix(g, options.self_loop_scale);
+  DGC_ASSIGN_OR_RETURN(CsrMatrix flow,
+                       RmclIterate(mg, mg, options, options.max_iterations));
+  return FlowToClustering(flow);
+}
+
+}  // namespace dgc

@@ -1,0 +1,89 @@
+#include "cluster/merge_small.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Index MergeSmallClusters(const UGraph& g, Index min_size,
+                         Clustering* clustering) {
+  DGC_CHECK_EQ(clustering->NumVertices(), g.NumVertices());
+  Index k = clustering->Compact();
+  if (min_size <= 1 || k <= 1) return k;
+
+  const int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    const std::vector<Index> sizes = clustering->ClusterSizes();
+    // Total boundary weight from each small cluster to every neighbor
+    // cluster, accumulated in one sweep.
+    std::vector<std::unordered_map<Index, Scalar>> boundary(
+        static_cast<size_t>(k));
+    const CsrMatrix& adj = g.adjacency();
+    for (Index u = 0; u < g.NumVertices(); ++u) {
+      const Index cu = clustering->LabelOf(u);
+      if (cu == Clustering::kUnassigned ||
+          sizes[static_cast<size_t>(cu)] >= min_size) {
+        continue;
+      }
+      auto cols = adj.RowCols(u);
+      auto vals = adj.RowValues(u);
+      for (size_t i = 0; i < cols.size(); ++i) {
+        const Index cv = clustering->LabelOf(cols[i]);
+        if (cv == Clustering::kUnassigned || cv == cu) continue;
+        boundary[static_cast<size_t>(cu)][cv] += vals[i];
+      }
+    }
+    // Merge each small cluster into its strongest neighbor. Process in
+    // ascending size order so the smallest fragments are absorbed first;
+    // union-find keeps chains consistent within the round.
+    std::vector<Index> merge_into(static_cast<size_t>(k));
+    std::iota(merge_into.begin(), merge_into.end(), 0);
+    std::function<Index(Index)> find = [&](Index x) {
+      while (merge_into[static_cast<size_t>(x)] != x) {
+        merge_into[static_cast<size_t>(x)] =
+            merge_into[static_cast<size_t>(
+                merge_into[static_cast<size_t>(x)])];
+        x = merge_into[static_cast<size_t>(x)];
+      }
+      return x;
+    };
+    std::vector<Index> order(static_cast<size_t>(k));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&sizes](Index a, Index b) {
+      return sizes[static_cast<size_t>(a)] < sizes[static_cast<size_t>(b)];
+    });
+    bool merged_any = false;
+    for (Index c : order) {
+      if (sizes[static_cast<size_t>(c)] >= min_size) break;
+      Index best = -1;
+      Scalar best_weight = 0.0;
+      for (const auto& [nbr, weight] : boundary[static_cast<size_t>(c)]) {
+        if (find(nbr) == find(c)) continue;
+        if (weight > best_weight) {
+          best_weight = weight;
+          best = nbr;
+        }
+      }
+      if (best < 0) continue;  // isolated fragment, keep
+      merge_into[static_cast<size_t>(find(c))] = find(best);
+      merged_any = true;
+    }
+    if (!merged_any) break;
+    for (Index v = 0; v < clustering->NumVertices(); ++v) {
+      const Index label = clustering->LabelOf(v);
+      if (label != Clustering::kUnassigned) {
+        clustering->Assign(v, find(label));
+      }
+    }
+    k = clustering->Compact();
+    if (k <= 1) break;
+  }
+  return k;
+}
+
+}  // namespace dgc

@@ -1,0 +1,19 @@
+// Post-processing: merge clusters below a minimum size into their most
+// strongly connected neighboring cluster. Flow-based clusterings of sparse
+// graphs fragment into many tiny attractor basins; real MLR-MCL deployments
+// counter this with a balance mechanism, which this utility approximates.
+#pragma once
+
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+
+namespace dgc {
+
+/// \brief Repeatedly merges every cluster with fewer than `min_size`
+/// members into the neighboring cluster it shares the largest total edge
+/// weight with. Clusters with no external edges are left as they are.
+/// Labels are compacted on return. Returns the final cluster count.
+Index MergeSmallClusters(const UGraph& g, Index min_size,
+                         Clustering* clustering);
+
+}  // namespace dgc

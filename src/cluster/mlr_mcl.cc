@@ -1,0 +1,97 @@
+#include "cluster/mlr_mcl.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
+                              const std::vector<Index>& to_coarser,
+                              Index num_fine) {
+  if (static_cast<Index>(to_coarser.size()) != num_fine) {
+    return Status::InvalidArgument("to_coarser size != num_fine");
+  }
+  const Index num_coarse = coarse_flow.rows();
+  // Children lists of each supernode (matching => 1 or 2 children).
+  std::vector<std::vector<Index>> children(
+      static_cast<size_t>(num_coarse));
+  for (Index i = 0; i < num_fine; ++i) {
+    const Index p = to_coarser[static_cast<size_t>(i)];
+    if (p < 0 || p >= num_coarse) {
+      return Status::OutOfRange("to_coarser entry out of range");
+    }
+    children[static_cast<size_t>(p)].push_back(i);
+  }
+  std::vector<Offset> row_ptr(static_cast<size_t>(num_fine) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  std::vector<std::pair<Index, Scalar>> row;
+  for (Index i = 0; i < num_fine; ++i) {
+    const Index p = to_coarser[static_cast<size_t>(i)];
+    auto cols = coarse_flow.RowCols(p);
+    auto vals = coarse_flow.RowValues(p);
+    row.clear();
+    for (size_t e = 0; e < cols.size(); ++e) {
+      const auto& kids = children[static_cast<size_t>(cols[e])];
+      if (kids.empty()) continue;
+      const Scalar share = vals[e] / static_cast<Scalar>(kids.size());
+      for (Index kid : kids) row.emplace_back(kid, share);
+    }
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, v] : row) {
+      col_idx.push_back(c);
+      values.push_back(v);
+    }
+    row_ptr[static_cast<size_t>(i) + 1] = static_cast<Offset>(col_idx.size());
+  }
+  return CsrMatrix::FromParts(num_fine, num_fine, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty graph");
+  }
+  CoarsenOptions coarsen = options.coarsen;
+  coarsen.seed = options.seed;
+  DGC_ASSIGN_OR_RETURN(Hierarchy hierarchy, BuildHierarchy(g, coarsen));
+
+  // Flow matrices of every level (M_G per level, self-loops already on the
+  // diagonal of coarse levels from contraction).
+  std::vector<CsrMatrix> flow_graphs;
+  flow_graphs.reserve(static_cast<size_t>(hierarchy.NumLevels()));
+  for (const GraphLevel& level : hierarchy.levels) {
+    flow_graphs.push_back(BuildFlowMatrixFromAdjacency(
+        level.adj, options.rmcl.self_loop_scale));
+  }
+
+  // Converge on the coarsest level starting from M = M_G.
+  const int last = hierarchy.NumLevels() - 1;
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix flow,
+      RmclIterate(flow_graphs[static_cast<size_t>(last)],
+                  flow_graphs[static_cast<size_t>(last)], options.rmcl,
+                  options.coarsest_iterations));
+
+  // Project and refine through the finer levels.
+  for (int level = last - 1; level >= 0; --level) {
+    const GraphLevel& fine = hierarchy.levels[static_cast<size_t>(level)];
+    DGC_ASSIGN_OR_RETURN(flow, ProjectFlow(flow, fine.to_coarser,
+                                           fine.adj.rows()));
+    int iterations = options.iterations_per_level;
+    if (level == 0) iterations += options.finest_extra_iterations;
+    DGC_ASSIGN_OR_RETURN(
+        flow, RmclIterate(std::move(flow),
+                          flow_graphs[static_cast<size_t>(level)],
+                          options.rmcl, iterations));
+  }
+  Clustering clustering = FlowToClustering(flow);
+  if (options.min_cluster_size > 1) {
+    MergeSmallClusters(g, options.min_cluster_size, &clustering);
+  }
+  return clustering;
+}
+
+}  // namespace dgc

@@ -1,0 +1,50 @@
+// MLR-MCL: Multi-Level Regularized Markov CLustering
+// (Satuluri-Parthasarathy, KDD 2009) — the paper's main stage-2 clusterer.
+// The graph is coarsened by heavy-edge matching; R-MCL runs to convergence
+// on the coarsest graph; the flow matrix is then projected level by level
+// to the finer graphs, with a curtailed number of R-MCL iterations at each,
+// which both speeds up convergence and regularizes the flow.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/coarsen.h"
+#include "cluster/mcl.h"
+#include "cluster/merge_small.h"
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct MlrMclOptions {
+  RmclOptions rmcl;
+  /// Coarsening schedule.
+  CoarsenOptions coarsen;
+  /// R-MCL iterations on the coarsest graph.
+  int coarsest_iterations = 40;
+  /// Curtailed R-MCL iterations at each finer level.
+  int iterations_per_level = 12;
+  /// Extra iterations at the finest level (on top of iterations_per_level).
+  int finest_extra_iterations = 8;
+  /// Merge clusters smaller than this into their strongest neighbor after
+  /// extraction (0 disables). Flow clustering of sparse graphs fragments
+  /// into tiny attractor basins; this approximates MLR-MCL's balance
+  /// mechanism.
+  Index min_cluster_size = 0;
+  uint64_t seed = 23;
+};
+
+/// \brief Clusters g with MLR-MCL. The number of output clusters is
+/// controlled indirectly via options.rmcl.inflation (Section 4.2 of the
+/// paper): sweep the inflation to sweep cluster granularity.
+Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options = {});
+
+/// \brief Projects a coarse flow matrix to the finer level: fine vertex i
+/// inherits its parent's flow row, with each coarse column's mass split
+/// equally among that supernode's children. Rows remain stochastic.
+Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
+                              const std::vector<Index>& to_coarser,
+                              Index num_fine);
+
+}  // namespace dgc

@@ -1,0 +1,215 @@
+#include "cluster/partition_metis.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "cluster/initial_partition.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dgc {
+
+namespace {
+
+/// One greedy boundary pass: move vertices to the adjacent part with the
+/// largest positive cut gain, honoring the balance cap and never emptying a
+/// part. Returns the number of moves.
+int64_t RefinePass(const GraphLevel& level, Index k, double cap,
+                   std::vector<Index>& labels,
+                   std::vector<Scalar>& part_weight,
+                   std::vector<Index>& part_size) {
+  const Index n = level.adj.rows();
+  int64_t moves = 0;
+  std::unordered_map<Index, Scalar> link;
+  for (Index u = 0; u < n; ++u) {
+    const Index a = labels[static_cast<size_t>(u)];
+    if (part_size[static_cast<size_t>(a)] <= 1) continue;
+    link.clear();
+    auto cols = level.adj.RowCols(u);
+    auto vals = level.adj.RowValues(u);
+    bool boundary = false;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == u) continue;  // diagonal (internal weight) never cut
+      const Index c = labels[static_cast<size_t>(cols[i])];
+      link[c] += vals[i];
+      if (c != a) boundary = true;
+    }
+    if (!boundary) continue;
+    const Scalar internal = link.count(a) ? link[a] : 0.0;
+    Index best = a;
+    Scalar best_gain = 0.0;
+    for (const auto& [c, w] : link) {
+      if (c == a) continue;
+      const Scalar gain = w - internal;
+      if (gain <= best_gain) continue;
+      if (part_weight[static_cast<size_t>(c)] +
+              level.node_weight[static_cast<size_t>(u)] >
+          cap) {
+        continue;
+      }
+      best_gain = gain;
+      best = c;
+    }
+    if (best != a) {
+      labels[static_cast<size_t>(u)] = best;
+      part_weight[static_cast<size_t>(a)] -=
+          level.node_weight[static_cast<size_t>(u)];
+      part_weight[static_cast<size_t>(best)] +=
+          level.node_weight[static_cast<size_t>(u)];
+      --part_size[static_cast<size_t>(a)];
+      ++part_size[static_cast<size_t>(best)];
+      ++moves;
+    }
+  }
+  (void)k;
+  return moves;
+}
+
+/// Computes the cut gain of moving u from its part to `to` (link weights to
+/// `to` minus link weights to its own part).
+Scalar MoveGain(const GraphLevel& level, const std::vector<Index>& labels,
+                Index u, Index to) {
+  const Index from = labels[static_cast<size_t>(u)];
+  Scalar gain = 0.0;
+  auto cols = level.adj.RowCols(u);
+  auto vals = level.adj.RowValues(u);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == u) continue;
+    const Index c = labels[static_cast<size_t>(cols[i])];
+    if (c == to) gain += vals[i];
+    if (c == from) gain -= vals[i];
+  }
+  return gain;
+}
+
+/// Kernighan-Lin style swap pass: exchanges endpoint pairs of cut edges
+/// when the combined gain is positive. Escapes the local optima that
+/// blocked single moves cannot leave under a tight balance cap (the swap
+/// keeps part sizes unchanged up to the weight difference of the pair).
+int64_t SwapPass(const GraphLevel& level, double cap,
+                 std::vector<Index>& labels,
+                 std::vector<Scalar>& part_weight) {
+  const Index n = level.adj.rows();
+  int64_t swaps = 0;
+  for (Index u = 0; u < n; ++u) {
+    const Index a = labels[static_cast<size_t>(u)];
+    auto cols = level.adj.RowCols(u);
+    auto vals = level.adj.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const Index v = cols[i];
+      if (v <= u) continue;
+      const Index b = labels[static_cast<size_t>(v)];
+      if (a == b) continue;
+      const Scalar gain = MoveGain(level, labels, u, b) +
+                          MoveGain(level, labels, v, a) - 2.0 * vals[i];
+      if (gain <= 1e-12) continue;
+      const Scalar wu = level.node_weight[static_cast<size_t>(u)];
+      const Scalar wv = level.node_weight[static_cast<size_t>(v)];
+      if (part_weight[static_cast<size_t>(b)] + wu - wv > cap ||
+          part_weight[static_cast<size_t>(a)] + wv - wu > cap) {
+        continue;
+      }
+      labels[static_cast<size_t>(u)] = b;
+      labels[static_cast<size_t>(v)] = a;
+      part_weight[static_cast<size_t>(a)] += wv - wu;
+      part_weight[static_cast<size_t>(b)] += wu - wv;
+      ++swaps;
+      break;  // u moved; its cached neighbor labels are stale
+    }
+  }
+  return swaps;
+}
+
+}  // namespace
+
+Scalar EdgeCut(const CsrMatrix& adj, const std::vector<Index>& labels) {
+  Scalar cut = 0.0;
+  for (Index u = 0; u < adj.rows(); ++u) {
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == u) continue;
+      if (labels[static_cast<size_t>(u)] !=
+          labels[static_cast<size_t>(cols[i])]) {
+        cut += vals[i];
+      }
+    }
+  }
+  return cut / 2.0;  // each cut edge visited from both endpoints
+}
+
+Result<Clustering> MetisPartition(const UGraph& g,
+                                  const MetisOptions& options) {
+  const Index n = g.NumVertices();
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.k > n) {
+    return Status::InvalidArgument("k (" + std::to_string(options.k) +
+                                   ") exceeds vertex count (" +
+                                   std::to_string(n) + ")");
+  }
+  if (options.k == 1) {
+    return Clustering(std::vector<Index>(static_cast<size_t>(n), 0));
+  }
+
+  // Coarsen, but never below ~4 vertices per part.
+  CoarsenOptions coarsen = options.coarsen;
+  coarsen.target_vertices =
+      std::max(coarsen.target_vertices, options.k * 4);
+  coarsen.seed = options.seed;
+  DGC_ASSIGN_OR_RETURN(Hierarchy hierarchy, BuildHierarchy(g, coarsen));
+
+  const double total_weight = static_cast<double>(n);
+  const double cap = (1.0 + options.imbalance) * total_weight /
+                     static_cast<double>(options.k);
+
+  // Refines `labels` on one level: greedy boundary moves, with pairwise
+  // swaps to escape balance-blocked local optima.
+  auto refine_level = [&](const GraphLevel& current,
+                          std::vector<Index>& labels) {
+    std::vector<Scalar> part_weight(static_cast<size_t>(options.k), 0.0);
+    std::vector<Index> part_size(static_cast<size_t>(options.k), 0);
+    for (Index v = 0; v < current.adj.rows(); ++v) {
+      part_weight[static_cast<size_t>(labels[static_cast<size_t>(v)])] +=
+          current.node_weight[static_cast<size_t>(v)];
+      ++part_size[static_cast<size_t>(labels[static_cast<size_t>(v)])];
+    }
+    for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      const int64_t moves =
+          RefinePass(current, options.k, cap, labels, part_weight, part_size);
+      if (moves > 0) continue;
+      if (SwapPass(current, cap, labels, part_weight) == 0) break;
+    }
+  };
+
+  // Initial partitioning at the coarsest level: a few random restarts,
+  // best refined cut wins (greedy growing is seed-sensitive).
+  const GraphLevel& coarsest = hierarchy.coarsest();
+  constexpr int kInitialRestarts = 4;
+  std::vector<Index> labels;
+  Scalar best_cut = std::numeric_limits<Scalar>::max();
+  for (int restart = 0; restart < kInitialRestarts; ++restart) {
+    Rng rng(options.seed + static_cast<uint64_t>(restart) * 7919);
+    std::vector<Index> candidate =
+        GreedyGrowPartition(coarsest, options.k, cap, rng);
+    refine_level(coarsest, candidate);
+    const Scalar cut = EdgeCut(coarsest.adj, candidate);
+    if (cut < best_cut) {
+      best_cut = cut;
+      labels = std::move(candidate);
+    }
+  }
+
+  // Uncoarsen with refinement at every finer level.
+  for (int level = hierarchy.NumLevels() - 2; level >= 0; --level) {
+    const GraphLevel& current = hierarchy.levels[static_cast<size_t>(level)];
+    labels = ProjectLabels(labels, current.to_coarser);
+    refine_level(current, labels);
+  }
+  return Clustering(std::move(labels));
+}
+
+}  // namespace dgc

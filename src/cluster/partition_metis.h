@@ -1,0 +1,36 @@
+// Metis-like multilevel k-way graph partitioner (Karypis-Kumar 1999):
+// heavy-edge-matching coarsening, greedy multi-source initial partitioning
+// at the coarsest level, then per-level boundary refinement minimizing the
+// weighted edge cut under a balance constraint. This is the stage-2
+// clusterer the paper calls "Metis" [12].
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/coarsen.h"
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct MetisOptions {
+  /// Number of partitions (the paper's "number of clusters" axis).
+  Index k = 16;
+  /// Allowed part weight over the perfect balance (0.10 = +10%).
+  double imbalance = 0.10;
+  /// Greedy boundary-refinement passes per level.
+  int refinement_passes = 6;
+  CoarsenOptions coarsen;
+  uint64_t seed = 17;
+};
+
+/// \brief Partitions g into options.k parts. Every vertex is assigned (no
+/// kUnassigned labels). Returns InvalidArgument if k < 1 or k > |V|.
+Result<Clustering> MetisPartition(const UGraph& g,
+                                  const MetisOptions& options = {});
+
+/// Total weight of edges whose endpoints lie in different parts.
+Scalar EdgeCut(const CsrMatrix& adj, const std::vector<Index>& labels);
+
+}  // namespace dgc

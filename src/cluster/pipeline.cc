@@ -1,0 +1,48 @@
+#include "cluster/pipeline.h"
+
+#include "util/timer.h"
+
+namespace dgc {
+
+std::string_view ClusterAlgorithmName(ClusterAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kMlrMcl:
+      return "MLR-MCL";
+    case ClusterAlgorithm::kMetis:
+      return "Metis";
+    case ClusterAlgorithm::kGraclus:
+      return "Graclus";
+  }
+  return "?";
+}
+
+Result<Clustering> ClusterUGraph(const UGraph& g,
+                                 const PipelineOptions& options) {
+  switch (options.algorithm) {
+    case ClusterAlgorithm::kMlrMcl:
+      return MlrMcl(g, options.mlr_mcl);
+    case ClusterAlgorithm::kMetis:
+      return MetisPartition(g, options.metis);
+    case ClusterAlgorithm::kGraclus:
+      return GraclusCluster(g, options.graclus);
+  }
+  return Status::InvalidArgument("unknown clustering algorithm");
+}
+
+Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
+                                            const PipelineOptions& options) {
+  PipelineResult result;
+  WallTimer timer;
+  DGC_ASSIGN_OR_RETURN(result.symmetrized,
+                       Symmetrize(g, options.method, options.symmetrization));
+  result.symmetrize_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  DGC_ASSIGN_OR_RETURN(result.clustering,
+                       ClusterUGraph(result.symmetrized, options));
+  result.cluster_seconds = timer.ElapsedSeconds();
+  result.num_clusters = result.clustering.NumClusters();
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,56 @@
+// The paper's two-stage framework (Figure 2): symmetrize the directed
+// graph, then cluster the resulting undirected graph with a pluggable
+// algorithm. This is the top-level convenience API most examples and
+// benchmark harnesses use.
+#pragma once
+
+#include <string_view>
+
+#include "cluster/graclus.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+#include "core/symmetrize.h"
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// Stage-2 clustering algorithm selector.
+enum class ClusterAlgorithm {
+  kMlrMcl,
+  kMetis,
+  kGraclus,
+};
+
+std::string_view ClusterAlgorithmName(ClusterAlgorithm algorithm);
+
+struct PipelineOptions {
+  SymmetrizationMethod method = SymmetrizationMethod::kDegreeDiscounted;
+  SymmetrizationOptions symmetrization;
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kMlrMcl;
+  /// Options for whichever stage-2 algorithm is selected.
+  MlrMclOptions mlr_mcl;
+  MetisOptions metis;
+  GraclusOptions graclus;
+};
+
+struct PipelineResult {
+  UGraph symmetrized;
+  Clustering clustering;
+  Index num_clusters = 0;
+  double symmetrize_seconds = 0.0;
+  double cluster_seconds = 0.0;
+};
+
+/// Runs stage 1 + stage 2 and reports per-stage wall-clock times (the
+/// quantities plotted in Figures 6b, 8 and 9).
+Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
+                                            const PipelineOptions& options);
+
+/// Stage 2 only: clusters an already-symmetrized graph.
+Result<Clustering> ClusterUGraph(const UGraph& g,
+                                 const PipelineOptions& options);
+
+}  // namespace dgc

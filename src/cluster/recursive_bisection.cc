@@ -1,0 +1,163 @@
+#include "cluster/recursive_bisection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "linalg/lanczos.h"
+#include "util/logging.h"
+
+namespace dgc {
+
+namespace {
+
+/// Extracts the subgraph induced by `vertices` with local indices.
+CsrMatrix InducedSubgraph(const CsrMatrix& adj,
+                          const std::vector<Index>& vertices,
+                          std::vector<Index>& global_to_local) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    global_to_local[static_cast<size_t>(vertices[i])] =
+        static_cast<Index>(i);
+  }
+  std::vector<Triplet> triplets;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const Index u = vertices[i];
+    auto cols = adj.RowCols(u);
+    auto vals = adj.RowValues(u);
+    for (size_t e = 0; e < cols.size(); ++e) {
+      const Index local = global_to_local[static_cast<size_t>(cols[e])];
+      if (local < 0) continue;
+      triplets.push_back(
+          Triplet{static_cast<Index>(i), local, vals[e]});
+    }
+  }
+  auto sub = CsrMatrix::FromTriplets(static_cast<Index>(vertices.size()),
+                                     static_cast<Index>(vertices.size()),
+                                     std::move(triplets));
+  DGC_CHECK(sub.ok());
+  // Reset the scratch mapping for the next call.
+  for (Index v : vertices) global_to_local[static_cast<size_t>(v)] = -1;
+  return std::move(sub).ValueOrDie();
+}
+
+}  // namespace
+
+Result<std::vector<bool>> FiedlerBisect(const UGraph& g,
+                                        const std::vector<Index>& vertices,
+                                        uint64_t seed) {
+  if (vertices.size() < 2) {
+    return Status::InvalidArgument("cannot bisect fewer than 2 vertices");
+  }
+  static thread_local std::vector<Index> scratch;
+  if (scratch.size() < static_cast<size_t>(g.NumVertices())) {
+    scratch.assign(static_cast<size_t>(g.NumVertices()), -1);
+  }
+  CsrMatrix sub = InducedSubgraph(g.adjacency(), vertices, scratch);
+  const Index n = sub.rows();
+
+  // Normalized adjacency S = D^{-1/2} W D^{-1/2}; the Fiedler direction is
+  // its second eigenvector.
+  std::vector<Scalar> degree = sub.RowSums();
+  std::vector<Scalar> inv_sqrt(degree.size());
+  for (size_t i = 0; i < degree.size(); ++i) {
+    inv_sqrt[i] = degree[i] > 0.0 ? 1.0 / std::sqrt(degree[i]) : 0.0;
+  }
+  CsrMatrix s = sub;
+  s.ScaleRows(inv_sqrt);
+  s.ScaleCols(inv_sqrt);
+  LanczosOptions lanczos;
+  lanczos.num_eigenpairs = 2;
+  lanczos.which = SpectrumEnd::kLargest;
+  lanczos.seed = seed;
+  lanczos.max_subspace = std::min<int>(n, 80);
+  DGC_ASSIGN_OR_RETURN(EigenResult eigen, LanczosSymmetric(s, lanczos));
+  if (eigen.eigenvectors.cols() < 2) {
+    return Status::NotConverged("no Fiedler direction found");
+  }
+  // Sweep the vertices in Fiedler order (degree-normalized), track the
+  // 2-way Ncut incrementally, keep the best prefix.
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return eigen.eigenvectors(a, 1) * inv_sqrt[static_cast<size_t>(a)] <
+           eigen.eigenvectors(b, 1) * inv_sqrt[static_cast<size_t>(b)];
+  });
+  Scalar total_volume = 0.0;
+  for (Scalar d : degree) total_volume += d;
+  std::vector<bool> side(static_cast<size_t>(n), false);
+  Scalar cut = 0.0, vol = 0.0;
+  Scalar best = std::numeric_limits<Scalar>::max();
+  size_t best_prefix = 1;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    const Index u = order[i];
+    side[static_cast<size_t>(u)] = true;
+    auto cols = sub.RowCols(u);
+    auto vals = sub.RowValues(u);
+    Scalar to_inside = 0.0;
+    for (size_t e = 0; e < cols.size(); ++e) {
+      if (side[static_cast<size_t>(cols[e])]) to_inside += vals[e];
+    }
+    vol += degree[static_cast<size_t>(u)];
+    cut += degree[static_cast<size_t>(u)] - 2.0 * to_inside;
+    if (vol <= 0.0 || vol >= total_volume) continue;
+    const Scalar ncut = cut / vol + cut / (total_volume - vol);
+    if (ncut < best) {
+      best = ncut;
+      best_prefix = i + 1;
+    }
+  }
+  std::vector<bool> result(static_cast<size_t>(n), false);
+  for (size_t i = 0; i < best_prefix; ++i) {
+    result[static_cast<size_t>(order[i])] = true;
+  }
+  return result;
+}
+
+Result<Clustering> RecursiveSpectralBisection(
+    const UGraph& g, const RecursiveBisectionOptions& options) {
+  const Index n = g.NumVertices();
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument("k out of range");
+  }
+  // Priority queue of parts by size; always split the largest.
+  std::vector<std::vector<Index>> parts;
+  {
+    std::vector<Index> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    parts.push_back(std::move(all));
+  }
+  uint64_t seed = options.seed;
+  while (static_cast<Index>(parts.size()) < options.k) {
+    // Largest splittable part.
+    size_t target = parts.size();
+    size_t target_size = static_cast<size_t>(options.min_part_size);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      if (parts[p].size() > target_size) {
+        target = p;
+        target_size = parts[p].size();
+      }
+    }
+    if (target == parts.size()) break;  // nothing splittable remains
+    auto split = FiedlerBisect(g, parts[target], seed++);
+    if (!split.ok()) break;
+    std::vector<Index> side_a, side_b;
+    for (size_t i = 0; i < parts[target].size(); ++i) {
+      ((*split)[i] ? side_a : side_b).push_back(parts[target][i]);
+    }
+    if (side_a.empty() || side_b.empty()) break;  // degenerate split
+    parts[target] = std::move(side_a);
+    parts.push_back(std::move(side_b));
+  }
+  Clustering clustering(n);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (Index v : parts[p]) {
+      clustering.Assign(v, static_cast<Index>(p));
+    }
+  }
+  return clustering;
+}
+
+}  // namespace dgc

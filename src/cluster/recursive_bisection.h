@@ -1,0 +1,39 @@
+// Recursive spectral bisection: the classic Shi-Malik style 2-way split —
+// sweep-cut on the Fiedler direction of the normalized Laplacian —
+// applied recursively until k parts exist. A fourth stage-2 clusterer for
+// the framework, complementing the multilevel (Metis/Graclus) and flow
+// (MLR-MCL) families with the spectral family the paper's related work
+// centers on.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct RecursiveBisectionOptions {
+  Index k = 8;
+  /// Minimum part size; parts at or below this are never split further.
+  Index min_part_size = 2;
+  uint64_t seed = 43;
+};
+
+/// \brief Splits g into (up to) k parts by repeatedly bisecting the part
+/// with the largest volume along its Fiedler sweep cut. Parts that cannot
+/// be split (too small, disconnected remnants, eigen-solver failure) are
+/// left intact, so fewer than k parts may be returned on degenerate
+/// inputs. Every vertex is assigned.
+Result<Clustering> RecursiveSpectralBisection(
+    const UGraph& g, const RecursiveBisectionOptions& options = {});
+
+/// \brief One 2-way normalized-cut split of the subgraph induced by
+/// `vertices`: returns the side assignment (true = side A) chosen by the
+/// minimum-Ncut sweep over the Fiedler ordering. Exposed for tests.
+Result<std::vector<bool>> FiedlerBisect(const UGraph& g,
+                                        const std::vector<Index>& vertices,
+                                        uint64_t seed);
+
+}  // namespace dgc

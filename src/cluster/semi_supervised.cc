@@ -1,0 +1,78 @@
+#include "cluster/semi_supervised.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/directed_spectral.h"
+#include "linalg/dense_matrix.h"
+
+namespace dgc {
+
+Result<SemiSupervisedResult> PropagateLabelsDirected(
+    const Digraph& g, const std::vector<std::pair<Index, Index>>& seeds,
+    Index num_classes, const SemiSupervisedOptions& options) {
+  const Index n = g.NumVertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (seeds.empty()) return Status::InvalidArgument("no seed labels");
+  if (num_classes < 1) {
+    return Status::InvalidArgument("num_classes must be >= 1");
+  }
+  if (options.mu <= 0.0 || options.mu >= 1.0) {
+    return Status::InvalidArgument("mu must be in (0, 1)");
+  }
+  for (const auto& [v, c] : seeds) {
+    if (v < 0 || v >= n) return Status::OutOfRange("seed vertex out of range");
+    if (c < 0 || c >= num_classes) {
+      return Status::OutOfRange("seed class out of range");
+    }
+  }
+
+  // Symmetric kernel S of the directed Laplacian (Eq. 5); spectral radius
+  // <= 1, so the iteration F <- mu S F + (1-mu) Y contracts.
+  DGC_ASSIGN_OR_RETURN(CsrMatrix s,
+                       DirectedLaplacianKernel(g, options.pagerank));
+
+  DenseMatrix y(n, num_classes, 0.0);
+  for (const auto& [v, c] : seeds) y(v, c) = 1.0;
+  DenseMatrix f = y;
+  DenseMatrix next(n, num_classes, 0.0);
+  std::vector<Scalar> column(static_cast<size_t>(n));
+  std::vector<Scalar> product(static_cast<size_t>(n));
+
+  SemiSupervisedResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Scalar delta = 0.0;
+    for (Index c = 0; c < num_classes; ++c) {
+      for (Index v = 0; v < n; ++v) column[static_cast<size_t>(v)] = f(v, c);
+      s.Multiply(column, product);
+      for (Index v = 0; v < n; ++v) {
+        const Scalar value = options.mu * product[static_cast<size_t>(v)] +
+                             (1.0 - options.mu) * y(v, c);
+        delta += std::abs(value - f(v, c));
+        next(v, c) = value;
+      }
+    }
+    std::swap(f, next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.labels = Clustering(n);
+  for (Index v = 0; v < n; ++v) {
+    Index best = Clustering::kUnassigned;
+    Scalar best_score = 0.0;  // strictly positive evidence required
+    for (Index c = 0; c < num_classes; ++c) {
+      if (f(v, c) > best_score) {
+        best_score = f(v, c);
+        best = c;
+      }
+    }
+    result.labels.Assign(v, best);
+  }
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,44 @@
+// Semi-supervised learning on directed graphs (Zhou, Scholkopf & Hofmann,
+// NIPS 2005 — the paper's reference [25], which Section 3.4 credits with
+// the same degree-discounting intuition: "regularize functions on directed
+// graphs so as to force the function to change slowly on vertices with
+// high normalized in-link or out-link similarity").
+//
+// Given a handful of labeled vertices, propagates labels with the directed
+// Laplacian kernel S (Eq. 5's symmetric part):
+//   F <- mu * S F + (1 - mu) * Y
+// iterated to convergence; vertex v takes the class argmax_c F(v, c).
+#pragma once
+
+#include <vector>
+
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "linalg/power_iteration.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct SemiSupervisedOptions {
+  /// Propagation weight mu in (0, 1); larger = smoother, slower mixing.
+  Scalar mu = 0.9;
+  Scalar tolerance = 1e-7;
+  int max_iterations = 200;
+  PageRankOptions pagerank;
+};
+
+struct SemiSupervisedResult {
+  /// Predicted class per vertex (seeds keep their class; vertices with no
+  /// reachable evidence stay kUnassigned).
+  Clustering labels;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Propagates `seeds` (vertex -> class, classes in [0, num_classes))
+/// over the digraph. Returns InvalidArgument for empty/invalid seeds.
+Result<SemiSupervisedResult> PropagateLabelsDirected(
+    const Digraph& g, const std::vector<std::pair<Index, Index>>& seeds,
+    Index num_classes, const SemiSupervisedOptions& options = {});
+
+}  // namespace dgc

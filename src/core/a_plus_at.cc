@@ -1,0 +1,12 @@
+#include "core/symmetrize.h"
+
+namespace dgc {
+
+Result<UGraph> SymmetrizeAPlusAT(const Digraph& g) {
+  const CsrMatrix& a = g.adjacency();
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(a, a.Transpose()));
+  return UGraph::FromSymmetricAdjacency(std::move(u),
+                                        /*drop_self_loops=*/true);
+}
+
+}  // namespace dgc

@@ -1,0 +1,106 @@
+#include "core/all_pairs.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dgc {
+
+Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
+                                     const AllPairsOptions& options) {
+  return AllPairsSimilarity(m, options, nullptr);
+}
+
+Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
+                                     const AllPairsOptions& options,
+                                     AllPairsStats* stats) {
+  if (options.threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "all-pairs similarity requires a positive threshold");
+  }
+  for (Scalar v : m.values()) {
+    if (v < 0.0) {
+      return Status::InvalidArgument(
+          "all-pairs similarity requires non-negative values");
+    }
+  }
+  const Index rows = m.rows();
+  const Scalar t = options.threshold;
+  AllPairsStats local_stats;
+
+  // Inverted index = Mᵀ (rows of mt are the columns of m).
+  const CsrMatrix mt = m.Transpose();
+  // Column maxima: the largest value any row has in column c.
+  std::vector<Scalar> col_max(static_cast<size_t>(m.cols()), 0.0);
+  for (Index c = 0; c < mt.rows(); ++c) {
+    for (Scalar v : mt.RowValues(c)) {
+      col_max[static_cast<size_t>(c)] =
+          std::max(col_max[static_cast<size_t>(c)], v);
+    }
+  }
+
+  std::vector<Scalar> accum(static_cast<size_t>(rows), 0.0);
+  std::vector<Index> marker(static_cast<size_t>(rows), -1);
+  std::vector<Index> touched;
+  std::vector<Scalar> suffix_bound;
+
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> out_cols;
+  std::vector<Scalar> out_vals;
+  for (Index i = 0; i < rows; ++i) {
+    auto cols = m.RowCols(i);
+    auto vals = m.RowValues(i);
+    // Suffix bounds: suffix_bound[p] = sum_{q >= p} vals[q] * col_max[c_q]
+    // bounds the similarity any pair first met at feature p can still
+    // accumulate.
+    suffix_bound.assign(cols.size() + 1, 0.0);
+    for (size_t p = cols.size(); p-- > 0;) {
+      suffix_bound[p] = suffix_bound[p + 1] +
+                        vals[p] * col_max[static_cast<size_t>(cols[p])];
+    }
+    // Row-level bound: if even the full row cannot reach t against the
+    // best possible partner, no output pair involves row i.
+    if (!cols.empty() && suffix_bound[0] < t) {
+      ++local_stats.skipped_rows;
+      row_ptr[static_cast<size_t>(i) + 1] =
+          static_cast<Offset>(out_cols.size());
+      continue;
+    }
+    touched.clear();
+    for (size_t p = 0; p < cols.size(); ++p) {
+      const Index c = cols[p];
+      const Scalar vi = vals[p];
+      const bool allow_new = suffix_bound[p] >= t;
+      auto jrows = mt.RowCols(c);
+      auto jvals = mt.RowValues(c);
+      for (size_t q = 0; q < jrows.size(); ++q) {
+        const Index j = jrows[q];
+        if (marker[static_cast<size_t>(j)] == i) {
+          accum[static_cast<size_t>(j)] += vi * jvals[q];
+        } else if (allow_new) {
+          // A pair first met here can only reach suffix_bound[p]; when
+          // that is below t it is provably below threshold and skipped.
+          marker[static_cast<size_t>(j)] = i;
+          accum[static_cast<size_t>(j)] = vi * jvals[q];
+          touched.push_back(j);
+        }
+      }
+    }
+    local_stats.candidate_pairs += static_cast<int64_t>(touched.size());
+    std::sort(touched.begin(), touched.end());
+    for (Index j : touched) {
+      if (options.drop_diagonal && j == i) continue;
+      const Scalar s = accum[static_cast<size_t>(j)];
+      if (s < t) continue;
+      out_cols.push_back(j);
+      out_vals.push_back(s);
+      ++local_stats.output_pairs;
+    }
+    row_ptr[static_cast<size_t>(i) + 1] =
+        static_cast<Offset>(out_cols.size());
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return CsrMatrix::FromParts(rows, rows, std::move(row_ptr),
+                              std::move(out_cols), std::move(out_vals));
+}
+
+}  // namespace dgc

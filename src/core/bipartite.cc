@@ -1,0 +1,91 @@
+#include "core/bipartite.h"
+
+#include <vector>
+
+#include "linalg/spgemm.h"
+
+namespace dgc {
+
+namespace {
+
+/// Shared implementation: similarity among the rows of `b` after scaling
+/// rows by side_discount(row degree) and columns by
+/// sqrt(shared_discount(col degree)) — so that M Mᵀ carries one full
+/// shared-neighbor discount per common column.
+Result<CsrMatrix> ScaledRowProduct(const CsrMatrix& b,
+                                   const BipartiteOptions& options) {
+  const std::vector<Offset> row_deg = b.RowCounts();
+  const std::vector<Offset> col_deg = b.ColCounts();
+  CsrMatrix m = b;
+  m.ScaleRows(DiscountFactors(row_deg, options.side_discount));
+  m.ScaleCols(Sqrt(DiscountFactors(col_deg, options.shared_discount)));
+  SpGemmOptions product;
+  product.threshold = options.prune_threshold;
+  product.drop_diagonal = true;
+  product.num_threads = options.num_threads;
+  return SpGemmAAt(m, product);
+}
+
+}  // namespace
+
+Result<UGraph> BipartiteRowSimilarity(const CsrMatrix& b,
+                                      const BipartiteOptions& options) {
+  if (b.rows() == 0 || b.cols() == 0) {
+    return Status::InvalidArgument("empty bipartite adjacency");
+  }
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u, ScaledRowProduct(b, options));
+  return UGraph::FromSymmetricAdjacency(std::move(u));
+}
+
+Result<UGraph> BipartiteColumnSimilarity(const CsrMatrix& b,
+                                         const BipartiteOptions& options) {
+  if (b.rows() == 0 || b.cols() == 0) {
+    return Status::InvalidArgument("empty bipartite adjacency");
+  }
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u,
+                       ScaledRowProduct(b.Transpose(), options));
+  return UGraph::FromSymmetricAdjacency(std::move(u));
+}
+
+Result<UGraph> BipartiteCoClusterGraph(const CsrMatrix& b,
+                                       const BipartiteOptions& options) {
+  if (b.rows() == 0 || b.cols() == 0) {
+    return Status::InvalidArgument("empty bipartite adjacency");
+  }
+  DGC_ASSIGN_OR_RETURN(CsrMatrix rows, ScaledRowProduct(b, options));
+  DGC_ASSIGN_OR_RETURN(CsrMatrix cols,
+                       ScaledRowProduct(b.Transpose(), options));
+  // Cross block: the adjacency itself, scaled symmetrically so its weights
+  // are commensurate with the similarity blocks.
+  CsrMatrix cross = b;
+  cross.ScaleRows(DiscountFactors(b.RowCounts(), options.side_discount));
+  cross.ScaleCols(DiscountFactors(b.ColCounts(), options.side_discount));
+
+  const Index n = b.rows() + b.cols();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(rows.nnz() + cols.nnz() +
+                                       2 * cross.nnz()));
+  auto append = [&triplets](const CsrMatrix& m, Index row_off, Index col_off,
+                            bool mirror) {
+    for (Index r = 0; r < m.rows(); ++r) {
+      auto cs = m.RowCols(r);
+      auto vs = m.RowValues(r);
+      for (size_t i = 0; i < cs.size(); ++i) {
+        triplets.push_back(
+            Triplet{row_off + r, col_off + cs[i], vs[i]});
+        if (mirror) {
+          triplets.push_back(
+              Triplet{col_off + cs[i], row_off + r, vs[i]});
+        }
+      }
+    }
+  };
+  append(rows, 0, 0, /*mirror=*/false);
+  append(cols, b.rows(), b.rows(), /*mirror=*/false);
+  append(cross, 0, b.rows(), /*mirror=*/true);
+  DGC_ASSIGN_OR_RETURN(CsrMatrix joint,
+                       CsrMatrix::FromTriplets(n, n, std::move(triplets)));
+  return UGraph::FromSymmetricAdjacency(std::move(joint));
+}
+
+}  // namespace dgc

@@ -1,0 +1,49 @@
+// Bipartite extension of the symmetrization framework — the direction the
+// paper's conclusion singles out as future work ("Extending our approaches
+// to bi-partite and multi-partite graphs also seems to be a promising
+// avenue"). A bipartite directed graph (rows = one vertex class, columns =
+// the other, e.g. users -> items) admits the same similarity reasoning:
+// two row-vertices are similar when they point to the same column-vertices,
+// discounted by how popular those column-vertices are.
+#pragma once
+
+#include "core/discount.h"
+#include "graph/ugraph.h"
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct BipartiteOptions {
+  /// Discount on the degree of the vertices being compared (the paper's
+  /// alpha, applied to row degrees for row similarity).
+  DiscountSpec side_discount = DiscountSpec::Power(0.5);
+  /// Discount on the degree of the shared neighbors (the paper's beta,
+  /// applied to column degrees for row similarity).
+  DiscountSpec shared_discount = DiscountSpec::Power(0.5);
+  /// Entries below this are dropped.
+  Scalar prune_threshold = 0.0;
+  int num_threads = 1;
+};
+
+/// \brief Degree-discounted similarity among the row vertices of a
+/// bipartite adjacency B (rows x cols):
+///   U_r = Dr^{-a} B Dc^{-b} Bᵀ Dr^{-a}
+/// where Dr / Dc are row/column degree matrices. This is the B_d half of
+/// the paper's Eq. 6 specialized to bipartite data (there is no in-link
+/// term: all edges cross sides).
+Result<UGraph> BipartiteRowSimilarity(const CsrMatrix& b,
+                                      const BipartiteOptions& options = {});
+
+/// Column-side analogue: U_c = Dc^{-a} Bᵀ Dr^{-b} B Dc^{-a}.
+Result<UGraph> BipartiteColumnSimilarity(const CsrMatrix& b,
+                                         const BipartiteOptions& options = {});
+
+/// \brief Co-clustering convenience: clusters rows and columns jointly by
+/// building the (rows+cols) undirected graph whose row-row and col-col
+/// blocks are the discounted similarities and whose row-col block is the
+/// (discount-scaled) bipartite adjacency itself.
+Result<UGraph> BipartiteCoClusterGraph(const CsrMatrix& b,
+                                       const BipartiteOptions& options = {});
+
+}  // namespace dgc

@@ -1,0 +1,24 @@
+#include "core/symmetrize.h"
+
+#include "linalg/power_iteration.h"
+
+namespace dgc {
+
+Result<UGraph> SymmetrizeRandomWalk(const Digraph& g,
+                                    const SymmetrizationOptions& options) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot symmetrize an empty graph");
+  }
+  DGC_ASSIGN_OR_RETURN(PageRankResult pr,
+                       PageRank(g.adjacency(), options.pagerank));
+  // M = Pi * P: row i of the transition matrix scaled by pi(i).
+  CsrMatrix m = RowStochastic(g.adjacency());
+  m.ScaleRows(pr.pi);
+  // U = (M + Mᵀ) / 2. Same nonzero structure as A + Aᵀ (Section 3.2).
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(m, m.Transpose()));
+  for (Scalar& v : u.mutable_values()) v *= 0.5;
+  return UGraph::FromSymmetricAdjacency(std::move(u),
+                                        /*drop_self_loops=*/true);
+}
+
+}  // namespace dgc

@@ -1,0 +1,61 @@
+#include "core/symmetrize.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dgc {
+
+std::string_view SymmetrizationMethodName(SymmetrizationMethod method) {
+  switch (method) {
+    case SymmetrizationMethod::kAPlusAT:
+      return "A+A'";
+    case SymmetrizationMethod::kRandomWalk:
+      return "Random Walk";
+    case SymmetrizationMethod::kBibliometric:
+      return "Bibliometric";
+    case SymmetrizationMethod::kDegreeDiscounted:
+      return "Degree-discounted";
+  }
+  return "?";
+}
+
+Result<SymmetrizationMethod> ParseSymmetrizationMethod(
+    std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "a+at" || lower == "a+a'" || lower == "aplusat" ||
+      lower == "sum") {
+    return SymmetrizationMethod::kAPlusAT;
+  }
+  if (lower == "rw" || lower == "random walk" || lower == "randomwalk" ||
+      lower == "random-walk") {
+    return SymmetrizationMethod::kRandomWalk;
+  }
+  if (lower == "biblio" || lower == "bibliometric") {
+    return SymmetrizationMethod::kBibliometric;
+  }
+  if (lower == "dd" || lower == "degree-discounted" ||
+      lower == "degreediscounted" || lower == "degree discounted") {
+    return SymmetrizationMethod::kDegreeDiscounted;
+  }
+  return Status::NotFound("unknown symmetrization method '" +
+                          std::string(name) + "'");
+}
+
+Result<UGraph> Symmetrize(const Digraph& g, SymmetrizationMethod method,
+                          const SymmetrizationOptions& options) {
+  switch (method) {
+    case SymmetrizationMethod::kAPlusAT:
+      return SymmetrizeAPlusAT(g);
+    case SymmetrizationMethod::kRandomWalk:
+      return SymmetrizeRandomWalk(g, options);
+    case SymmetrizationMethod::kBibliometric:
+      return SymmetrizeBibliometric(g, options);
+    case SymmetrizationMethod::kDegreeDiscounted:
+      return SymmetrizeDegreeDiscounted(g, options);
+  }
+  return Status::InvalidArgument("unknown symmetrization method");
+}
+
+}  // namespace dgc

@@ -1,0 +1,94 @@
+#include "core/threshold_select.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+namespace {
+
+/// Accumulates row `row` of (left * right) into the dense accumulator and
+/// appends touched columns to `touched` (marker-based, reusable).
+void AccumulateRow(const CsrMatrix& left, const CsrMatrix& right, Index row,
+                   std::vector<Scalar>& accum, std::vector<Index>& marker,
+                   std::vector<Index>& touched) {
+  auto cols = left.RowCols(row);
+  auto vals = left.RowValues(row);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Index k = cols[i];
+    const Scalar lv = vals[i];
+    auto rcols = right.RowCols(k);
+    auto rvals = right.RowValues(k);
+    for (size_t j = 0; j < rcols.size(); ++j) {
+      const Index c = rcols[j];
+      if (marker[static_cast<size_t>(c)] != row) {
+        marker[static_cast<size_t>(c)] = row;
+        accum[static_cast<size_t>(c)] = 0.0;
+        touched.push_back(c);
+      }
+      accum[static_cast<size_t>(c)] += lv * rvals[j];
+    }
+  }
+}
+
+}  // namespace
+
+Result<ThresholdSelection> SelectPruneThreshold(
+    const Digraph& g, SymmetrizationMethod method,
+    const SymmetrizationOptions& sym_options,
+    const ThresholdSelectOptions& select_options) {
+  if (select_options.sample_size <= 0 ||
+      select_options.target_avg_degree <= 0) {
+    return Status::InvalidArgument(
+        "sample_size and target_avg_degree must be positive");
+  }
+  DGC_ASSIGN_OR_RETURN(SimilarityFactors factors,
+                       BuildSimilarityFactors(g, method, sym_options));
+  const Index n = g.NumVertices();
+  const Index sample_size =
+      std::min<Index>(select_options.sample_size, n);
+  Rng rng(select_options.seed);
+  std::vector<uint64_t> sample = rng.SampleWithoutReplacement(
+      static_cast<uint64_t>(n), static_cast<uint64_t>(sample_size));
+
+  const CsrMatrix mt = factors.m.Transpose();
+  const CsrMatrix nt = factors.n.Transpose();
+
+  std::vector<Scalar> accum(static_cast<size_t>(n), 0.0);
+  std::vector<Index> marker(static_cast<size_t>(n), -1);
+  std::vector<Index> touched;
+  std::vector<Scalar> sampled_values;
+  for (uint64_t su : sample) {
+    const Index u = static_cast<Index>(su);
+    touched.clear();
+    // Row u of U = M Mᵀ + Nᵀ N; both terms share the accumulator.
+    AccumulateRow(factors.m, mt, u, accum, marker, touched);
+    AccumulateRow(nt, factors.n, u, accum, marker, touched);
+    for (Index c : touched) {
+      if (c == u) continue;  // diagonal never survives symmetrization
+      const Scalar v = accum[static_cast<size_t>(c)];
+      if (v > 0.0) sampled_values.push_back(v);
+    }
+  }
+
+  ThresholdSelection selection;
+  selection.sampled_avg_degree =
+      static_cast<double>(sampled_values.size()) /
+      static_cast<double>(sample_size);
+  const size_t want = static_cast<size_t>(sample_size) *
+                      static_cast<size_t>(select_options.target_avg_degree);
+  if (sampled_values.size() <= want) {
+    selection.threshold = 0.0;  // already sparse enough
+    return selection;
+  }
+  // The value at rank `want` (0-based) keeps ~target_avg_degree per node.
+  std::nth_element(sampled_values.begin(),
+                   sampled_values.begin() + static_cast<long>(want),
+                   sampled_values.end(), std::greater<Scalar>());
+  selection.threshold = sampled_values[want];
+  return selection;
+}
+
+}  // namespace dgc

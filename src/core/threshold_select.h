@@ -1,0 +1,45 @@
+// Sampling-based prune-threshold selection (Section 5.3.1): "compute all
+// the similarities corresponding to a small random sample of the nodes, and
+// choose a prune threshold such that the average degree when this threshold
+// is applied to the random sample approximates the final average degree that
+// the user desires." The paper recommends a target average degree of 50-150.
+#pragma once
+
+#include <cstdint>
+
+#include "core/symmetrize.h"
+#include "graph/digraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct ThresholdSelectOptions {
+  /// Desired average degree of the pruned symmetrized graph.
+  Index target_avg_degree = 100;
+  /// Number of nodes whose similarity rows are computed.
+  Index sample_size = 200;
+  uint64_t seed = 7;
+};
+
+/// Outcome of threshold selection.
+struct ThresholdSelection {
+  /// The chosen threshold; prune the symmetrized matrix at this value.
+  Scalar threshold = 0.0;
+  /// Average similarity-row degree observed in the sample *before* pruning.
+  double sampled_avg_degree = 0.0;
+};
+
+/// \brief Estimates the prune threshold for `method` (kBibliometric or
+/// kDegreeDiscounted) that yields approximately the target average degree.
+///
+/// Computes full similarity rows for a uniform sample of nodes (cost:
+/// sample_size SpGEMM rows; the full matrix is never materialized) and
+/// returns the weight at the rank that matches the target. Returns 0 when
+/// the sample already has average degree below the target (no pruning
+/// needed).
+Result<ThresholdSelection> SelectPruneThreshold(
+    const Digraph& g, SymmetrizationMethod method,
+    const SymmetrizationOptions& sym_options = {},
+    const ThresholdSelectOptions& select_options = {});
+
+}  // namespace dgc

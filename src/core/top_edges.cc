@@ -1,0 +1,45 @@
+#include "core/top_edges.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dgc {
+
+std::vector<WeightedEdge> TopWeightedEdges(const UGraph& g, Index k) {
+  std::vector<WeightedEdge> edges;
+  const CsrMatrix& a = g.adjacency();
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    auto cols = a.RowCols(u);
+    auto vals = a.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] <= u) continue;  // visit each undirected edge once
+      edges.push_back(WeightedEdge{u, cols[i], vals[i]});
+    }
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(std::max<Index>(k, 0)),
+                                       edges.size());
+  std::partial_sort(edges.begin(), edges.begin() + static_cast<long>(keep),
+                    edges.end(),
+                    [](const WeightedEdge& a, const WeightedEdge& b) {
+                      if (a.weight != b.weight) return a.weight > b.weight;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  edges.resize(keep);
+  return edges;
+}
+
+std::vector<WeightedEdge> TopWeightedEdgesNormalized(const UGraph& g,
+                                                     Index k) {
+  Scalar min_weight = std::numeric_limits<Scalar>::infinity();
+  for (Scalar v : g.adjacency().values()) {
+    if (v > 0.0) min_weight = std::min(min_weight, v);
+  }
+  std::vector<WeightedEdge> top = TopWeightedEdges(g, k);
+  if (!std::isfinite(min_weight) || min_weight <= 0.0) return top;
+  for (WeightedEdge& e : top) e.weight /= min_weight;
+  return top;
+}
+
+}  // namespace dgc

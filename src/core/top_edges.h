@@ -1,0 +1,33 @@
+// Heaviest edges of a symmetrized graph (the paper's Table 5): hub-related
+// artifacts dominate Bibliometric / Random walk, while Degree-discounted
+// surfaces near-duplicate pairs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/ugraph.h"
+
+namespace dgc {
+
+/// One edge of the Table-5 report.
+struct WeightedEdge {
+  Index u = 0;
+  Index v = 0;
+  Scalar weight = 0.0;
+
+  bool operator==(const WeightedEdge&) const = default;
+};
+
+/// \brief The k heaviest undirected edges (u < v), sorted by descending
+/// weight; ties broken by (u, v) for determinism. Returns fewer than k if
+/// the graph has fewer edges.
+std::vector<WeightedEdge> TopWeightedEdges(const UGraph& g, Index k);
+
+/// \brief Edge weights normalized by the smallest positive edge weight, as
+/// the paper does for Table 5 ("normalized by the lowest edge weight in the
+/// graph, as the non-normalized weights are incommensurable").
+std::vector<WeightedEdge> TopWeightedEdgesNormalized(const UGraph& g,
+                                                     Index k);
+
+}  // namespace dgc

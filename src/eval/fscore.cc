@@ -1,0 +1,117 @@
+#include "eval/fscore.h"
+
+#include <unordered_map>
+
+namespace dgc {
+
+namespace {
+
+/// vertex -> list of category ids (inverted ground-truth index).
+Result<std::vector<std::vector<Index>>> InvertTruth(const GroundTruth& truth,
+                                                    Index num_vertices) {
+  std::vector<std::vector<Index>> memberships(
+      static_cast<size_t>(num_vertices));
+  for (size_t c = 0; c < truth.categories.size(); ++c) {
+    for (Index v : truth.categories[c]) {
+      if (v < 0 || v >= num_vertices) {
+        return Status::InvalidArgument(
+            "ground-truth vertex " + std::to_string(v) +
+            " outside clustering of " + std::to_string(num_vertices) +
+            " vertices");
+      }
+      memberships[static_cast<size_t>(v)].push_back(static_cast<Index>(c));
+    }
+  }
+  return memberships;
+}
+
+}  // namespace
+
+Result<FScoreResult> EvaluateFScore(const Clustering& clustering,
+                                    const GroundTruth& truth) {
+  const Index n = clustering.NumVertices();
+  DGC_ASSIGN_OR_RETURN(std::vector<std::vector<Index>> memberships,
+                       InvertTruth(truth, n));
+  Clustering compact = clustering;
+  compact.Compact();
+  const std::vector<std::vector<Index>> clusters = compact.ToClusters();
+
+  FScoreResult result;
+  result.per_cluster.reserve(clusters.size());
+  double weighted_f = 0.0, weighted_p = 0.0, weighted_r = 0.0;
+  Offset total_size = 0;
+  std::unordered_map<Index, Index> overlap;  // category -> |C_i ∩ G_j|
+  for (size_t ci = 0; ci < clusters.size(); ++ci) {
+    const std::vector<Index>& members = clusters[ci];
+    if (members.empty()) continue;
+    overlap.clear();
+    for (Index v : members) {
+      for (Index cat : memberships[static_cast<size_t>(v)]) ++overlap[cat];
+    }
+    ClusterMatch match;
+    match.cluster = static_cast<Index>(ci);
+    match.size = static_cast<Index>(members.size());
+    for (const auto& [cat, common] : overlap) {
+      const double p = static_cast<double>(common) /
+                       static_cast<double>(members.size());
+      const double r =
+          static_cast<double>(common) /
+          static_cast<double>(
+              truth.categories[static_cast<size_t>(cat)].size());
+      const double f = (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+      if (f > match.f) {
+        match.f = f;
+        match.precision = p;
+        match.recall = r;
+        match.best_category = cat;
+      }
+    }
+    weighted_f += match.f * match.size;
+    weighted_p += match.precision * match.size;
+    weighted_r += match.recall * match.size;
+    total_size += match.size;
+    result.per_cluster.push_back(match);
+  }
+  if (total_size > 0) {
+    result.avg_f = weighted_f / static_cast<double>(total_size);
+    result.avg_precision = weighted_p / static_cast<double>(total_size);
+    result.avg_recall = weighted_r / static_cast<double>(total_size);
+  }
+  return result;
+}
+
+Result<std::vector<bool>> CorrectlyClusteredMask(const Clustering& clustering,
+                                                 const GroundTruth& truth) {
+  const Index n = clustering.NumVertices();
+  DGC_ASSIGN_OR_RETURN(FScoreResult eval, EvaluateFScore(clustering, truth));
+  DGC_ASSIGN_OR_RETURN(std::vector<std::vector<Index>> memberships,
+                       InvertTruth(truth, n));
+  // Map compacted cluster label -> matched category.
+  Clustering compact = clustering;
+  compact.Compact();
+  std::vector<Index> matched(eval.per_cluster.size() + 1, -1);
+  Index max_label = -1;
+  for (const ClusterMatch& m : eval.per_cluster) {
+    max_label = std::max(max_label, m.cluster);
+  }
+  matched.assign(static_cast<size_t>(max_label) + 1, -1);
+  for (const ClusterMatch& m : eval.per_cluster) {
+    matched[static_cast<size_t>(m.cluster)] = m.best_category;
+  }
+  std::vector<bool> correct(static_cast<size_t>(n), false);
+  for (Index v = 0; v < n; ++v) {
+    const Index label = compact.LabelOf(v);
+    if (label == Clustering::kUnassigned) continue;
+    const Index cat = matched[static_cast<size_t>(label)];
+    if (cat < 0) continue;
+    for (Index c : memberships[static_cast<size_t>(v)]) {
+      if (c == cat) {
+        correct[static_cast<size_t>(v)] = true;
+        break;
+      }
+    }
+  }
+  return correct;
+}
+
+}  // namespace dgc

@@ -1,0 +1,50 @@
+// Cluster-quality evaluation against (possibly overlapping) ground truth:
+// the paper's micro-averaged best-match F-measure (Section 4.3).
+#pragma once
+
+#include <vector>
+
+#include "graph/clustering.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// Per-cluster evaluation detail.
+struct ClusterMatch {
+  Index cluster = 0;        ///< output cluster label
+  Index best_category = -1; ///< matched ground-truth category (-1: none)
+  Index size = 0;           ///< |C_i|
+  double precision = 0.0;   ///< |C_i ∩ G_j| / |C_i|
+  double recall = 0.0;      ///< |C_i ∩ G_j| / |G_j|
+  double f = 0.0;           ///< harmonic mean of the two
+};
+
+/// Result of an F-score evaluation.
+struct FScoreResult {
+  /// Micro-averaged F: sum_i |C_i| F(C_i) / sum_i |C_i|, in [0, 1].
+  double avg_f = 0.0;
+  /// Size-weighted average precision / recall of the matched pairs.
+  double avg_precision = 0.0;
+  double avg_recall = 0.0;
+  std::vector<ClusterMatch> per_cluster;
+};
+
+/// \brief Evaluates `clustering` against `truth` per Section 4.3: each
+/// output cluster C_i is matched with the category G_j maximizing
+/// F(C_i, G_j); Avg F is the cluster-size-weighted mean of those maxima.
+///
+/// Unassigned vertices are ignored; vertices without any category
+/// membership still count toward |C_i| (they depress precision, exactly as
+/// in the paper where 35% of Wikipedia nodes are unlabeled).
+/// Returns InvalidArgument if a category references a vertex outside the
+/// clustering.
+Result<FScoreResult> EvaluateFScore(const Clustering& clustering,
+                                    const GroundTruth& truth);
+
+/// \brief Per-vertex correctness mask for the sign test (Section 5.6): a
+/// vertex is correctly clustered iff it belongs to the ground-truth category
+/// its cluster was matched to.
+Result<std::vector<bool>> CorrectlyClusteredMask(const Clustering& clustering,
+                                                 const GroundTruth& truth);
+
+}  // namespace dgc

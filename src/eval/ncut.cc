@@ -1,0 +1,120 @@
+#include "eval/ncut.h"
+
+#include "linalg/power_iteration.h"
+#include "util/logging.h"
+
+namespace dgc {
+
+Scalar NormalizedCut(const UGraph& g, const std::vector<bool>& in_subset) {
+  DGC_CHECK_EQ(static_cast<Index>(in_subset.size()), g.NumVertices());
+  const CsrMatrix& a = g.adjacency();
+  Scalar cut = 0.0, vol_s = 0.0, vol_rest = 0.0;
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    auto cols = a.RowCols(u);
+    auto vals = a.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const bool us = in_subset[static_cast<size_t>(u)];
+      const bool vs = in_subset[static_cast<size_t>(cols[i])];
+      if (us) {
+        vol_s += vals[i];
+      } else {
+        vol_rest += vals[i];
+      }
+      if (us && !vs) cut += vals[i];  // each undirected edge seen twice
+    }
+  }
+  Scalar ncut = 0.0;
+  if (vol_s > 0.0) ncut += cut / vol_s;
+  if (vol_rest > 0.0) ncut += cut / vol_rest;
+  return ncut;
+}
+
+Scalar NormalizedCut(const UGraph& g, const Clustering& clustering) {
+  DGC_CHECK_EQ(clustering.NumVertices(), g.NumVertices());
+  Clustering compact = clustering;
+  const Index k = compact.Compact();
+  if (k == 0) return 0.0;
+  std::vector<Scalar> cut(static_cast<size_t>(k), 0.0);
+  std::vector<Scalar> vol(static_cast<size_t>(k), 0.0);
+  const CsrMatrix& a = g.adjacency();
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    const Index cu = compact.LabelOf(u);
+    if (cu == Clustering::kUnassigned) continue;
+    auto cols = a.RowCols(u);
+    auto vals = a.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      vol[static_cast<size_t>(cu)] += vals[i];
+      if (compact.LabelOf(cols[i]) != cu) {
+        cut[static_cast<size_t>(cu)] += vals[i];
+      }
+    }
+  }
+  Scalar total = 0.0;
+  for (Index c = 0; c < k; ++c) {
+    if (vol[static_cast<size_t>(c)] > 0.0) {
+      total += cut[static_cast<size_t>(c)] / vol[static_cast<size_t>(c)];
+    }
+  }
+  return total;
+}
+
+Scalar DirectedNormalizedCut(const Digraph& g, const std::vector<Scalar>& pi,
+                             const std::vector<bool>& in_subset) {
+  DGC_CHECK_EQ(static_cast<Index>(in_subset.size()), g.NumVertices());
+  DGC_CHECK_EQ(static_cast<Index>(pi.size()), g.NumVertices());
+  const CsrMatrix p = RowStochastic(g.adjacency());
+  Scalar out_flow = 0.0, in_flow = 0.0, pi_s = 0.0, pi_rest = 0.0;
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    const bool us = in_subset[static_cast<size_t>(u)];
+    if (us) {
+      pi_s += pi[static_cast<size_t>(u)];
+    } else {
+      pi_rest += pi[static_cast<size_t>(u)];
+    }
+    auto cols = p.RowCols(u);
+    auto vals = p.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const bool vs = in_subset[static_cast<size_t>(cols[i])];
+      const Scalar flow = pi[static_cast<size_t>(u)] * vals[i];
+      if (us && !vs) out_flow += flow;
+      if (!us && vs) in_flow += flow;
+    }
+  }
+  Scalar ncut = 0.0;
+  if (pi_s > 0.0) ncut += out_flow / pi_s;
+  if (pi_rest > 0.0) ncut += in_flow / pi_rest;
+  return ncut;
+}
+
+Scalar DirectedNormalizedCut(const Digraph& g, const std::vector<Scalar>& pi,
+                             const Clustering& clustering) {
+  DGC_CHECK_EQ(clustering.NumVertices(), g.NumVertices());
+  Clustering compact = clustering;
+  const Index k = compact.Compact();
+  if (k == 0) return 0.0;
+  const CsrMatrix p = RowStochastic(g.adjacency());
+  std::vector<Scalar> out_flow(static_cast<size_t>(k), 0.0);
+  std::vector<Scalar> mass(static_cast<size_t>(k), 0.0);
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    const Index cu = compact.LabelOf(u);
+    if (cu == Clustering::kUnassigned) continue;
+    mass[static_cast<size_t>(cu)] += pi[static_cast<size_t>(u)];
+    auto cols = p.RowCols(u);
+    auto vals = p.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (compact.LabelOf(cols[i]) != cu) {
+        out_flow[static_cast<size_t>(cu)] +=
+            pi[static_cast<size_t>(u)] * vals[i];
+      }
+    }
+  }
+  Scalar total = 0.0;
+  for (Index c = 0; c < k; ++c) {
+    if (mass[static_cast<size_t>(c)] > 0.0) {
+      total += out_flow[static_cast<size_t>(c)] / mass[static_cast<size_t>(c)];
+    }
+  }
+  return total;
+}
+
+}  // namespace dgc

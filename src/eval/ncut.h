@@ -1,0 +1,37 @@
+// Normalized-cut objectives: the undirected k-way Ncut (Eq. 1), the
+// directed random-walk Ncut of Zhou/Huang (Eq. 3), and per-subset variants
+// used to verify Gleich's equivalence (Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Ncut(S) of a single vertex subset in an undirected graph (Eq. 1):
+/// cut(S, S̄)/vol(S) + cut(S, S̄)/vol(S̄). `in_subset[v]` marks membership.
+/// Returns 0 when either side has zero volume.
+Scalar NormalizedCut(const UGraph& g, const std::vector<bool>& in_subset);
+
+/// \brief k-way undirected Ncut of a clustering: sum over clusters S of
+/// cut(S, S̄)/vol(S). Unassigned vertices count as their own side of every
+/// cut but contribute no cluster term.
+Scalar NormalizedCut(const UGraph& g, const Clustering& clustering);
+
+/// \brief Directed Ncut of a subset (Eq. 3) under the random walk with
+/// stationary distribution `pi`:
+///   sum_{i in S, j notin S} pi(i)P(i,j) / pi(S)
+/// + sum_{j notin S, i in S} pi(j)P(j,i) / pi(S̄).
+Scalar DirectedNormalizedCut(const Digraph& g, const std::vector<Scalar>& pi,
+                             const std::vector<bool>& in_subset);
+
+/// k-way directed Ncut: sum over clusters of the outgoing term
+/// sum_{i in S, j notin S} pi(i)P(i,j) / pi(S).
+Scalar DirectedNormalizedCut(const Digraph& g, const std::vector<Scalar>& pi,
+                             const Clustering& clustering);
+
+}  // namespace dgc

@@ -1,0 +1,110 @@
+#include "eval/partition_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace dgc {
+
+namespace {
+
+/// ln C(x, 2) pair count as a double (x may be large).
+double Pairs(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+Result<Clustering> TruthToClustering(const GroundTruth& truth,
+                                     Index num_vertices) {
+  Clustering clustering(num_vertices);
+  for (size_t c = 0; c < truth.categories.size(); ++c) {
+    for (Index v : truth.categories[c]) {
+      if (v < 0 || v >= num_vertices) {
+        return Status::OutOfRange("ground-truth vertex out of range");
+      }
+      if (clustering.LabelOf(v) != Clustering::kUnassigned) {
+        return Status::InvalidArgument(
+            "vertex " + std::to_string(v) +
+            " belongs to multiple categories; ground truth is not a "
+            "partition");
+      }
+      clustering.Assign(v, static_cast<Index>(c));
+    }
+  }
+  return clustering;
+}
+
+Result<PartitionComparison> ComparePartitions(const Clustering& a,
+                                              const Clustering& b) {
+  if (a.NumVertices() != b.NumVertices()) {
+    return Status::InvalidArgument("clustering sizes differ");
+  }
+  Clustering ca = a, cb = b;
+  const Index ka = ca.Compact();
+  const Index kb = cb.Compact();
+  PartitionComparison result;
+  if (ka == 0 || kb == 0) return result;
+
+  // Contingency table over jointly-labeled vertices.
+  std::vector<int64_t> count_a(static_cast<size_t>(ka), 0);
+  std::vector<int64_t> count_b(static_cast<size_t>(kb), 0);
+  std::unordered_map<int64_t, int64_t> joint;
+  int64_t total = 0;
+  for (Index v = 0; v < a.NumVertices(); ++v) {
+    const Index la = ca.LabelOf(v);
+    const Index lb = cb.LabelOf(v);
+    if (la == Clustering::kUnassigned || lb == Clustering::kUnassigned) {
+      continue;
+    }
+    ++count_a[static_cast<size_t>(la)];
+    ++count_b[static_cast<size_t>(lb)];
+    ++joint[static_cast<int64_t>(la) * kb + lb];
+    ++total;
+  }
+  result.support = total;
+  if (total < 2) return result;
+  const double nd = static_cast<double>(total);
+
+  // Entropies and mutual information (natural log).
+  double h_a = 0.0, h_b = 0.0, mi = 0.0;
+  for (int64_t c : count_a) {
+    if (c > 0) {
+      const double p = static_cast<double>(c) / nd;
+      h_a -= p * std::log(p);
+    }
+  }
+  for (int64_t c : count_b) {
+    if (c > 0) {
+      const double p = static_cast<double>(c) / nd;
+      h_b -= p * std::log(p);
+    }
+  }
+  for (const auto& [key, c] : joint) {
+    const Index la = static_cast<Index>(key / kb);
+    const Index lb = static_cast<Index>(key % kb);
+    const double pij = static_cast<double>(c) / nd;
+    const double pi = static_cast<double>(count_a[static_cast<size_t>(la)]) /
+                      nd;
+    const double pj = static_cast<double>(count_b[static_cast<size_t>(lb)]) /
+                      nd;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  result.nmi = (h_a + h_b) > 0.0 ? 2.0 * mi / (h_a + h_b) : 1.0;
+  result.nmi = std::clamp(result.nmi, 0.0, 1.0);
+
+  // Adjusted Rand index.
+  double sum_joint = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [key, c] : joint) {
+    sum_joint += Pairs(static_cast<double>(c));
+  }
+  for (int64_t c : count_a) sum_a += Pairs(static_cast<double>(c));
+  for (int64_t c : count_b) sum_b += Pairs(static_cast<double>(c));
+  const double all_pairs = Pairs(nd);
+  const double expected = sum_a * sum_b / all_pairs;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  result.ari = denom != 0.0 ? (sum_joint - expected) / denom : 1.0;
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,35 @@
+// Partition-comparison metrics for disjoint ground truth: normalized
+// mutual information and the adjusted Rand index. Complements the paper's
+// best-match F-measure (fscore.h) for the controlled LFR experiments,
+// where communities partition the vertex set exactly.
+#pragma once
+
+#include "graph/clustering.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct PartitionComparison {
+  /// Normalized mutual information, NMI = 2 I(A;B) / (H(A) + H(B)), in
+  /// [0, 1]; 1 iff the partitions are identical up to relabeling.
+  double nmi = 0.0;
+  /// Adjusted Rand index in [-1, 1]; 0 in expectation for random labels.
+  double ari = 0.0;
+  /// Vertices counted (present and labeled in both partitions).
+  int64_t support = 0;
+};
+
+/// \brief Compares two hard clusterings over the same vertex set. Vertices
+/// unassigned in either clustering are excluded. Returns InvalidArgument
+/// on size mismatch, and NMI/ARI of 0 when fewer than 2 vertices remain.
+Result<PartitionComparison> ComparePartitions(const Clustering& a,
+                                              const Clustering& b);
+
+/// Convenience: converts disjoint ground-truth categories to a Clustering
+/// (vertices in no category stay unassigned; membership in multiple
+/// categories is InvalidArgument — use EvaluateFScore for overlapping
+/// truth).
+Result<Clustering> TruthToClustering(const GroundTruth& truth,
+                                     Index num_vertices);
+
+}  // namespace dgc

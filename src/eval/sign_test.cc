@@ -1,0 +1,64 @@
+#include "eval/sign_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dgc {
+
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;
+
+/// ln C(n, k) via lgamma.
+double LogChoose(int64_t n, int64_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double Log10BinomialTailP(int64_t n, int64_t k) {
+  if (k <= 0) return 0.0;  // P = 1
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  // ln P = ln sum_{i=k..n} C(n,i) (1/2)^n, summed stably from the largest
+  // term down (terms decrease once i passes n/2; for k > n/2 they decrease
+  // monotonically).
+  const double ln_half_n = -static_cast<double>(n) * std::log(2.0);
+  // C(n, i) peaks at i = n/2; the largest tail term is at max(k, n/2).
+  const double max_ln = LogChoose(n, std::max(k, n / 2));
+  // log-sum-exp over the tail; truncate once terms are negligible.
+  double sum = 0.0;
+  for (int64_t i = k; i <= n; ++i) {
+    const double term = std::exp(LogChoose(n, i) - max_ln);
+    sum += term;
+    if (i > n / 2 && term < 1e-18 * sum) break;
+  }
+  const double ln_p = max_ln + std::log(sum) + ln_half_n;
+  return std::min(0.0, ln_p / kLn10);
+}
+
+Result<SignTestResult> PairedSignTest(const std::vector<bool>& correct_a,
+                                      const std::vector<bool>& correct_b) {
+  if (correct_a.size() != correct_b.size()) {
+    return Status::InvalidArgument(
+        "sign test requires equal-length correctness masks (" +
+        std::to_string(correct_a.size()) + " vs " +
+        std::to_string(correct_b.size()) + ")");
+  }
+  SignTestResult result;
+  for (size_t i = 0; i < correct_a.size(); ++i) {
+    if (correct_a[i] && !correct_b[i]) ++result.a_only;
+    if (correct_b[i] && !correct_a[i]) ++result.b_only;
+  }
+  const int64_t n = result.a_only + result.b_only;
+  if (n == 0 || result.a_only <= result.b_only) {
+    result.log10_p_value = 0.0;  // no evidence A beats B
+    return result;
+  }
+  result.log10_p_value = Log10BinomialTailP(n, result.a_only);
+  return result;
+}
+
+}  // namespace dgc

@@ -1,0 +1,34 @@
+// Paired binomial sign test (Section 5.6): significance of per-node
+// clustering-correctness improvements between two clusterings. P-values at
+// the paper's scale (1e-312, 1e-22767) underflow double, so everything is
+// computed and reported in log10 space.
+#pragma once
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace dgc {
+
+/// Outcome of a paired sign test.
+struct SignTestResult {
+  /// Nodes correct under A but not B.
+  int64_t a_only = 0;
+  /// Nodes correct under B but not A.
+  int64_t b_only = 0;
+  /// log10 of the one-sided p-value for "A is better than B" (probability
+  /// of >= a_only successes out of a_only + b_only fair coin flips).
+  /// 0 (p = 1) when a_only <= b_only gives no evidence.
+  double log10_p_value = 0.0;
+};
+
+/// \brief Runs the paired sign test on per-node correctness masks (as
+/// produced by CorrectlyClusteredMask). Vectors must be equal length.
+Result<SignTestResult> PairedSignTest(const std::vector<bool>& correct_a,
+                                      const std::vector<bool>& correct_b);
+
+/// \brief log10 P(X >= k) for X ~ Binomial(n, 0.5), exact via lgamma-based
+/// log-space summation. Handles n in the millions without underflow.
+double Log10BinomialTailP(int64_t n, int64_t k);
+
+}  // namespace dgc

@@ -1,0 +1,139 @@
+#include "gen/citation.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+Result<Dataset> GenerateCitation(const CitationOptions& options) {
+  if (options.num_papers <= 0 || options.num_fields <= 0 ||
+      options.subfields_per_field <= 0) {
+    return Status::InvalidArgument("sizes must be positive");
+  }
+  if (options.p_same_subfield + options.p_same_field +
+          options.p_global_hub >
+      1.0) {
+    return Status::InvalidArgument(
+        "p_same_subfield + p_same_field + p_global_hub must be <= 1");
+  }
+  const Index n = options.num_papers;
+  const Index num_subfields =
+      options.num_fields * options.subfields_per_field;
+  Rng rng(options.seed);
+
+  // Assign each paper a subfield; subfield popularity is Zipf-skewed so
+  // category sizes are realistic (a few large areas, many small ones).
+  std::vector<Index> subfield_of(static_cast<size_t>(n));
+  std::vector<std::vector<Index>> papers_in_subfield(
+      static_cast<size_t>(num_subfields));
+  const ZipfDistribution subfield_dist(
+      static_cast<uint64_t>(num_subfields), 0.7);
+  for (Index p = 0; p < n; ++p) {
+    const Index sf = static_cast<Index>(subfield_dist.Sample(rng) - 1);
+    subfield_of[static_cast<size_t>(p)] = sf;
+  }
+  // Temporal order: paper ids are publication order; shuffle subfield
+  // membership indirectly by the random assignment above.
+
+  // Preferential-attachment pools: "ball" lists where each citation of a
+  // paper appends one copy, so uniform draws are in-degree-proportional.
+  std::vector<std::vector<Index>> subfield_balls(
+      static_cast<size_t>(num_subfields));
+  std::vector<std::vector<Index>> field_balls(
+      static_cast<size_t>(options.num_fields));
+  // Global preferential pool with quadratic reinforcement (two copies per
+  // citation), so a few cross-topic mega-hubs emerge.
+  std::vector<Index> global_balls;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(
+      static_cast<double>(n) * options.mean_citations * 1.2));
+
+  auto pick_uniform_earlier = [&](Index p) -> Index {
+    return static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(p)));
+  };
+
+  for (Index p = 0; p < n; ++p) {
+    const Index sf = subfield_of[static_cast<size_t>(p)];
+    const Index field = sf / options.subfields_per_field;
+    if (p > 0) {
+      // Poisson-ish citation count via geometric mixing around the mean.
+      const int cites = static_cast<int>(
+          rng.UniformU64(static_cast<uint64_t>(
+              2.0 * options.mean_citations + 1.0)));
+      for (int c = 0; c < cites; ++c) {
+        Index target = -1;
+        const double roll = rng.UniformDouble();
+        const bool is_global_hub_cite =
+            roll >= options.p_same_subfield + options.p_same_field &&
+            roll < options.p_same_subfield + options.p_same_field +
+                       options.p_global_hub;
+        if (roll < options.p_same_subfield) {
+          auto& pool = papers_in_subfield[static_cast<size_t>(sf)];
+          auto& balls = subfield_balls[static_cast<size_t>(sf)];
+          if (!pool.empty()) {
+            if (!balls.empty() && rng.Bernoulli(options.p_preferential)) {
+              target = balls[static_cast<size_t>(
+                  rng.UniformU64(balls.size()))];
+            } else {
+              target = pool[static_cast<size_t>(
+                  rng.UniformU64(pool.size()))];
+            }
+          }
+        } else if (roll < options.p_same_subfield + options.p_same_field) {
+          auto& balls = field_balls[static_cast<size_t>(field)];
+          if (!balls.empty() && rng.Bernoulli(options.p_preferential)) {
+            target = balls[static_cast<size_t>(
+                rng.UniformU64(balls.size()))];
+          }
+        } else if (is_global_hub_cite && !global_balls.empty()) {
+          target = global_balls[static_cast<size_t>(
+              rng.UniformU64(global_balls.size()))];
+        }
+        if (target < 0) target = pick_uniform_earlier(p);
+        if (target == p) continue;
+        edges.push_back(Edge{p, target, 1.0});
+        subfield_balls[static_cast<size_t>(
+                           subfield_of[static_cast<size_t>(target)])]
+            .push_back(target);
+        field_balls[static_cast<size_t>(
+                        subfield_of[static_cast<size_t>(target)] /
+                        options.subfields_per_field)]
+            .push_back(target);
+        global_balls.push_back(target);
+        if (is_global_hub_cite) global_balls.push_back(target);
+      }
+    }
+    papers_in_subfield[static_cast<size_t>(sf)].push_back(p);
+  }
+
+  // Symmetric noise: duplicate a fraction of edges in reverse.
+  const size_t base_edges = edges.size();
+  for (size_t e = 0; e < base_edges; ++e) {
+    if (rng.Bernoulli(options.p_symmetric_noise)) {
+      edges.push_back(Edge{edges[e].dst, edges[e].src, 1.0});
+    }
+  }
+
+  DedupEdges(&edges);
+  Dataset dataset;
+  dataset.name = "cora-synthetic";
+  DGC_ASSIGN_OR_RETURN(dataset.graph, Digraph::FromEdges(n, edges));
+  dataset.truth.categories.resize(static_cast<size_t>(num_subfields));
+  for (Index p = 0; p < n; ++p) {
+    if (rng.Bernoulli(options.p_unlabeled)) continue;
+    dataset.truth.categories[static_cast<size_t>(
+                                 subfield_of[static_cast<size_t>(p)])]
+        .push_back(p);
+  }
+  dataset.node_names.resize(static_cast<size_t>(n));
+  for (Index p = 0; p < n; ++p) {
+    const Index sf = subfield_of[static_cast<size_t>(p)];
+    dataset.node_names[static_cast<size_t>(p)] =
+        "paper" + std::to_string(p) + "-sf" + std::to_string(sf);
+  }
+  return dataset;
+}
+
+}  // namespace dgc

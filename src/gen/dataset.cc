@@ -1,0 +1,22 @@
+#include "gen/dataset.h"
+
+#include <algorithm>
+
+namespace dgc {
+
+void DedupEdges(std::vector<Edge>* edges) {
+  std::sort(edges->begin(), edges->end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges->erase(std::unique(edges->begin(), edges->end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges->end());
+  edges->erase(std::remove_if(edges->begin(), edges->end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges->end());
+  for (Edge& e : *edges) e.weight = 1.0;
+}
+
+}  // namespace dgc

@@ -1,0 +1,214 @@
+#include "gen/hyperlink.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+namespace {
+
+constexpr std::array<const char*, 16> kHubNames = {
+    "Area",
+    "Population density",
+    "Geographic coordinate system",
+    "Square mile",
+    "Mile",
+    "Time zone",
+    "Music genre",
+    "Record label",
+    "Geocode",
+    "Degree (angle)",
+    "Country",
+    "Census",
+    "Postal code",
+    "Elevation",
+    "Octagon",
+    "Language",
+};
+
+constexpr std::array<std::array<const char*, 2>, 5> kDuplicateNames = {{
+    {"Cyathea", "Cyathea (Subgenus Cyathea)"},
+    {"Roman Catholic dioceses in England & Wales",
+     "Roman Catholic dioceses in Great Britain"},
+    {"Sepiidae", "Sepia (genus)"},
+    {"Szabolcs-Szatmar-Bereg", "Szabolcs-Szatmar-Bereg-related topics"},
+    {"Canton of Lizy-sur-Ourcq",
+     "Communaute de communes du Pays de l'Ourcq"},
+}};
+
+}  // namespace
+
+Result<Dataset> GenerateHyperlink(const HyperlinkOptions& options) {
+  if (options.num_articles <= 0 || options.num_categories <= 0) {
+    return Status::InvalidArgument("sizes must be positive");
+  }
+  const Index num_anchors =
+      options.num_categories * options.anchors_per_category;
+  if (options.num_hubs + num_anchors +
+          2 * options.num_duplicate_pairs >=
+      options.num_articles) {
+    return Status::InvalidArgument(
+        "num_articles too small for the requested hubs/anchors/duplicates");
+  }
+  const Index n = options.num_articles;
+  Rng rng(options.seed);
+
+  // Vertex layout: [0, H) hubs, [H, H+anchors) anchors, rest members.
+  const Index hub_begin = 0;
+  const Index anchor_begin = options.num_hubs;
+  const Index member_begin = anchor_begin + num_anchors;
+
+  Dataset dataset;
+  dataset.name = "wiki-synthetic";
+  dataset.node_names.resize(static_cast<size_t>(n));
+  for (Index h = 0; h < options.num_hubs; ++h) {
+    dataset.node_names[static_cast<size_t>(hub_begin + h)] =
+        static_cast<size_t>(h) < kHubNames.size()
+            ? kHubNames[static_cast<size_t>(h)]
+            : "Hub-" + std::to_string(h);
+  }
+  for (Index c = 0; c < options.num_categories; ++c) {
+    for (Index a = 0; a < options.anchors_per_category; ++a) {
+      dataset.node_names[static_cast<size_t>(
+          anchor_begin + c * options.anchors_per_category + a)] =
+          "Cat" + std::to_string(c) + "-anchor" + std::to_string(a);
+    }
+  }
+
+  // Assign members to categories with Zipf-skewed popularity; a member may
+  // belong to 1-2 categories (overlap), or none (unlabeled fraction).
+  dataset.truth.categories.resize(
+      static_cast<size_t>(options.num_categories));
+  std::vector<std::vector<Index>> member_categories(
+      static_cast<size_t>(n));
+  const ZipfDistribution category_dist(
+      static_cast<uint64_t>(options.num_categories), 0.8);
+  for (Index m = member_begin; m < n; ++m) {
+    dataset.node_names[static_cast<size_t>(m)] =
+        "Article-" + std::to_string(m);
+    if (rng.Bernoulli(options.p_unlabeled)) continue;
+    const int num_cats = rng.Bernoulli(0.2) ? 2 : 1;
+    for (int c = 0; c < num_cats; ++c) {
+      const Index cat = static_cast<Index>(category_dist.Sample(rng) - 1);
+      auto& cats = member_categories[static_cast<size_t>(m)];
+      if (std::find(cats.begin(), cats.end(), cat) != cats.end()) continue;
+      cats.push_back(cat);
+      dataset.truth.categories[static_cast<size_t>(cat)].push_back(m);
+    }
+  }
+
+  std::vector<Edge> edges;
+  // Hub popularity is itself skewed: hub 0 ("Area") is the most linked.
+  std::vector<double> hub_weight(static_cast<size_t>(options.num_hubs));
+  double hub_total = 0.0;
+  for (Index h = 0; h < options.num_hubs; ++h) {
+    hub_weight[static_cast<size_t>(h)] = 1.0 / static_cast<double>(h + 1);
+    hub_total += hub_weight[static_cast<size_t>(h)];
+  }
+  auto sample_hub = [&]() {
+    double roll = rng.UniformDouble() * hub_total;
+    for (Index h = 0; h < options.num_hubs; ++h) {
+      roll -= hub_weight[static_cast<size_t>(h)];
+      if (roll <= 0.0) return hub_begin + h;
+    }
+    return hub_begin + options.num_hubs - 1;
+  };
+
+  for (Index m = member_begin; m < n; ++m) {
+    // Hub links.
+    const int hub_links = static_cast<int>(rng.UniformU64(
+        static_cast<uint64_t>(2.0 * options.mean_hub_links + 1.0)));
+    for (int h = 0; h < hub_links; ++h) {
+      edges.push_back(Edge{m, sample_hub(), 1.0});
+    }
+    // Category anchor links (both directions) and intra-category links.
+    for (Index cat : member_categories[static_cast<size_t>(m)]) {
+      const Index a0 = anchor_begin + cat * options.anchors_per_category;
+      for (Index a = 0; a < options.anchors_per_category; ++a) {
+        if (rng.Bernoulli(options.p_member_to_anchor)) {
+          edges.push_back(Edge{m, a0 + a, 1.0});
+        }
+        if (rng.Bernoulli(options.p_anchor_to_member)) {
+          edges.push_back(Edge{a0 + a, m, 1.0});
+        }
+      }
+      if (options.p_intra > 0.0) {
+        const auto& members = dataset.truth.categories[
+            static_cast<size_t>(cat)];
+        // Sample a few fellow members rather than scanning all pairs.
+        const int tries = static_cast<int>(
+            options.p_intra * static_cast<double>(members.size()));
+        for (int t = 0; t < tries; ++t) {
+          const Index other =
+              members[static_cast<size_t>(rng.UniformU64(members.size()))];
+          if (other != m) edges.push_back(Edge{m, other, 1.0});
+        }
+      }
+    }
+    // Uniform noise links.
+    const int noise = static_cast<int>(rng.UniformU64(
+        static_cast<uint64_t>(2.0 * options.noise_per_article + 1.0)));
+    for (int e = 0; e < noise; ++e) {
+      const Index v = static_cast<Index>(
+          rng.UniformU64(static_cast<uint64_t>(n)));
+      if (v != m) edges.push_back(Edge{m, v, 1.0});
+    }
+  }
+
+  // Near-duplicate pairs: both nodes copy a shared link profile.
+  for (Index d = 0; d < options.num_duplicate_pairs; ++d) {
+    const Index a = member_begin +
+                    static_cast<Index>(rng.UniformU64(
+                        static_cast<uint64_t>(n - member_begin)));
+    const Index b = member_begin +
+                    static_cast<Index>(rng.UniformU64(
+                        static_cast<uint64_t>(n - member_begin)));
+    if (a == b) continue;
+    if (static_cast<size_t>(d) < kDuplicateNames.size()) {
+      dataset.node_names[static_cast<size_t>(a)] =
+          kDuplicateNames[static_cast<size_t>(d)][0];
+      dataset.node_names[static_cast<size_t>(b)] =
+          kDuplicateNames[static_cast<size_t>(d)][1];
+    } else {
+      dataset.node_names[static_cast<size_t>(a)] =
+          "Duplicate-" + std::to_string(d) + "a";
+      dataset.node_names[static_cast<size_t>(b)] =
+          "Duplicate-" + std::to_string(d) + "b";
+    }
+    // Shared profile: ~10 common out-links and ~6 common in-links to
+    // otherwise low-degree nodes, plus mutual links.
+    for (int t = 0; t < 10; ++t) {
+      const Index target = member_begin +
+                           static_cast<Index>(rng.UniformU64(
+                               static_cast<uint64_t>(n - member_begin)));
+      if (target == a || target == b) continue;
+      edges.push_back(Edge{a, target, 1.0});
+      edges.push_back(Edge{b, target, 1.0});
+      if (t < 6) {
+        edges.push_back(Edge{target, a, 1.0});
+        edges.push_back(Edge{target, b, 1.0});
+      }
+    }
+    edges.push_back(Edge{a, b, 1.0});
+    edges.push_back(Edge{b, a, 1.0});
+  }
+
+  // Reciprocity: add reverse edges for a fraction of what exists.
+  const size_t base = edges.size();
+  for (size_t e = 0; e < base; ++e) {
+    if (rng.Bernoulli(options.p_reciprocal)) {
+      edges.push_back(Edge{edges[e].dst, edges[e].src, 1.0});
+    }
+  }
+
+  DedupEdges(&edges);
+  DGC_ASSIGN_OR_RETURN(dataset.graph, Digraph::FromEdges(n, edges));
+  // Categories with fewer than 3 members are noise for evaluation.
+  dataset.truth.RemoveSmallCategories(3);
+  return dataset;
+}
+
+}  // namespace dgc

@@ -1,0 +1,49 @@
+// Hyperlink-graph generator: the Wikipedia stand-in (Section 4.1, dataset
+// 1). Reproduces the structural features the paper's experiments hinge on:
+//  - a small set of hub pages ("Area", "Geographic coordinate system", ...)
+//    that a large fraction of articles link to — these poison the
+//    Bibliometric symmetrization (Section 3.5);
+//  - overlapping categories whose members share out-links to per-category
+//    anchor pages and in-links from the anchors back (the Guzmania pattern
+//    of Section 5.7), with only sparse direct member-member linkage;
+//  - ~42% reciprocal links and ~35% of nodes without ground truth;
+//  - a few near-duplicate page pairs whose symmetrized similarity should
+//    top the Degree-discounted ranking (Table 5).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/dataset.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct HyperlinkOptions {
+  Index num_articles = 30000;
+  Index num_categories = 400;
+  Index num_hubs = 25;
+  /// Anchor pages per category (shared out-link targets of the members).
+  Index anchors_per_category = 5;
+  /// Mean number of hub links per article.
+  double mean_hub_links = 3.0;
+  /// Probability a member links to each of its category's anchors.
+  double p_member_to_anchor = 0.7;
+  /// Probability an anchor links back to each member (genus-page pattern).
+  double p_anchor_to_member = 0.35;
+  /// Probability of a direct member -> member link within a category.
+  double p_intra = 0.02;
+  /// Uniform random out-links per article.
+  double noise_per_article = 4.0;
+  /// Probability an edge gains a reverse edge (drives % symmetric links).
+  double p_reciprocal = 0.3;
+  /// Fraction of articles excluded from ground truth (Wikipedia: 35%).
+  double p_unlabeled = 0.35;
+  /// Number of near-duplicate page pairs to plant.
+  Index num_duplicate_pairs = 5;
+  uint64_t seed = 3;
+};
+
+/// Generates the hyperlink graph with named hubs/anchors/duplicates.
+Result<Dataset> GenerateHyperlink(const HyperlinkOptions& options);
+
+}  // namespace dgc

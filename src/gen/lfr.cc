@@ -1,0 +1,185 @@
+#include "gen/lfr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+namespace {
+
+/// Truncated-Pareto degree sample in [min_degree, max_degree].
+Index SampleDegree(Rng& rng, const LfrOptions& options) {
+  const double u = std::max(1e-12, rng.UniformDouble());
+  const double gamma = options.degree_exponent;
+  const double lo = static_cast<double>(options.min_degree);
+  const double hi = static_cast<double>(options.max_degree);
+  // Inverse-CDF of a truncated power law p(x) ~ x^-gamma on [lo, hi].
+  const double a = std::pow(lo, 1.0 - gamma);
+  const double b = std::pow(hi, 1.0 - gamma);
+  const double x = std::pow(a + u * (b - a), 1.0 / (1.0 - gamma));
+  return static_cast<Index>(std::clamp(x, lo, hi));
+}
+
+}  // namespace
+
+Result<Dataset> GenerateLfr(const LfrOptions& options) {
+  if (options.num_vertices <= 0) {
+    return Status::InvalidArgument("num_vertices must be positive");
+  }
+  if (options.mixing < 0.0 || options.mixing >= 1.0) {
+    return Status::InvalidArgument("mixing must be in [0, 1)");
+  }
+  if (options.min_community <= 1 ||
+      options.max_community < options.min_community) {
+    return Status::InvalidArgument("bad community size bounds");
+  }
+  if (options.degree_exponent <= 1.0) {
+    return Status::InvalidArgument("degree_exponent must be > 1");
+  }
+  const Index n = options.num_vertices;
+  Rng rng(options.seed);
+
+  // Community sizes: Zipf-weighted draws over [min, max] until n covered.
+  std::vector<Index> community_size;
+  const uint64_t size_range = static_cast<uint64_t>(
+      options.max_community - options.min_community + 1);
+  const ZipfDistribution size_dist(size_range, options.community_exponent);
+  Index assigned = 0;
+  while (assigned < n) {
+    Index size = options.min_community +
+                 static_cast<Index>(size_dist.Sample(rng) - 1);
+    size = std::min(size, n - assigned);
+    if (n - assigned - size < options.min_community &&
+        n - assigned - size > 0) {
+      size = n - assigned;  // absorb the remainder, avoid a tiny tail
+    }
+    community_size.push_back(size);
+    assigned += size;
+  }
+  const Index num_communities = static_cast<Index>(community_size.size());
+
+  Dataset dataset;
+  dataset.name = "lfr-directed";
+  dataset.truth.categories.resize(static_cast<size_t>(num_communities));
+  std::vector<Index> community_of(static_cast<size_t>(n));
+  std::vector<Index> community_begin(static_cast<size_t>(num_communities));
+  {
+    Index v = 0;
+    for (Index c = 0; c < num_communities; ++c) {
+      community_begin[static_cast<size_t>(c)] = v;
+      for (Index i = 0; i < community_size[static_cast<size_t>(c)]; ++i) {
+        community_of[static_cast<size_t>(v)] = c;
+        dataset.truth.categories[static_cast<size_t>(c)].push_back(v);
+        ++v;
+      }
+    }
+  }
+
+  // Co-citation style: each community has a fixed target set — its own
+  // authorities plus a community-specific sample of foreign authorities
+  // (authority_overlap controls the foreign share). The set is fixed per
+  // community so that members share a consistent citation profile; the
+  // foreign part makes the shared targets "belong to a different cluster"
+  // as in the paper's Figure 1.
+  std::vector<std::vector<Index>> community_targets;
+  if (options.style == LfrCommunityStyle::kCocitation) {
+    std::vector<Index> global_authorities;
+    for (Index c = 0; c < num_communities; ++c) {
+      const Index size = community_size[static_cast<size_t>(c)];
+      const Index auth = std::max<Index>(
+          1, static_cast<Index>(options.authority_fraction *
+                                static_cast<double>(size)));
+      for (Index i = 0; i < auth; ++i) {
+        global_authorities.push_back(
+            community_begin[static_cast<size_t>(c)] + i);
+      }
+    }
+    community_targets.resize(static_cast<size_t>(num_communities));
+    for (Index c = 0; c < num_communities; ++c) {
+      const Index size = community_size[static_cast<size_t>(c)];
+      const Index auth = std::max<Index>(
+          1, static_cast<Index>(options.authority_fraction *
+                                static_cast<double>(size)));
+      auto& targets = community_targets[static_cast<size_t>(c)];
+      for (Index i = 0; i < auth; ++i) {
+        targets.push_back(community_begin[static_cast<size_t>(c)] + i);
+      }
+      if (options.authority_overlap > 0.0) {
+        const Index foreign = static_cast<Index>(
+            options.authority_overlap / (1.0 - options.authority_overlap) *
+            static_cast<double>(auth));
+        for (Index f = 0; f < foreign; ++f) {
+          targets.push_back(global_authorities[static_cast<size_t>(
+              rng.UniformU64(global_authorities.size()))]);
+        }
+      }
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * 8);
+  const double mu = options.mixing;
+  for (Index v = 0; v < n; ++v) {
+    const Index c = community_of[static_cast<size_t>(v)];
+    const Index begin = community_begin[static_cast<size_t>(c)];
+    const Index size = community_size[static_cast<size_t>(c)];
+    const Index degree = SampleDegree(rng, options);
+    // Authorities/hubs of the community are its first `auth` members.
+    const Index auth = std::max<Index>(
+        1, static_cast<Index>(options.authority_fraction *
+                              static_cast<double>(size)));
+    for (Index e = 0; e < degree; ++e) {
+      if (rng.Bernoulli(mu)) {
+        // Inter-community edge: uniform random target outside c.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const Index w = static_cast<Index>(
+              rng.UniformU64(static_cast<uint64_t>(n)));
+          if (w != v && community_of[static_cast<size_t>(w)] != c) {
+            edges.push_back(Edge{v, w, 1.0});
+            break;
+          }
+        }
+        continue;
+      }
+      // Intra-community edge.
+      if (options.style == LfrCommunityStyle::kDense) {
+        const Index w = begin + static_cast<Index>(rng.UniformU64(
+                                    static_cast<uint64_t>(size)));
+        if (w != v) edges.push_back(Edge{v, w, 1.0});
+      } else {
+        // Co-citation style: non-authority members only point at
+        // authorities; authorities point back at members (acting as the
+        // community's hubs too). No member-member links.
+        const bool is_authority = v - begin < auth;
+        if (is_authority) {
+          // Authorities act as the community's hubs: they point back at
+          // uniformly random members.
+          const Index w = begin + static_cast<Index>(rng.UniformU64(
+                                      static_cast<uint64_t>(size)));
+          if (w != v) edges.push_back(Edge{v, w, 1.0});
+        } else {
+          const auto& targets = community_targets[static_cast<size_t>(c)];
+          const Index w = targets[static_cast<size_t>(
+              rng.UniformU64(targets.size()))];
+          if (w != v) edges.push_back(Edge{v, w, 1.0});
+        }
+      }
+    }
+  }
+
+  DedupEdges(&edges);
+  DGC_ASSIGN_OR_RETURN(dataset.graph, Digraph::FromEdges(n, edges));
+  dataset.node_names.resize(static_cast<size_t>(n));
+  for (Index v = 0; v < n; ++v) {
+    dataset.node_names[static_cast<size_t>(v)] =
+        "v" + std::to_string(v) + "-c" +
+        std::to_string(community_of[static_cast<size_t>(v)]);
+  }
+  return dataset;
+}
+
+}  // namespace dgc

@@ -1,0 +1,51 @@
+// Planted-partition generator implementing the paper's cluster semantics
+// (Figure 1): a cluster is a set of vertices that share out-links to a
+// common target set and in-links from a common source set — with no (or
+// few) direct edges among the members themselves. The canonical example is
+// the Guzmania species pages of Section 5.7.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/dataset.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct PlantedOptions {
+  Index num_clusters = 20;
+  Index cluster_size = 40;
+  /// Shared out-link targets per cluster (e.g. "Poales", "Ecuador").
+  Index targets_per_cluster = 8;
+  /// Shared in-link sources per cluster (e.g. list pages).
+  Index sources_per_cluster = 4;
+  /// Size of a global context pool that clusters draw their target/source
+  /// sets from. 0 gives each cluster its own private context nodes; a
+  /// positive pool makes clusters share context (the paper's Figure 1,
+  /// where the commonly-pointed-to nodes "may belong to a different
+  /// cluster") — in that regime A+Aᵀ blurs clusters together while
+  /// similarity symmetrizations still separate them by their distinct
+  /// target-set signatures.
+  Index target_pool = 0;
+  Index source_pool = 0;
+  /// Probability a member links to each of its cluster's targets.
+  double p_member_to_target = 0.8;
+  /// Probability each cluster source links to a member.
+  double p_source_to_member = 0.8;
+  /// Probability of a direct member -> member edge inside a cluster.
+  /// 0 reproduces the pure Figure-1 pattern that A+Aᵀ cannot recover.
+  double p_intra = 0.0;
+  /// Uniformly random noise edges per vertex.
+  double noise_per_vertex = 0.5;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates the planted graph. Vertices [0, C*S) are cluster
+/// members (ground truth = their cluster); target/source context vertices
+/// follow and carry no ground-truth label.
+///
+/// Returns InvalidArgument on non-positive sizes or probabilities outside
+/// [0, 1].
+Result<Dataset> GeneratePlanted(const PlantedOptions& options);
+
+}  // namespace dgc

@@ -1,0 +1,52 @@
+#include "gen/rmat.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+Result<Dataset> GenerateRmat(const RmatOptions& options) {
+  if (options.scale <= 0 || options.scale > 28) {
+    return Status::InvalidArgument("scale must be in (0, 28]");
+  }
+  const double quad_sum = options.a + options.b + options.c + options.d;
+  if (std::abs(quad_sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("R-MAT quadrant probabilities must sum "
+                                   "to 1, got " + std::to_string(quad_sum));
+  }
+  const Index n = static_cast<Index>(1) << options.scale;
+  const int64_t target_edges = static_cast<int64_t>(
+      options.edge_factor * static_cast<double>(n));
+  Rng rng(options.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(target_edges));
+  for (int64_t e = 0; e < target_edges; ++e) {
+    Index row = 0, col = 0;
+    for (int level = 0; level < options.scale; ++level) {
+      const double roll = rng.UniformDouble();
+      row <<= 1;
+      col <<= 1;
+      if (roll < options.a) {
+        // top-left quadrant: no bits set
+      } else if (roll < options.a + options.b) {
+        col |= 1;
+      } else if (roll < options.a + options.b + options.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) edges.push_back(Edge{row, col, 1.0});
+  }
+  DedupEdges(&edges);
+  Dataset dataset;
+  dataset.name = "rmat-scale" + std::to_string(options.scale);
+  DGC_ASSIGN_OR_RETURN(dataset.graph, Digraph::FromEdges(n, edges));
+  return dataset;
+}
+
+}  // namespace dgc

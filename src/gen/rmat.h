@@ -1,0 +1,30 @@
+// R-MAT / stochastic-Kronecker directed graph generator (Leskovec et al.
+// 2010, cited as the paper's reference [14] for realistic directed
+// networks). Used by the kernel micro-benchmarks and scalability tests.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/dataset.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct RmatOptions {
+  /// log2 of the number of vertices.
+  int scale = 14;
+  /// Average number of directed edges per vertex.
+  double edge_factor = 8.0;
+  /// Quadrant probabilities; must sum to ~1. Defaults are the classic
+  /// skewed R-MAT parameters.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 5;
+};
+
+/// Generates an R-MAT graph (duplicates removed, self-loops dropped).
+Result<Dataset> GenerateRmat(const RmatOptions& options);
+
+}  // namespace dgc

@@ -1,0 +1,106 @@
+#include "gen/social.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgc {
+
+Result<Dataset> GenerateSocial(const SocialOptions& options) {
+  if (options.num_users <= 0 || options.num_communities <= 0) {
+    return Status::InvalidArgument("sizes must be positive");
+  }
+  if (options.power_law_exponent <= 1.0) {
+    return Status::InvalidArgument("power_law_exponent must be > 1");
+  }
+  const Index n = options.num_users;
+  Rng rng(options.seed);
+
+  // Pareto-distributed expected degrees, capped.
+  const double cap = std::max(
+      2.0, options.max_weight_fraction * static_cast<double>(n));
+  auto sample_weight = [&]() {
+    // Inverse-CDF Pareto with x_min = 1: w = u^{-1/(gamma-1)}.
+    const double u = std::max(1e-12, rng.UniformDouble());
+    return std::min(cap,
+                    std::pow(u, -1.0 / (options.power_law_exponent - 1.0)));
+  };
+  std::vector<double> out_w(static_cast<size_t>(n));
+  std::vector<double> in_w(static_cast<size_t>(n));
+  double out_total = 0.0;
+  for (Index v = 0; v < n; ++v) {
+    out_w[static_cast<size_t>(v)] = sample_weight();
+    in_w[static_cast<size_t>(v)] = sample_weight();
+    out_total += out_w[static_cast<size_t>(v)];
+  }
+
+  // Community assignment with Zipf-skewed sizes; per-community alias-free
+  // in-weight sampling via cumulative "ball" lists.
+  std::vector<Index> community_of(static_cast<size_t>(n));
+  std::vector<std::vector<Index>> community_members(
+      static_cast<size_t>(options.num_communities));
+  const ZipfDistribution community_dist(
+      static_cast<uint64_t>(options.num_communities), 0.6);
+  for (Index v = 0; v < n; ++v) {
+    const Index c = static_cast<Index>(community_dist.Sample(rng) - 1);
+    community_of[static_cast<size_t>(v)] = c;
+    community_members[static_cast<size_t>(c)].push_back(v);
+  }
+
+  // Global in-weight sampler: discrete ball list quantized on in_w.
+  std::vector<Index> global_balls;
+  global_balls.reserve(static_cast<size_t>(n) * 2);
+  std::vector<std::vector<Index>> community_balls(
+      static_cast<size_t>(options.num_communities));
+  for (Index v = 0; v < n; ++v) {
+    const int copies =
+        1 + static_cast<int>(in_w[static_cast<size_t>(v)]);
+    for (int c = 0; c < copies; ++c) {
+      global_balls.push_back(v);
+      community_balls[static_cast<size_t>(
+                          community_of[static_cast<size_t>(v)])]
+          .push_back(v);
+    }
+  }
+
+  const double edge_scale = options.avg_out_degree *
+                            static_cast<double>(n) / out_total;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(
+      options.avg_out_degree * static_cast<double>(n) * 1.6));
+  for (Index u = 0; u < n; ++u) {
+    const int degree = static_cast<int>(
+        out_w[static_cast<size_t>(u)] * edge_scale + rng.UniformDouble());
+    const auto& local =
+        community_balls[static_cast<size_t>(
+            community_of[static_cast<size_t>(u)])];
+    for (int e = 0; e < degree; ++e) {
+      Index v;
+      if (!local.empty() && rng.Bernoulli(options.p_in_community)) {
+        v = local[static_cast<size_t>(rng.UniformU64(local.size()))];
+      } else {
+        v = global_balls[static_cast<size_t>(
+            rng.UniformU64(global_balls.size()))];
+      }
+      if (v != u) edges.push_back(Edge{u, v, 1.0});
+    }
+  }
+  const size_t base = edges.size();
+  for (size_t e = 0; e < base; ++e) {
+    if (rng.Bernoulli(options.p_reciprocal)) {
+      edges.push_back(Edge{edges[e].dst, edges[e].src, 1.0});
+    }
+  }
+
+  DedupEdges(&edges);
+  Dataset dataset;
+  dataset.name = "social-synthetic";
+  DGC_ASSIGN_OR_RETURN(dataset.graph, Digraph::FromEdges(n, edges));
+  dataset.truth.categories = std::move(community_members);
+  return dataset;
+}
+
+}  // namespace dgc

@@ -1,0 +1,35 @@
+// Social-network generator: the Flickr / LiveJournal stand-ins (Section
+// 4.1, datasets 3-4). Directed Chung-Lu-style graph with power-law in/out
+// weights, community-biased targets, and a controllable reciprocity level
+// (Flickr: 62.4%, LiveJournal: 73.4% symmetric links). No ground truth —
+// the paper uses these only for scalability measurements (Figure 9).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/dataset.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct SocialOptions {
+  Index num_users = 100000;
+  double avg_out_degree = 12.0;
+  /// Pareto exponent of the degree weights (2.0-2.5 is typical).
+  double power_law_exponent = 2.2;
+  /// Max expected degree cap as a fraction of n (limits mega-hubs).
+  double max_weight_fraction = 0.03;
+  Index num_communities = 200;
+  /// Probability an edge stays inside the source's community.
+  double p_in_community = 0.6;
+  /// Probability an edge gains its reverse (drives % symmetric links).
+  double p_reciprocal = 0.55;
+  uint64_t seed = 4;
+};
+
+/// Generates the social graph. `truth` holds the planted communities so
+/// that quality can optionally be inspected, though the paper's Figure 9
+/// uses these datasets for timing only.
+Result<Dataset> GenerateSocial(const SocialOptions& options);
+
+}  // namespace dgc

@@ -1,0 +1,74 @@
+#include "graph/clustering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Index Clustering::NumClusters() const {
+  std::vector<Index> seen(labels_.begin(), labels_.end());
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  Index count = static_cast<Index>(seen.size());
+  if (!seen.empty() && seen.front() == kUnassigned) --count;
+  return count;
+}
+
+Index Clustering::Compact() {
+  std::unordered_map<Index, Index> remap;
+  remap.reserve(labels_.size());
+  Index next = 0;
+  for (Index& label : labels_) {
+    if (label == kUnassigned) continue;
+    auto [it, inserted] = remap.emplace(label, next);
+    if (inserted) ++next;
+    label = it->second;
+  }
+  return next;
+}
+
+std::vector<std::vector<Index>> Clustering::ToClusters() const {
+  Index k = 0;
+  for (Index label : labels_) {
+    DGC_CHECK_GE(label, kUnassigned);
+    k = std::max(k, label + 1);
+  }
+  std::vector<std::vector<Index>> clusters(static_cast<size_t>(k));
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    if (labels_[v] == kUnassigned) continue;
+    clusters[static_cast<size_t>(labels_[v])].push_back(
+        static_cast<Index>(v));
+  }
+  return clusters;
+}
+
+std::vector<Index> Clustering::ClusterSizes() const {
+  Index k = 0;
+  for (Index label : labels_) k = std::max(k, label + 1);
+  std::vector<Index> sizes(static_cast<size_t>(k), 0);
+  for (Index label : labels_) {
+    if (label != kUnassigned) ++sizes[static_cast<size_t>(label)];
+  }
+  return sizes;
+}
+
+void Clustering::AssignSingletons() {
+  Index next = 0;
+  for (Index label : labels_) next = std::max(next, label + 1);
+  for (Index& label : labels_) {
+    if (label == kUnassigned) label = next++;
+  }
+}
+
+void GroundTruth::RemoveSmallCategories(Index min_size) {
+  categories.erase(
+      std::remove_if(categories.begin(), categories.end(),
+                     [min_size](const std::vector<Index>& c) {
+                       return static_cast<Index>(c.size()) < min_size;
+                     }),
+      categories.end());
+}
+
+}  // namespace dgc

@@ -1,0 +1,80 @@
+// Clustering and ground-truth container types shared between the clustering
+// algorithms (src/cluster) and the evaluation code (src/eval).
+#pragma once
+
+#include <vector>
+
+#include "linalg/types.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief A hard (disjoint) clustering: labels[v] is the cluster id of
+/// vertex v, or kUnassigned for vertices no cluster claims.
+class Clustering {
+ public:
+  static constexpr Index kUnassigned = -1;
+
+  Clustering() = default;
+  /// All vertices unassigned.
+  explicit Clustering(Index num_vertices)
+      : labels_(static_cast<size_t>(num_vertices), kUnassigned) {}
+  /// From explicit labels; ids need not be contiguous (call Compact()).
+  explicit Clustering(std::vector<Index> labels)
+      : labels_(std::move(labels)) {}
+
+  Index NumVertices() const { return static_cast<Index>(labels_.size()); }
+
+  Index LabelOf(Index v) const { return labels_[static_cast<size_t>(v)]; }
+  void Assign(Index v, Index cluster) {
+    labels_[static_cast<size_t>(v)] = cluster;
+  }
+
+  const std::vector<Index>& labels() const { return labels_; }
+
+  /// Number of distinct non-negative labels.
+  Index NumClusters() const;
+
+  /// Remaps labels to a dense [0, NumClusters()) range, preserving
+  /// unassigned markers. Returns the new number of clusters.
+  Index Compact();
+
+  /// Materializes per-cluster member lists (index = compacted label).
+  /// Requires compact labels (call Compact() first if unsure).
+  std::vector<std::vector<Index>> ToClusters() const;
+
+  /// Sizes of each cluster (index = label). Requires compact labels.
+  std::vector<Index> ClusterSizes() const;
+
+  /// Assigns each unassigned vertex its own fresh singleton cluster.
+  void AssignSingletons();
+
+  bool operator==(const Clustering&) const = default;
+
+ private:
+  std::vector<Index> labels_;
+};
+
+/// \brief Ground truth: a set of possibly-overlapping categories, each a
+/// list of member vertices. Vertices may belong to zero or many categories
+/// (35% of Wikipedia nodes have none, Section 4.1).
+struct GroundTruth {
+  std::vector<std::vector<Index>> categories;
+
+  Index NumCategories() const {
+    return static_cast<Index>(categories.size());
+  }
+
+  /// Total number of (vertex, category) memberships.
+  Offset NumMemberships() const {
+    Offset total = 0;
+    for (const auto& c : categories) total += static_cast<Offset>(c.size());
+    return total;
+  }
+
+  /// Drops categories with fewer than `min_size` members (the paper removes
+  /// Wikipedia categories with <= 20 pages).
+  void RemoveSmallCategories(Index min_size);
+};
+
+}  // namespace dgc

@@ -1,0 +1,78 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dgc {
+
+namespace {
+
+/// Union-find with path halving + union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(Index n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1) {
+    for (Index i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+
+  Index Find(Index x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(Index a, Index b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[static_cast<size_t>(a)] < size_[static_cast<size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<size_t>(b)] = a;
+    size_[static_cast<size_t>(a)] += size_[static_cast<size_t>(b)];
+  }
+
+ private:
+  std::vector<Index> parent_;
+  std::vector<Index> size_;
+};
+
+std::vector<Index> ComponentsFromCsr(const CsrMatrix& adj) {
+  const Index n = adj.rows();
+  DisjointSets sets(n);
+  for (Index u = 0; u < n; ++u) {
+    for (Index v : adj.RowCols(u)) sets.Union(u, v);
+  }
+  std::vector<Index> labels(static_cast<size_t>(n));
+  std::vector<Index> remap(static_cast<size_t>(n), -1);
+  Index next = 0;
+  for (Index v = 0; v < n; ++v) {
+    Index root = sets.Find(v);
+    if (remap[static_cast<size_t>(root)] == -1) {
+      remap[static_cast<size_t>(root)] = next++;
+    }
+    labels[static_cast<size_t>(v)] = remap[static_cast<size_t>(root)];
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<Index> ConnectedComponents(const UGraph& g) {
+  return ComponentsFromCsr(g.adjacency());
+}
+
+std::vector<Index> WeaklyConnectedComponents(const Digraph& g) {
+  return ComponentsFromCsr(g.adjacency());
+}
+
+Index NumComponents(const std::vector<Index>& components) {
+  Index max_label = -1;
+  for (Index c : components) max_label = std::max(max_label, c);
+  return max_label + 1;
+}
+
+}  // namespace dgc

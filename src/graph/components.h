@@ -1,0 +1,21 @@
+// Connected components (weakly connected for directed graphs), used by
+// tests and by the clustering pipelines to report fragmentation.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+
+namespace dgc {
+
+/// Per-vertex component ids (dense, starting at 0) of an undirected graph.
+std::vector<Index> ConnectedComponents(const UGraph& g);
+
+/// Weakly connected components of a directed graph (direction ignored).
+std::vector<Index> WeaklyConnectedComponents(const Digraph& g);
+
+/// Number of distinct components in a component-label vector.
+Index NumComponents(const std::vector<Index>& components);
+
+}  // namespace dgc

@@ -1,0 +1,41 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace dgc {
+
+Result<Digraph> Digraph::FromEdges(Index num_vertices,
+                                   const std::vector<Edge>& edges) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size());
+  for (const Edge& e : edges) {
+    triplets.push_back(Triplet{e.src, e.dst, e.weight});
+  }
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix adj,
+      CsrMatrix::FromTriplets(num_vertices, num_vertices,
+                              std::move(triplets)));
+  return Digraph(std::move(adj));
+}
+
+Result<Digraph> Digraph::FromAdjacency(CsrMatrix adjacency) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("adjacency must be square, got " +
+                                   adjacency.DebugString());
+  }
+  DGC_RETURN_IF_ERROR(adjacency.Validate());
+  return Digraph(std::move(adjacency));
+}
+
+double Digraph::FractionSymmetricEdges() const {
+  if (NumEdges() == 0) return 0.0;
+  Offset symmetric = 0;
+  for (Index u = 0; u < NumVertices(); ++u) {
+    for (Index v : adjacency_.RowCols(u)) {
+      if (u == v || adjacency_.At(v, u) != 0.0) ++symmetric;
+    }
+  }
+  return static_cast<double>(symmetric) / static_cast<double>(NumEdges());
+}
+
+}  // namespace dgc

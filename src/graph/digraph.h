@@ -1,0 +1,74 @@
+// Directed graph over a CSR adjacency matrix. The input object of the
+// symmetrization framework (the paper's G with adjacency A).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// A weighted directed edge used during graph construction.
+struct Edge {
+  Index src = 0;
+  Index dst = 0;
+  Scalar weight = 1.0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// \brief Immutable directed graph G = (V, E) with weighted edges.
+///
+/// Self-loops are allowed; parallel edges are merged (weights summed) at
+/// construction. Adjacency is exposed as a CsrMatrix A with A(i, j) = weight
+/// of edge i -> j, so the symmetrizations are direct matrix expressions.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds from an edge list; duplicate (src, dst) weights are summed.
+  static Result<Digraph> FromEdges(Index num_vertices,
+                                   const std::vector<Edge>& edges);
+
+  /// Wraps an existing square adjacency matrix.
+  static Result<Digraph> FromAdjacency(CsrMatrix adjacency);
+
+  Index NumVertices() const { return adjacency_.rows(); }
+  Offset NumEdges() const { return adjacency_.nnz(); }
+
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  /// Out-degree (stored-edge count) of every vertex.
+  std::vector<Offset> OutDegrees() const { return adjacency_.RowCounts(); }
+  /// In-degree (stored-edge count) of every vertex.
+  std::vector<Offset> InDegrees() const { return adjacency_.ColCounts(); }
+  /// Weighted out-degree (sum of outgoing weights).
+  std::vector<Scalar> OutWeights() const { return adjacency_.RowSums(); }
+  /// Weighted in-degree.
+  std::vector<Scalar> InWeights() const { return adjacency_.ColSums(); }
+
+  /// True if edge u -> v exists.
+  bool HasEdge(Index u, Index v) const { return adjacency_.At(u, v) != 0.0; }
+
+  /// Out-neighbors of u.
+  std::span<const Index> OutNeighbors(Index u) const {
+    return adjacency_.RowCols(u);
+  }
+
+  /// Fraction of edges (u, v) for which (v, u) also exists — the paper's
+  /// "percentage of symmetric links" (Table 1). Self-loops count as
+  /// symmetric.
+  double FractionSymmetricEdges() const;
+
+  /// The reverse graph (all edges flipped).
+  Digraph Reversed() const { return Digraph(adjacency_.Transpose()); }
+
+ private:
+  explicit Digraph(CsrMatrix adjacency) : adjacency_(std::move(adjacency)) {}
+
+  CsrMatrix adjacency_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,52 @@
+#include "graph/graph_stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dgc {
+
+DatasetStats ComputeDatasetStats(const std::string& name, const Digraph& g,
+                                 const GroundTruth* truth) {
+  DatasetStats stats;
+  stats.name = name;
+  stats.vertices = g.NumVertices();
+  stats.edges = g.NumEdges();
+  stats.percent_symmetric = 100.0 * g.FractionSymmetricEdges();
+  stats.num_categories = truth ? truth->NumCategories() : 0;
+  return stats;
+}
+
+DegreeHistogram ComputeDegreeHistogram(const UGraph& g) {
+  DegreeHistogram h;
+  const std::vector<Offset> degrees = g.Degrees();
+  double total = 0.0;
+  for (Offset d : degrees) {
+    total += static_cast<double>(d);
+    h.max_degree = std::max(h.max_degree, d);
+    if (d == 0) {
+      ++h.zero_count;
+      continue;
+    }
+    size_t bucket = 0;
+    for (Offset x = d; x > 1; x >>= 1) ++bucket;
+    if (h.bucket_counts.size() <= bucket) h.bucket_counts.resize(bucket + 1, 0);
+    ++h.bucket_counts[bucket];
+  }
+  h.mean_degree =
+      degrees.empty() ? 0.0 : total / static_cast<double>(degrees.size());
+  return h;
+}
+
+std::string FormatDegreeHistogram(const DegreeHistogram& h) {
+  std::ostringstream os;
+  os << "degree_range,count\n";
+  os << "0," << h.zero_count << "\n";
+  for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+    const Offset lo = static_cast<Offset>(1) << b;
+    const Offset hi = (static_cast<Offset>(1) << (b + 1)) - 1;
+    os << lo << "-" << hi << "," << h.bucket_counts[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dgc

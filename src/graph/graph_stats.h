@@ -1,0 +1,43 @@
+// Dataset-summary statistics (the paper's Table 1) and degree histograms
+// (Figure 4 input).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+
+namespace dgc {
+
+/// One row of the paper's Table 1.
+struct DatasetStats {
+  std::string name;
+  Index vertices = 0;
+  Offset edges = 0;
+  double percent_symmetric = 0.0;  ///< % of edges with a reverse edge
+  Index num_categories = 0;        ///< 0 when no ground truth exists
+};
+
+/// Computes Table-1 statistics for a directed graph (+ optional truth).
+DatasetStats ComputeDatasetStats(const std::string& name, const Digraph& g,
+                                 const GroundTruth* truth = nullptr);
+
+/// \brief Log-binned degree histogram: bucket b counts vertices whose degree
+/// d satisfies 2^b <= d < 2^{b+1}; bucket 0 additionally holds d == 1 and a
+/// separate `zero_count` holds isolated vertices.
+struct DegreeHistogram {
+  std::vector<Offset> bucket_counts;  ///< index b covers [2^b, 2^{b+1})
+  Offset zero_count = 0;
+  Offset max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+/// Histogram of (unweighted) vertex degrees of an undirected graph.
+DegreeHistogram ComputeDegreeHistogram(const UGraph& g);
+
+/// Formats a histogram as "deg_range count" lines for experiment output.
+std::string FormatDegreeHistogram(const DegreeHistogram& h);
+
+}  // namespace dgc

@@ -1,0 +1,233 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace dgc {
+
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+Result<Digraph> ReadEdgeList(const std::string& path, Index num_vertices) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<Edge> edges;
+  Index max_id = -1;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ss(line);
+    int64_t src, dst;
+    double w = 1.0;
+    if (!(ss >> src >> dst)) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": expected 'src dst [weight]'");
+    }
+    ss >> w;
+    if (src < 0 || dst < 0) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": negative vertex id");
+    }
+    edges.push_back(Edge{static_cast<Index>(src), static_cast<Index>(dst),
+                         static_cast<Scalar>(w)});
+    max_id = std::max<Index>(max_id,
+                             static_cast<Index>(std::max(src, dst)));
+  }
+  const Index n = num_vertices > 0 ? num_vertices : max_id + 1;
+  if (max_id >= n) {
+    return Status::OutOfRange("vertex id " + std::to_string(max_id) +
+                              " >= declared num_vertices " +
+                              std::to_string(n));
+  }
+  return Digraph::FromEdges(n, edges);
+}
+
+Status WriteEdgeList(const Digraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# directed edge list: src dst weight\n";
+  out << "# vertices=" << g.NumVertices() << " edges=" << g.NumEdges()
+      << "\n";
+  const CsrMatrix& a = g.adjacency();
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    auto cols = a.RowCols(u);
+    auto vals = a.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      out << u << ' ' << cols[i] << ' ' << vals[i] << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<UGraph> ReadMetisGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  // Header.
+  int64_t n = 0, m = 0;
+  std::string fmt = "0";
+  while (std::getline(in, line)) {
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ss(line);
+    if (!(ss >> n >> m)) {
+      return Status::IOError(path + ": malformed METIS header");
+    }
+    ss >> fmt;
+    break;
+  }
+  const bool has_edge_weights = fmt.size() >= 1 && fmt.back() == '1';
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  Index u = 0;
+  while (u < n && std::getline(in, line)) {
+    if (!line.empty() && (line[0] == '%' || line[0] == '#')) continue;
+    std::istringstream ss(line);
+    int64_t v;
+    while (ss >> v) {
+      double w = 1.0;
+      if (has_edge_weights && !(ss >> w)) {
+        return Status::IOError(path + ": missing edge weight for vertex " +
+                               std::to_string(u + 1));
+      }
+      if (v < 1 || v > n) {
+        return Status::OutOfRange(path + ": neighbor id " +
+                                  std::to_string(v) + " out of [1," +
+                                  std::to_string(n) + "]");
+      }
+      const Index nb = static_cast<Index>(v - 1);
+      if (u < nb) {  // store each undirected edge once
+        edges.emplace_back(u, nb, static_cast<Scalar>(w));
+      }
+    }
+    ++u;
+  }
+  if (u != n) {
+    return Status::IOError(path + ": expected " + std::to_string(n) +
+                           " adjacency lines, got " + std::to_string(u));
+  }
+  return UGraph::FromEdges(static_cast<Index>(n), edges);
+}
+
+Status WriteMetisGraph(const UGraph& g, const std::string& path,
+                       double weight_scale) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << g.NumVertices() << ' ' << g.NumEdges() << " 001\n";
+  const CsrMatrix& a = g.adjacency();
+  for (Index u = 0; u < g.NumVertices(); ++u) {
+    auto cols = a.RowCols(u);
+    auto vals = a.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const int64_t w = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(vals[i] * weight_scale)));
+      out << (cols[i] + 1) << ' ' << w;
+      out << (i + 1 < cols.size() ? ' ' : '\n');
+    }
+    if (cols.empty()) out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<GroundTruth> ReadGroundTruth(const std::string& path,
+                                    Index num_vertices) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  GroundTruth truth;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ss(line);
+    int64_t vertex;
+    if (!(ss >> vertex)) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": expected 'vertex cat...'");
+    }
+    if (vertex < 0 || vertex >= num_vertices) {
+      return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                ": vertex id out of range");
+    }
+    int64_t cat;
+    while (ss >> cat) {
+      if (cat < 0) {
+        return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                  ": negative category id");
+      }
+      if (truth.categories.size() <= static_cast<size_t>(cat)) {
+        truth.categories.resize(static_cast<size_t>(cat) + 1);
+      }
+      truth.categories[static_cast<size_t>(cat)].push_back(
+          static_cast<Index>(vertex));
+    }
+  }
+  for (auto& members : truth.categories) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+  }
+  return truth;
+}
+
+Status WriteGroundTruth(const GroundTruth& truth, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  // Invert to vertex -> category lists for the line format.
+  Index max_vertex = -1;
+  for (const auto& members : truth.categories) {
+    for (Index v : members) max_vertex = std::max(max_vertex, v);
+  }
+  std::vector<std::vector<Index>> per_vertex(
+      static_cast<size_t>(max_vertex + 1));
+  for (size_t c = 0; c < truth.categories.size(); ++c) {
+    for (Index v : truth.categories[c]) {
+      per_vertex[static_cast<size_t>(v)].push_back(static_cast<Index>(c));
+    }
+  }
+  for (size_t v = 0; v < per_vertex.size(); ++v) {
+    if (per_vertex[v].empty()) continue;
+    out << v;
+    for (Index c : per_vertex[v]) out << ' ' << c;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Clustering> ReadClustering(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<Index> labels;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsCommentOrBlank(line)) continue;
+    labels.push_back(static_cast<Index>(std::strtol(line.c_str(), nullptr,
+                                                    10)));
+  }
+  return Clustering(std::move(labels));
+}
+
+Status WriteClustering(const Clustering& clustering,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (Index label : clustering.labels()) out << label << '\n';
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace dgc

@@ -1,0 +1,49 @@
+// File I/O: whitespace edge lists (SNAP style), the METIS graph format, and
+// ground-truth category files. Everything returns Status/Result.
+#pragma once
+
+#include <string>
+
+#include "graph/clustering.h"
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Reads a directed edge list: one "src dst [weight]" triple per
+/// line; '#' and '%' lines are comments. Vertex ids must be in
+/// [0, num_vertices); pass num_vertices = 0 to size the graph as
+/// max(id) + 1.
+Result<Digraph> ReadEdgeList(const std::string& path, Index num_vertices = 0);
+
+/// Writes "src dst weight" lines (weight omitted when uniformly 1).
+Status WriteEdgeList(const Digraph& g, const std::string& path);
+
+/// \brief Reads an undirected graph in METIS format: header "n m [fmt]",
+/// then line i lists the neighbors of vertex i (1-based), with weights when
+/// fmt has the edge-weight bit (001).
+Result<UGraph> ReadMetisGraph(const std::string& path);
+
+/// Writes METIS format with edge weights (fmt=001). Weights are rounded to
+/// positive integers as METIS requires; `weight_scale` multiplies weights
+/// before rounding (use for fractional similarity matrices).
+Status WriteMetisGraph(const UGraph& g, const std::string& path,
+                       double weight_scale = 1.0);
+
+/// \brief Reads ground truth: each line "vertex cat1 [cat2 ...]" assigns a
+/// vertex to one or more categories. Category ids are compacted.
+Result<GroundTruth> ReadGroundTruth(const std::string& path,
+                                    Index num_vertices);
+
+/// Writes ground truth in the same format.
+Status WriteGroundTruth(const GroundTruth& truth, const std::string& path);
+
+/// Reads a clustering: line i holds the cluster label of vertex i (-1 for
+/// unassigned).
+Result<Clustering> ReadClustering(const std::string& path);
+
+/// Writes one label per line.
+Status WriteClustering(const Clustering& clustering, const std::string& path);
+
+}  // namespace dgc

@@ -1,0 +1,122 @@
+#include "graph/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dgc {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'G', 'C', 'M'};
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[4];
+  uint32_t version;
+  int32_t rows;
+  int32_t cols;
+  int64_t nnz;
+};
+
+template <typename T>
+bool WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool WriteVector(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return static_cast<bool>(out);
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVector(std::ifstream& in, size_t count, std::vector<T>* v) {
+  v->resize(count);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveMatrix(const CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.rows = m.rows();
+  header.cols = m.cols();
+  header.nnz = m.nnz();
+  if (!WritePod(out, header)) return Status::IOError("header write failed");
+  const std::vector<Offset> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
+  const std::vector<Index> col_idx(m.col_idx().begin(), m.col_idx().end());
+  const std::vector<Scalar> values(m.values().begin(), m.values().end());
+  if (!WriteVector(out, row_ptr) || !WriteVector(out, col_idx) ||
+      !WriteVector(out, values)) {
+    return Status::IOError("array write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<CsrMatrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  Header header;
+  if (!ReadPod(in, &header)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a dgc matrix file");
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported version " + std::to_string(header.version));
+  }
+  if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
+    return Status::InvalidArgument(path + ": negative dimensions");
+  }
+  std::vector<Offset> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  if (!ReadVector(in, static_cast<size_t>(header.rows) + 1, &row_ptr) ||
+      !ReadVector(in, static_cast<size_t>(header.nnz), &col_idx) ||
+      !ReadVector(in, static_cast<size_t>(header.nnz), &values)) {
+    return Status::IOError(path + ": truncated arrays");
+  }
+  // FromParts re-validates every CSR invariant, so corrupt files cannot
+  // produce an inconsistent matrix.
+  return CsrMatrix::FromParts(header.rows, header.cols, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+Status SaveDigraph(const Digraph& g, const std::string& path) {
+  return SaveMatrix(g.adjacency(), path);
+}
+
+Result<Digraph> LoadDigraph(const std::string& path) {
+  DGC_ASSIGN_OR_RETURN(CsrMatrix adjacency, LoadMatrix(path));
+  return Digraph::FromAdjacency(std::move(adjacency));
+}
+
+Status SaveUGraph(const UGraph& g, const std::string& path) {
+  return SaveMatrix(g.adjacency(), path);
+}
+
+Result<UGraph> LoadUGraph(const std::string& path) {
+  DGC_ASSIGN_OR_RETURN(CsrMatrix adjacency, LoadMatrix(path));
+  return UGraph::FromSymmetricAdjacency(std::move(adjacency),
+                                        /*drop_self_loops=*/false);
+}
+
+}  // namespace dgc

@@ -1,0 +1,31 @@
+// Binary serialization of CSR matrices and graphs: a small versioned
+// format so symmetrized graphs (expensive to compute at scale) can be
+// cached between runs. Little-endian, header-checked, no external deps.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// Writes `m` to `path` in the dgc binary matrix format (magic "DGCM",
+/// version, dims, then the three CSR arrays).
+Status SaveMatrix(const CsrMatrix& m, const std::string& path);
+
+/// Reads a matrix written by SaveMatrix. Validates the header, version,
+/// array sizes, and full CSR invariants before returning.
+Result<CsrMatrix> LoadMatrix(const std::string& path);
+
+/// Digraph convenience wrappers (adjacency matrix + squareness check).
+Status SaveDigraph(const Digraph& g, const std::string& path);
+Result<Digraph> LoadDigraph(const std::string& path);
+
+/// UGraph convenience wrappers (symmetry re-validated on load).
+Status SaveUGraph(const UGraph& g, const std::string& path);
+Result<UGraph> LoadUGraph(const std::string& path);
+
+}  // namespace dgc

@@ -1,0 +1,56 @@
+#include "graph/ugraph.h"
+
+#include <cmath>
+#include <tuple>
+
+namespace dgc {
+
+Result<UGraph> UGraph::FromSymmetricAdjacency(CsrMatrix adjacency,
+                                              bool drop_self_loops,
+                                              Scalar tol) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("adjacency must be square, got " +
+                                   adjacency.DebugString());
+  }
+  if (!adjacency.IsSymmetric(tol)) {
+    return Status::InvalidArgument(
+        "adjacency is not symmetric within tolerance");
+  }
+  if (drop_self_loops) {
+    adjacency = adjacency.Pruned(0.0, /*drop_diagonal=*/true);
+  }
+  return UGraph(std::move(adjacency));
+}
+
+Result<UGraph> UGraph::FromEdges(
+    Index num_vertices,
+    const std::vector<std::tuple<Index, Index, Scalar>>& edges) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [u, v, w] : edges) {
+    if (u == v) continue;
+    triplets.push_back(Triplet{u, v, w});
+    triplets.push_back(Triplet{v, u, w});
+  }
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix adj,
+      CsrMatrix::FromTriplets(num_vertices, num_vertices,
+                              std::move(triplets)));
+  return UGraph(std::move(adj));
+}
+
+Scalar UGraph::Volume() const {
+  Scalar v = 0.0;
+  for (Scalar w : adjacency_.values()) v += w;
+  return v;
+}
+
+Index UGraph::NumSingletons() const {
+  Index count = 0;
+  for (Index i = 0; i < NumVertices(); ++i) {
+    if (adjacency_.RowNnz(i) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace dgc

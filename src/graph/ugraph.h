@@ -1,0 +1,67 @@
+// Undirected weighted graph: the output of a symmetrization and the input
+// to every stage-2 clustering algorithm.
+#pragma once
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Undirected weighted graph stored as a symmetric CSR adjacency.
+///
+/// Construction enforces symmetry (within a tolerance) and strips diagonal
+/// entries unless asked otherwise, since the multilevel clusterers treat
+/// self-loops specially.
+class UGraph {
+ public:
+  UGraph() = default;
+
+  /// Wraps a symmetric adjacency matrix. Returns InvalidArgument if the
+  /// matrix is not symmetric within `tol`. Drops self-loops when
+  /// `drop_self_loops`.
+  static Result<UGraph> FromSymmetricAdjacency(CsrMatrix adjacency,
+                                               bool drop_self_loops = true,
+                                               Scalar tol = 1e-9);
+
+  /// Builds from undirected edges (u, v, w); each inserted in both
+  /// directions, duplicates summed, self-loops dropped.
+  static Result<UGraph> FromEdges(
+      Index num_vertices,
+      const std::vector<std::tuple<Index, Index, Scalar>>& edges);
+
+  Index NumVertices() const { return adjacency_.rows(); }
+  /// Number of undirected edges (stored nonzeros / 2).
+  Offset NumEdges() const { return adjacency_.nnz() / 2; }
+  /// Number of stored directed arcs (2 per undirected edge).
+  Offset NumArcs() const { return adjacency_.nnz(); }
+
+  const CsrMatrix& adjacency() const { return adjacency_; }
+
+  std::span<const Index> Neighbors(Index u) const {
+    return adjacency_.RowCols(u);
+  }
+  std::span<const Scalar> NeighborWeights(Index u) const {
+    return adjacency_.RowValues(u);
+  }
+
+  /// Weighted degree of every vertex (sum of incident edge weights).
+  std::vector<Scalar> WeightedDegrees() const { return adjacency_.RowSums(); }
+  /// Unweighted degree of every vertex.
+  std::vector<Offset> Degrees() const { return adjacency_.RowCounts(); }
+  /// Total edge-weight volume: sum of weighted degrees.
+  Scalar Volume() const;
+
+  /// Number of vertices with no incident edges.
+  Index NumSingletons() const;
+
+ private:
+  explicit UGraph(CsrMatrix adjacency) : adjacency_(std::move(adjacency)) {}
+
+  CsrMatrix adjacency_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,334 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Result<CsrMatrix> CsrMatrix::FromParts(Index rows, Index cols,
+                                       std::vector<Offset> row_ptr,
+                                       std::vector<Index> col_idx,
+                                       std::vector<Scalar> values) {
+  CsrMatrix m(rows, cols, std::move(row_ptr), std::move(col_idx),
+              std::move(values));
+  DGC_RETURN_IF_ERROR(m.Validate());
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromTriplets(Index rows, Index cols,
+                                          std::vector<Triplet> triplets) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::OutOfRange("triplet (" + std::to_string(t.row) + "," +
+                                std::to_string(t.col) +
+                                ") outside matrix of shape " +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols));
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Combine duplicates in place.
+  size_t out = 0;
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    if (out > 0 && triplets[out - 1].row == triplets[i].row &&
+        triplets[out - 1].col == triplets[i].col) {
+      triplets[out - 1].value += triplets[i].value;
+    } else {
+      triplets[out++] = triplets[i];
+    }
+  }
+  triplets.resize(out);
+
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<Index> col_idx(out);
+  std::vector<Scalar> values(out);
+  for (const Triplet& t : triplets) ++row_ptr[static_cast<size_t>(t.row) + 1];
+  for (Index r = 0; r < rows; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] += row_ptr[static_cast<size_t>(r)];
+  }
+  for (size_t i = 0; i < out; ++i) {
+    col_idx[i] = triplets[i].col;
+    values[i] = triplets[i].value;
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::Identity(Index n) {
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1);
+  std::vector<Index> col_idx(static_cast<size_t>(n));
+  std::vector<Scalar> values(static_cast<size_t>(n), 1.0);
+  for (Index i = 0; i <= n; ++i) row_ptr[static_cast<size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) col_idx[static_cast<size_t>(i)] = i;
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::Zero(Index rows, Index cols) {
+  return CsrMatrix(rows, cols,
+                   std::vector<Offset>(static_cast<size_t>(rows) + 1, 0), {},
+                   {});
+}
+
+Scalar CsrMatrix::At(Index i, Index j) const {
+  DGC_CHECK(i >= 0 && i < rows_);
+  DGC_CHECK(j >= 0 && j < cols_);
+  auto cols = RowCols(i);
+  auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  return values_[static_cast<size_t>(row_ptr_[i] + (it - cols.begin()))];
+}
+
+Status CsrMatrix::Validate() const {
+  if (rows_ < 0 || cols_ < 0) {
+    return Status::InvalidArgument("negative dimensions");
+  }
+  if (row_ptr_.size() != static_cast<size_t>(rows_) + 1) {
+    return Status::InvalidArgument("row_ptr size != rows+1");
+  }
+  if (row_ptr_.front() != 0) {
+    return Status::InvalidArgument("row_ptr[0] != 0");
+  }
+  if (row_ptr_.back() != static_cast<Offset>(col_idx_.size()) ||
+      col_idx_.size() != values_.size()) {
+    return Status::InvalidArgument("array sizes inconsistent with row_ptr");
+  }
+  for (Index r = 0; r < rows_; ++r) {
+    if (row_ptr_[static_cast<size_t>(r) + 1] <
+        row_ptr_[static_cast<size_t>(r)]) {
+      return Status::InvalidArgument("row_ptr not non-decreasing at row " +
+                                     std::to_string(r));
+    }
+    Index prev = -1;
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      Index c = col_idx_[static_cast<size_t>(p)];
+      if (c < 0 || c >= cols_) {
+        return Status::OutOfRange("column index " + std::to_string(c) +
+                                  " out of range in row " + std::to_string(r));
+      }
+      if (c <= prev) {
+        return Status::InvalidArgument(
+            "columns not strictly increasing in row " + std::to_string(r));
+      }
+      prev = c;
+    }
+  }
+  return Status::OK();
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Offset> t_row_ptr(static_cast<size_t>(cols_) + 1, 0);
+  std::vector<Index> t_col_idx(col_idx_.size());
+  std::vector<Scalar> t_values(values_.size());
+  for (Index c : col_idx_) ++t_row_ptr[static_cast<size_t>(c) + 1];
+  for (Index c = 0; c < cols_; ++c) {
+    t_row_ptr[static_cast<size_t>(c) + 1] += t_row_ptr[static_cast<size_t>(c)];
+  }
+  std::vector<Offset> fill(t_row_ptr.begin(), t_row_ptr.end() - 1);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      Index c = col_idx_[static_cast<size_t>(p)];
+      Offset dst = fill[static_cast<size_t>(c)]++;
+      t_col_idx[static_cast<size_t>(dst)] = r;
+      t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+    }
+  }
+  // Rows of the transpose are filled in increasing source-row order, so
+  // columns are already sorted.
+  return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
+                   std::move(t_values));
+}
+
+std::vector<Scalar> CsrMatrix::RowSums() const {
+  std::vector<Scalar> sums(static_cast<size_t>(rows_), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    Scalar s = 0.0;
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      s += values_[static_cast<size_t>(p)];
+    }
+    sums[static_cast<size_t>(r)] = s;
+  }
+  return sums;
+}
+
+std::vector<Scalar> CsrMatrix::ColSums() const {
+  std::vector<Scalar> sums(static_cast<size_t>(cols_), 0.0);
+  for (size_t p = 0; p < col_idx_.size(); ++p) {
+    sums[static_cast<size_t>(col_idx_[p])] += values_[p];
+  }
+  return sums;
+}
+
+std::vector<Offset> CsrMatrix::RowCounts() const {
+  std::vector<Offset> counts(static_cast<size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) counts[static_cast<size_t>(r)] = RowNnz(r);
+  return counts;
+}
+
+std::vector<Offset> CsrMatrix::ColCounts() const {
+  std::vector<Offset> counts(static_cast<size_t>(cols_), 0);
+  for (Index c : col_idx_) ++counts[static_cast<size_t>(c)];
+  return counts;
+}
+
+void CsrMatrix::ScaleRows(std::span<const Scalar> scale) {
+  DGC_CHECK_EQ(static_cast<Index>(scale.size()), rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const Scalar s = scale[static_cast<size_t>(r)];
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      values_[static_cast<size_t>(p)] *= s;
+    }
+  }
+}
+
+void CsrMatrix::ScaleCols(std::span<const Scalar> scale) {
+  DGC_CHECK_EQ(static_cast<Index>(scale.size()), cols_);
+  for (size_t p = 0; p < col_idx_.size(); ++p) {
+    values_[p] *= scale[static_cast<size_t>(col_idx_[p])];
+  }
+}
+
+CsrMatrix CsrMatrix::Pruned(Scalar threshold, bool drop_diagonal) const {
+  std::vector<Offset> new_row_ptr(static_cast<size_t>(rows_) + 1, 0);
+  std::vector<Index> new_col_idx;
+  std::vector<Scalar> new_values;
+  new_col_idx.reserve(col_idx_.size());
+  new_values.reserve(values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const Index c = col_idx_[static_cast<size_t>(p)];
+      const Scalar v = values_[static_cast<size_t>(p)];
+      if (std::abs(v) < threshold) continue;
+      if (drop_diagonal && c == r) continue;
+      new_col_idx.push_back(c);
+      new_values.push_back(v);
+    }
+    new_row_ptr[static_cast<size_t>(r) + 1] =
+        static_cast<Offset>(new_col_idx.size());
+  }
+  return CsrMatrix(rows_, cols_, std::move(new_row_ptr),
+                   std::move(new_col_idx), std::move(new_values));
+}
+
+Result<CsrMatrix> CsrMatrix::PlusIdentity() const {
+  if (rows_ != cols_) {
+    return Status::InvalidArgument("PlusIdentity requires a square matrix");
+  }
+  return Add(*this, Identity(rows_));
+}
+
+Result<CsrMatrix> CsrMatrix::Add(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument("Add: shape mismatch " + a.DebugString() +
+                                   " vs " + b.DebugString());
+  }
+  std::vector<Offset> row_ptr(static_cast<size_t>(a.rows()) + 1, 0);
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  col_idx.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  values.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  for (Index r = 0; r < a.rows(); ++r) {
+    auto ac = a.RowCols(r);
+    auto av = a.RowValues(r);
+    auto bc = b.RowCols(r);
+    auto bv = b.RowValues(r);
+    size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        col_idx.push_back(ac[i]);
+        values.push_back(av[i]);
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        col_idx.push_back(bc[j]);
+        values.push_back(bv[j]);
+        ++j;
+      } else {
+        col_idx.push_back(ac[i]);
+        values.push_back(av[i] + bv[j]);
+        ++i;
+        ++j;
+      }
+    }
+    row_ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(col_idx.size());
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+void CsrMatrix::Multiply(std::span<const Scalar> x,
+                         std::span<Scalar> y) const {
+  DGC_CHECK_EQ(static_cast<Index>(x.size()), cols_);
+  DGC_CHECK_EQ(static_cast<Index>(y.size()), rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    Scalar acc = 0.0;
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      acc += values_[static_cast<size_t>(p)] *
+             x[static_cast<size_t>(col_idx_[static_cast<size_t>(p)])];
+    }
+    y[static_cast<size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::MultiplyTranspose(std::span<const Scalar> x,
+                                  std::span<Scalar> y) const {
+  DGC_CHECK_EQ(static_cast<Index>(x.size()), rows_);
+  DGC_CHECK_EQ(static_cast<Index>(y.size()), cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    const Scalar xr = x[static_cast<size_t>(r)];
+    if (xr == 0.0) continue;
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      y[static_cast<size_t>(col_idx_[static_cast<size_t>(p)])] +=
+          values_[static_cast<size_t>(p)] * xr;
+    }
+  }
+}
+
+bool CsrMatrix::IsSymmetric(Scalar tol) const {
+  if (rows_ != cols_) return false;
+  CsrMatrix t = Transpose();
+  if (t.row_ptr_ != row_ptr_ || t.col_idx_ != col_idx_) return false;
+  for (size_t p = 0; p < values_.size(); ++p) {
+    if (std::abs(values_[p] - t.values_[p]) > tol) return false;
+  }
+  return true;
+}
+
+std::vector<Scalar> CsrMatrix::ToDense() const {
+  std::vector<Scalar> dense(static_cast<size_t>(rows_) *
+                                static_cast<size_t>(cols_),
+                            0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      dense[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+            static_cast<size_t>(col_idx_[static_cast<size_t>(p)])] =
+          values_[static_cast<size_t>(p)];
+    }
+  }
+  return dense;
+}
+
+std::string CsrMatrix::DebugString() const {
+  std::ostringstream os;
+  os << "CsrMatrix " << rows_ << "x" << cols_ << ", nnz=" << nnz();
+  return os.str();
+}
+
+}  // namespace dgc

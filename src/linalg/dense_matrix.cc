@@ -1,0 +1,79 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dgc {
+
+void JacobiEigenSymmetric(const DenseMatrix& a,
+                          std::vector<Scalar>* eigenvalues,
+                          DenseMatrix* eigenvectors) {
+  const Index n = a.rows();
+  DGC_CHECK_EQ(a.rows(), a.cols());
+  DenseMatrix m = a;
+  DenseMatrix v(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const int kMaxSweeps = 100;
+  const Scalar kTol = 1e-24;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; stop when annihilated.
+    Scalar off = 0.0;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < kTol) break;
+
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const Scalar apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const Scalar app = m(p, p);
+        const Scalar aqq = m(q, q);
+        const Scalar tau = (aqq - app) / (2.0 * apq);
+        const Scalar t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const Scalar c = 1.0 / std::sqrt(1.0 + t * t);
+        const Scalar s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides.
+        for (Index k = 0; k < n; ++k) {
+          const Scalar mkp = m(k, p);
+          const Scalar mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Scalar mpk = m(p, k);
+          const Scalar mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Scalar vkp = v(k, p);
+          const Scalar vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&m](Index x, Index y) { return m(x, x) > m(y, y); });
+
+  eigenvalues->resize(static_cast<size_t>(n));
+  *eigenvectors = DenseMatrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index src = order[static_cast<size_t>(j)];
+    (*eigenvalues)[static_cast<size_t>(j)] = m(src, src);
+    for (Index i = 0; i < n; ++i) {
+      (*eigenvectors)(i, j) = v(i, src);
+    }
+  }
+}
+
+}  // namespace dgc

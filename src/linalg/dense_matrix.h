@@ -1,0 +1,72 @@
+// Small dense row-major matrix used by the spectral baselines (embedding
+// matrices, projected eigenproblems) and k-means. Not intended for large n.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/types.h"
+#include "util/logging.h"
+
+namespace dgc {
+
+/// \brief Row-major dense matrix of Scalars.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(Index rows, Index cols, Scalar fill = 0.0)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    DGC_CHECK_GE(rows, 0);
+    DGC_CHECK_GE(cols, 0);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  Scalar& operator()(Index r, Index c) {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  Scalar operator()(Index r, Index c) const {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  /// Row r as a contiguous span.
+  std::span<Scalar> Row(Index r) {
+    return std::span<Scalar>(
+        data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_),
+        static_cast<size_t>(cols_));
+  }
+  std::span<const Scalar> Row(Index r) const {
+    return std::span<const Scalar>(
+        data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_),
+        static_cast<size_t>(cols_));
+  }
+
+  std::span<const Scalar> data() const { return data_; }
+  std::span<Scalar> mutable_data() { return data_; }
+
+  bool operator==(const DenseMatrix&) const = default;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Scalar> data_;
+};
+
+/// \brief Eigendecomposition of a small dense symmetric matrix via cyclic
+/// Jacobi rotations.
+///
+/// On return, `eigenvalues` holds all eigenvalues in descending order and
+/// column j of `eigenvectors` (an n x n matrix) is the unit eigenvector for
+/// eigenvalues[j]. Input must be symmetric; only the upper triangle is read.
+/// Converges for any symmetric matrix; cost O(n^3) with a small constant —
+/// fine for the <=200-dim projected problems we solve.
+void JacobiEigenSymmetric(const DenseMatrix& a,
+                          std::vector<Scalar>* eigenvalues,
+                          DenseMatrix* eigenvectors);
+
+}  // namespace dgc

@@ -1,0 +1,83 @@
+#include "linalg/power_iteration.h"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace dgc {
+
+CsrMatrix RowStochastic(const CsrMatrix& a) {
+  CsrMatrix p = a;
+  std::vector<Scalar> sums = a.RowSums();
+  std::vector<Scalar> inv(sums.size());
+  for (size_t i = 0; i < sums.size(); ++i) {
+    inv[i] = sums[i] > 0.0 ? 1.0 / sums[i] : 0.0;
+  }
+  p.ScaleRows(inv);
+  return p;
+}
+
+Result<PageRankResult> PageRank(const CsrMatrix& a,
+                                const PageRankOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("PageRank requires a square matrix, got " +
+                                   a.DebugString());
+  }
+  if (a.rows() == 0) {
+    return Status::InvalidArgument("PageRank on an empty matrix");
+  }
+  if (options.teleport < 0.0 || options.teleport > 1.0) {
+    return Status::InvalidArgument("teleport probability must be in [0,1]");
+  }
+  const Index n = a.rows();
+  const size_t un = static_cast<size_t>(n);
+  const CsrMatrix p = RowStochastic(a);
+
+  // Identify dangling nodes once.
+  std::vector<char> dangling(un, 0);
+  for (Index i = 0; i < n; ++i) {
+    if (p.RowNnz(i) == 0) dangling[static_cast<size_t>(i)] = 1;
+  }
+
+  std::vector<Scalar> pi(un, 1.0 / static_cast<Scalar>(n));
+  std::vector<Scalar> next(un, 0.0);
+  PageRankResult result;
+  const Scalar t = options.teleport;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // next = pi^T P  (push-based: scatter each pi[i] along row i).
+    std::fill(next.begin(), next.end(), 0.0);
+    Scalar dangling_mass = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const Scalar mass = pi[static_cast<size_t>(i)];
+      if (dangling[static_cast<size_t>(i)]) {
+        dangling_mass += mass;
+        continue;
+      }
+      auto cols = p.RowCols(i);
+      auto vals = p.RowValues(i);
+      for (size_t j = 0; j < cols.size(); ++j) {
+        next[static_cast<size_t>(cols[j])] += mass * vals[j];
+      }
+    }
+    const Scalar base =
+        t / static_cast<Scalar>(n) +
+        (1.0 - t) * dangling_mass / static_cast<Scalar>(n);
+    for (size_t i = 0; i < un; ++i) {
+      next[i] = (1.0 - t) * next[i] + base;
+    }
+    const Scalar delta = L1Distance(pi, next);
+    pi.swap(next);
+    result.iterations = iter + 1;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // Guard against drift: renormalize to a probability vector.
+  NormalizeL1(pi);
+  result.pi = std::move(pi);
+  return result;
+}
+
+}  // namespace dgc

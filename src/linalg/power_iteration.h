@@ -1,0 +1,46 @@
+// Random-walk machinery: row-stochastic normalization and the PageRank-style
+// power iteration used by the Random-walk symmetrization (Section 3.2).
+#pragma once
+
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Returns the transition matrix P of the natural random walk on A:
+/// each nonzero row divided by its sum. Zero rows (dangling nodes) stay
+/// zero; the power iteration redistributes their mass uniformly.
+CsrMatrix RowStochastic(const CsrMatrix& a);
+
+/// Options for the stationary-distribution computation.
+struct PageRankOptions {
+  /// Teleport probability. The paper uses 0.05 (Section 4.2).
+  Scalar teleport = 0.05;
+  /// Convergence tolerance on the L1 change between iterates.
+  Scalar tolerance = 1e-10;
+  /// Iteration cap.
+  int max_iterations = 200;
+};
+
+/// Result of a PageRank computation.
+struct PageRankResult {
+  /// The stationary distribution pi (sums to 1).
+  std::vector<Scalar> pi;
+  /// Iterations actually performed.
+  int iterations = 0;
+  /// Whether the L1 tolerance was reached within max_iterations.
+  bool converged = false;
+};
+
+/// \brief Computes pi with pi = (1-t) * (pi P + dangling/n) + t/n by power
+/// iteration, where P = RowStochastic(a).
+///
+/// Returns InvalidArgument for non-square or empty input. A run that hits
+/// max_iterations still returns a (best-effort) result with
+/// converged == false, mirroring practical PageRank usage.
+Result<PageRankResult> PageRank(const CsrMatrix& a,
+                                const PageRankOptions& options = {});
+
+}  // namespace dgc

@@ -1,0 +1,122 @@
+#include "linalg/spgemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace dgc {
+
+namespace {
+
+/// Computes one output row of C = A * B into (cols, vals), using
+/// accumulator/marker workspaces of size cols(B). marker[c] == row marks
+/// column c as touched for the current row.
+void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
+                const SpGemmOptions& options, std::vector<Scalar>& accum,
+                std::vector<Index>& marker, std::vector<Index>& touched,
+                std::vector<Index>& out_cols, std::vector<Scalar>& out_vals) {
+  touched.clear();
+  auto a_cols = a.RowCols(row);
+  auto a_vals = a.RowValues(row);
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const Index k = a_cols[i];
+    const Scalar av = a_vals[i];
+    auto b_cols = b.RowCols(k);
+    auto b_vals = b.RowValues(k);
+    for (size_t j = 0; j < b_cols.size(); ++j) {
+      const Index c = b_cols[j];
+      if (marker[static_cast<size_t>(c)] != row) {
+        marker[static_cast<size_t>(c)] = row;
+        accum[static_cast<size_t>(c)] = 0.0;
+        touched.push_back(c);
+      }
+      accum[static_cast<size_t>(c)] += av * b_vals[j];
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  out_cols.clear();
+  out_vals.clear();
+  for (Index c : touched) {
+    const Scalar v = accum[static_cast<size_t>(c)];
+    if (std::abs(v) < options.threshold) continue;
+    if (options.drop_diagonal && c == row) continue;
+    out_cols.push_back(c);
+    out_vals.push_back(v);
+  }
+}
+
+}  // namespace
+
+Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
+                         const SpGemmOptions& options) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("SpGemm: inner dimensions differ (" +
+                                   a.DebugString() + " * " + b.DebugString() +
+                                   ")");
+  }
+  const Index rows = a.rows();
+  const Index cols = b.cols();
+  const int threads = std::max(1, options.num_threads);
+
+  // Per-row results gathered into per-thread buckets, then concatenated.
+  std::vector<std::vector<Index>> row_cols(static_cast<size_t>(rows));
+  std::vector<std::vector<Scalar>> row_vals(static_cast<size_t>(rows));
+
+  ParallelForChunked(
+      0, rows, threads,
+      [&](int64_t lo, int64_t hi) {
+        std::vector<Scalar> accum(static_cast<size_t>(cols), 0.0);
+        std::vector<Index> marker(static_cast<size_t>(cols), -1);
+        std::vector<Index> touched;
+        std::vector<Index> out_cols;
+        std::vector<Scalar> out_vals;
+        for (int64_t r = lo; r < hi; ++r) {
+          ComputeRow(a, b, static_cast<Index>(r), options, accum, marker,
+                     touched, out_cols, out_vals);
+          row_cols[static_cast<size_t>(r)] = out_cols;
+          row_vals[static_cast<size_t>(r)] = out_vals;
+        }
+      });
+
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] +
+        static_cast<Offset>(row_cols[static_cast<size_t>(r)].size());
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  for (Index r = 0; r < rows; ++r) {
+    std::copy(row_cols[static_cast<size_t>(r)].begin(),
+              row_cols[static_cast<size_t>(r)].end(),
+              col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
+    std::copy(row_vals[static_cast<size_t>(r)].begin(),
+              row_vals[static_cast<size_t>(r)].end(),
+              values.begin() + row_ptr[static_cast<size_t>(r)]);
+  }
+  return CsrMatrix::FromParts(rows, cols, std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+}
+
+Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const SpGemmOptions& options) {
+  return SpGemm(a, a.Transpose(), options);
+}
+
+Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a, const SpGemmOptions& options) {
+  return SpGemm(a.Transpose(), a, options);
+}
+
+Offset SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b) {
+  DGC_CHECK_EQ(a.cols(), b.rows());
+  Offset flops = 0;
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index k : a.RowCols(r)) {
+      flops += b.RowNnz(k);
+    }
+  }
+  return flops;
+}
+
+}  // namespace dgc

@@ -1,0 +1,48 @@
+// Sparse general matrix-matrix multiplication (SpGEMM) with optional
+// on-the-fly magnitude pruning — the workhorse of the Bibliometric and
+// Degree-discounted symmetrizations (Sections 3.3-3.5 of the paper).
+#pragma once
+
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// Options controlling SpGEMM output filtering.
+struct SpGemmOptions {
+  /// Entries with |value| < threshold are dropped from the product as each
+  /// output row is finalized (the paper's "prune threshold", Section 3.5).
+  Scalar threshold = 0.0;
+
+  /// Drop C(i, i). Symmetrized graphs feed into clustering algorithms that
+  /// expect no self-loops.
+  bool drop_diagonal = false;
+
+  /// Threads for row-parallel execution. 1 (the default) reproduces the
+  /// paper's single-threaded setup.
+  int num_threads = 1;
+};
+
+/// \brief C = A * B using Gustavson's algorithm with a dense accumulator.
+///
+/// Per output row: scatter contributions into a cols(B)-sized accumulator,
+/// gather touched columns, sort, filter by `options`. Complexity
+/// O(sum_i sum_{k in row i of A} nnz(B_k)) — the paper's O(sum d_i^2) bound
+/// for similarity products.
+Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
+                         const SpGemmOptions& options = {});
+
+/// \brief C = A * Aᵀ (bibliographic-coupling pattern, Kessler 1963).
+/// Materializes Aᵀ once, then calls SpGemm.
+Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a,
+                            const SpGemmOptions& options = {});
+
+/// \brief C = Aᵀ * A (co-citation pattern, Small 1973).
+Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a,
+                            const SpGemmOptions& options = {});
+
+/// \brief Number of multiply-adds SpGemm(a, b) would perform (the FLOP
+/// count); useful for picking thresholds and for complexity experiments.
+Offset SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace dgc

@@ -1,0 +1,26 @@
+// Fundamental scalar/index types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace dgc {
+
+/// Vertex / row / column index. Graphs up to ~2B vertices.
+using Index = int32_t;
+
+/// Edge / nonzero offset. Edge counts may exceed 32 bits.
+using Offset = int64_t;
+
+/// Edge weight / matrix value.
+using Scalar = double;
+
+/// A single (row, col, value) matrix entry used during construction.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  Scalar value = 0.0;
+
+  bool operator==(const Triplet&) const = default;
+};
+
+}  // namespace dgc

@@ -1,0 +1,59 @@
+#include "linalg/vector_ops.h"
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Scalar Dot(std::span<const Scalar> x, std::span<const Scalar> y) {
+  DGC_CHECK_EQ(x.size(), y.size());
+  Scalar acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+Scalar Norm2(std::span<const Scalar> x) { return std::sqrt(Dot(x, x)); }
+
+Scalar Norm1(std::span<const Scalar> x) {
+  Scalar acc = 0.0;
+  for (Scalar v : x) acc += std::abs(v);
+  return acc;
+}
+
+void Axpy(Scalar alpha, std::span<const Scalar> x, std::span<Scalar> y) {
+  DGC_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(Scalar alpha, std::span<Scalar> x) {
+  for (Scalar& v : x) v *= alpha;
+}
+
+Scalar NormalizeL2(std::span<Scalar> x) {
+  Scalar n = Norm2(x);
+  if (n > 0.0) Scale(1.0 / n, x);
+  return n;
+}
+
+Scalar NormalizeL1(std::span<Scalar> x) {
+  Scalar n = 0.0;
+  for (Scalar v : x) n += v;
+  if (n != 0.0) Scale(1.0 / n, x);
+  return n;
+}
+
+Scalar L1Distance(std::span<const Scalar> x, std::span<const Scalar> y) {
+  DGC_CHECK_EQ(x.size(), y.size());
+  Scalar acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += std::abs(x[i] - y[i]);
+  return acc;
+}
+
+std::vector<Scalar> InversePower(std::span<const Scalar> x, Scalar p) {
+  std::vector<Scalar> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] > 0.0 ? std::pow(x[i], -p) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace dgc

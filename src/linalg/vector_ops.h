@@ -1,0 +1,42 @@
+// Small dense-vector helpers shared by the iterative solvers.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace dgc {
+
+/// <x, y>.
+Scalar Dot(std::span<const Scalar> x, std::span<const Scalar> y);
+
+/// ||x||_2.
+Scalar Norm2(std::span<const Scalar> x);
+
+/// sum_i |x_i|.
+Scalar Norm1(std::span<const Scalar> x);
+
+/// y += alpha * x.
+void Axpy(Scalar alpha, std::span<const Scalar> x, std::span<Scalar> y);
+
+/// x *= alpha.
+void Scale(Scalar alpha, std::span<Scalar> x);
+
+/// Normalizes x to unit L2 norm; returns the original norm (0 if x == 0, in
+/// which case x is left unchanged).
+Scalar NormalizeL2(std::span<Scalar> x);
+
+/// Normalizes x to unit L1 norm (probability vector); returns original sum.
+Scalar NormalizeL1(std::span<Scalar> x);
+
+/// sum_i |x_i - y_i|.
+Scalar L1Distance(std::span<const Scalar> x, std::span<const Scalar> y);
+
+/// Elementwise power with the convention 0^(-p) == 0, used for the
+/// degree-discount scaling D^{-alpha} where zero-degree nodes must
+/// contribute nothing rather than infinity.
+std::vector<Scalar> InversePower(std::span<const Scalar> x, Scalar p);
+
+}  // namespace dgc

@@ -1,0 +1,70 @@
+// Minimal leveled logging to stderr plus CHECK macros for invariants whose
+// violation indicates a bug (not a recoverable error -> those use Status).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dgc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global log threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dgc
+
+#define DGC_LOG_INTERNAL(level) \
+  ::dgc::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define DGC_LOG(severity)                                        \
+  (::dgc::LogLevel::k##severity < ::dgc::GetLogLevel())          \
+      ? (void)0                                                  \
+      : ::dgc::internal::LogMessageVoidify() &                   \
+            DGC_LOG_INTERNAL(::dgc::LogLevel::k##severity)
+
+/// Fatal unless `condition`; use for programming-error invariants.
+#define DGC_CHECK(condition)                                   \
+  (condition) ? (void)0                                        \
+             : ::dgc::internal::LogMessageVoidify() &          \
+                   DGC_LOG_INTERNAL(::dgc::LogLevel::kFatal)   \
+                       << "Check failed: " #condition " "
+
+#define DGC_CHECK_EQ(a, b) DGC_CHECK((a) == (b))
+#define DGC_CHECK_NE(a, b) DGC_CHECK((a) != (b))
+#define DGC_CHECK_LT(a, b) DGC_CHECK((a) < (b))
+#define DGC_CHECK_LE(a, b) DGC_CHECK((a) <= (b))
+#define DGC_CHECK_GT(a, b) DGC_CHECK((a) > (b))
+#define DGC_CHECK_GE(a, b) DGC_CHECK((a) >= (b))

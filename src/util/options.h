@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Supports --name=value and boolean --flag forms; anything else is
+// positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dgc {
+
+/// \brief Parsed command line: named flags plus positional arguments.
+///
+/// \code
+///   Options opts = Options::Parse(argc, argv).ValueOrDie();
+///   int64_t n = opts.GetInt("nodes", 10000);
+///   double t = opts.GetDouble("threshold", 0.01);
+///   bool v = opts.GetBool("verbose", false);
+/// \endcode
+class Options {
+ public:
+  /// Parses argv. Fails on malformed flags (e.g. "--=3").
+  static Result<Options> Parse(int argc, const char* const* argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults; a present-but-malformed value is a fatal
+  /// usage error reported via the returned default + HasError().
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated list of integers, e.g. --ks=20,40,60.
+  std::vector<int64_t> GetIntList(
+      const std::string& name, const std::vector<int64_t>& default_value) const;
+
+  /// Comma-separated list of doubles.
+  std::vector<double> GetDoubleList(
+      const std::string& name, const std::vector<double>& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dgc

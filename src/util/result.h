@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, the return type for fallible functions that
+// produce a value. Mirrors arrow::Result / absl::StatusOr.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace dgc {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Usage:
+/// \code
+///   Result<CsrMatrix> m = CsrMatrix::FromTriplets(...);
+///   if (!m.ok()) return m.status();
+///   Use(m.ValueOrDie());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from an error Status. Constructing from an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(storage_).ok()) {
+      storage_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The error status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  /// The contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Alias used at call sites that have already checked ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace dgc
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error; on success binds
+/// the value to `lhs`. `lhs` may include a type declaration.
+#define DGC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define DGC_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DGC_ASSIGN_OR_RETURN_NAME(x, y) DGC_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DGC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DGC_ASSIGN_OR_RETURN_IMPL(             \
+      DGC_ASSIGN_OR_RETURN_NAME(_dgc_result_, __LINE__), lhs, rexpr)

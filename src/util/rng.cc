@@ -1,0 +1,55 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dgc {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) {
+  DGC_CHECK_GT(n, 0u);
+  DGC_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  DGC_CHECK_LE(k, n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and take the prefix.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = UniformU64(j + 1);
+    if (!seen.insert(t).second) {
+      seen.insert(j);
+      out.push_back(j);
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace dgc

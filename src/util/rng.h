@@ -1,0 +1,127 @@
+// Deterministic, seedable random number generation. All stochastic code in
+// the library takes an explicit Rng so that experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+/// \brief xoshiro256** PRNG seeded via splitmix64.
+///
+/// Fast, high-quality, and deterministic across platforms, unlike
+/// std::mt19937 + std::uniform_*_distribution whose outputs are
+/// implementation-defined.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t UniformU64(uint64_t bound) {
+    DGC_CHECK_GT(bound, 0u);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    uint64_t threshold = (-bound) % bound;
+    while (true) {
+      uint64_t r = Next();
+      __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      if (static_cast<uint64_t>(m) >= threshold) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DGC_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Box-Muller (no cached second value, keeps the
+  /// generator stateless beyond its 256-bit core).
+  double Normal() {
+    double u1 = UniformDouble();
+    while (u1 <= 0.0) u1 = UniformDouble();
+    double u2 = UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (Floyd's algorithm if
+  /// k << n, otherwise shuffle-prefix). Result is unsorted.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// \brief Exact Zipf(s) sampler over {1..n}: O(n) table construction,
+/// O(log n) per draw via inverse-CDF binary search. Construct once, draw
+/// many times (the generators' usage pattern).
+class ZipfDistribution {
+ public:
+  /// n >= 1; any real exponent s >= 0 (s = 0 is uniform).
+  ZipfDistribution(uint64_t n, double s);
+
+  /// A rank in [1, n]; rank 1 is the most probable.
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  DGC_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t)>& body) {
+  ParallelForChunked(begin, end, num_threads,
+                     [&body](int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) body(i);
+                     });
+}
+
+void ParallelForChunked(int64_t begin, int64_t end, int num_threads,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  if (num_threads <= 1 || n == 1) {
+    body(begin, end);
+    return;
+  }
+  const int threads = static_cast<int>(
+      std::min<int64_t>(num_threads, n));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  const int64_t chunk = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    int64_t lo = begin + t * chunk;
+    int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&body, lo, hi] { body(lo, hi); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace dgc

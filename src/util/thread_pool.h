@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a ParallelFor convenience. The symmetrization
+// kernels are embarrassingly parallel over output rows; the paper's code was
+// single-threaded, so parallelism is opt-in (num_threads = 1 by default in
+// all experiment harnesses to preserve the paper's timing semantics).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dgc {
+
+/// \brief A basic work-queue thread pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Runs body(i) for i in [begin, end), split into contiguous chunks
+/// across `num_threads` threads. With num_threads <= 1 runs inline.
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t)>& body);
+
+/// \brief Chunked variant: body(chunk_begin, chunk_end) per worker chunk.
+/// Lower overhead when per-index work is tiny.
+void ParallelForChunked(
+    int64_t begin, int64_t end, int num_threads,
+    const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace dgc

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers used by the experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace dgc {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; Elapsed*() may be called repeatedly.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dgc

@@ -1,0 +1,110 @@
+#include "core/all_pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/symmetrize.h"
+#include "gen/rmat.h"
+#include "linalg/spgemm.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix RandomNonNegative(Index rows, Index cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (int i = 0; i < nnz; ++i) {
+    t.push_back(
+        Triplet{static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(rows))),
+                static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(cols))),
+                rng.UniformDouble() + 0.05});
+  }
+  return std::move(CsrMatrix::FromTriplets(rows, cols, t)).ValueOrDie();
+}
+
+TEST(AllPairsTest, MatchesThresholdedSpGemm) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    CsrMatrix m = RandomNonNegative(40, 30, 300, seed);
+    for (Scalar t : {0.1, 0.5, 1.5}) {
+      AllPairsOptions options;
+      options.threshold = t;
+      auto fast = AllPairsSimilarity(m, options);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      SpGemmOptions reference_options;
+      reference_options.threshold = t;
+      reference_options.drop_diagonal = true;
+      auto reference = SpGemmAAt(m, reference_options);
+      ASSERT_TRUE(reference.ok());
+      ASSERT_EQ(fast->nnz(), reference->nnz())
+          << "seed " << seed << " threshold " << t;
+      for (Index i = 0; i < fast->rows(); ++i) {
+        auto fc = fast->RowCols(i);
+        auto fv = fast->RowValues(i);
+        for (size_t e = 0; e < fc.size(); ++e) {
+          EXPECT_NEAR(reference->At(i, fc[e]), fv[e], 1e-10);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllPairsTest, KeepsDiagonalWhenAsked) {
+  CsrMatrix m = RandomNonNegative(10, 8, 40, 9);
+  AllPairsOptions options;
+  options.threshold = 1e-9;
+  options.drop_diagonal = false;
+  auto s = AllPairsSimilarity(m, options);
+  ASSERT_TRUE(s.ok());
+  bool any_diagonal = false;
+  for (Index i = 0; i < 10; ++i) {
+    if (s->At(i, i) > 0.0) any_diagonal = true;
+  }
+  EXPECT_TRUE(any_diagonal);
+}
+
+TEST(AllPairsTest, PruningStatisticsReported) {
+  RmatOptions rmat;
+  rmat.scale = 9;
+  auto dataset = GenerateRmat(rmat);
+  ASSERT_TRUE(dataset.ok());
+  // Degree-discounted factor matrix gives skewed weights that prune well.
+  auto factors = BuildSimilarityFactors(
+      dataset->graph, SymmetrizationMethod::kDegreeDiscounted);
+  ASSERT_TRUE(factors.ok());
+  AllPairsOptions options;
+  options.threshold = 0.3;
+  AllPairsStats stats;
+  auto s = AllPairsSimilarity(factors->m, options, &stats);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(stats.skipped_rows, 0);
+  EXPECT_GE(stats.candidate_pairs, stats.output_pairs);
+  EXPECT_EQ(stats.output_pairs, s->nnz());
+  // A lower threshold must produce at least as many candidates.
+  AllPairsStats loose_stats;
+  options.threshold = 0.05;
+  ASSERT_TRUE(AllPairsSimilarity(factors->m, options, &loose_stats).ok());
+  EXPECT_GE(loose_stats.candidate_pairs, stats.candidate_pairs);
+}
+
+TEST(AllPairsTest, RejectsBadInput) {
+  CsrMatrix m = RandomNonNegative(5, 5, 10, 1);
+  AllPairsOptions bad;
+  bad.threshold = 0.0;
+  EXPECT_FALSE(AllPairsSimilarity(m, bad).ok());
+  auto negative =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, -1.0}});
+  ASSERT_TRUE(negative.ok());
+  AllPairsOptions options;
+  EXPECT_FALSE(
+      AllPairsSimilarity(std::move(negative).ValueOrDie(), options).ok());
+}
+
+TEST(AllPairsTest, EmptyMatrix) {
+  AllPairsOptions options;
+  auto s = AllPairsSimilarity(CsrMatrix::Zero(4, 3), options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->nnz(), 0);
+}
+
+}  // namespace
+}  // namespace dgc

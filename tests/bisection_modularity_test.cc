@@ -1,0 +1,127 @@
+// Tests for recursive spectral bisection and the modularity measures.
+#include <gtest/gtest.h>
+
+#include "cluster/recursive_bisection.h"
+#include "eval/fscore.h"
+#include "eval/modularity.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+UGraph Blocks(Index blocks, Index size, Scalar bridge = 0.05) {
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  for (Index b = 0; b < blocks; ++b) {
+    const Index base = b * size;
+    for (Index i = 0; i < size; ++i) {
+      for (Index j = i + 1; j < size; ++j) {
+        edges.emplace_back(base + i, base + j, 1.0);
+      }
+    }
+    edges.emplace_back(base, ((b + 1) % blocks) * size, bridge);
+  }
+  return std::move(UGraph::FromEdges(blocks * size, edges)).ValueOrDie();
+}
+
+GroundTruth BlockTruth(Index blocks, Index size) {
+  GroundTruth truth;
+  truth.categories.resize(static_cast<size_t>(blocks));
+  for (Index b = 0; b < blocks; ++b) {
+    for (Index i = 0; i < size; ++i) {
+      truth.categories[static_cast<size_t>(b)].push_back(b * size + i);
+    }
+  }
+  return truth;
+}
+
+TEST(FiedlerBisectTest, SplitsTwoBlocksCleanly) {
+  UGraph g = Blocks(2, 10);
+  std::vector<Index> all(20);
+  for (Index i = 0; i < 20; ++i) all[static_cast<size_t>(i)] = i;
+  auto split = FiedlerBisect(g, all, 1);
+  ASSERT_TRUE(split.ok()) << split.status();
+  // All of block 0 on one side, all of block 1 on the other.
+  for (Index v = 1; v < 10; ++v) {
+    EXPECT_EQ((*split)[static_cast<size_t>(v)], (*split)[0]);
+  }
+  for (Index v = 11; v < 20; ++v) {
+    EXPECT_EQ((*split)[static_cast<size_t>(v)], (*split)[10]);
+  }
+  EXPECT_NE((*split)[0], (*split)[10]);
+}
+
+TEST(RecursiveBisectionTest, RecoversFourBlocks) {
+  UGraph g = Blocks(4, 12);
+  RecursiveBisectionOptions options;
+  options.k = 4;
+  auto c = RecursiveSpectralBisection(g, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 4);
+  auto f = EvaluateFScore(*c, BlockTruth(4, 12));
+  ASSERT_TRUE(f.ok());
+  EXPECT_GT(f->avg_f, 0.95);
+}
+
+TEST(RecursiveBisectionTest, EveryVertexAssigned) {
+  UGraph g = Blocks(3, 8);
+  RecursiveBisectionOptions options;
+  options.k = 5;
+  auto c = RecursiveSpectralBisection(g, options);
+  ASSERT_TRUE(c.ok());
+  for (Index v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NE(c->LabelOf(v), Clustering::kUnassigned);
+  }
+}
+
+TEST(RecursiveBisectionTest, KOneAndBadK) {
+  UGraph g = Blocks(2, 5);
+  auto one = RecursiveSpectralBisection(g, {.k = 1});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->NumClusters(), 1);
+  EXPECT_FALSE(RecursiveSpectralBisection(g, {.k = 0}).ok());
+  EXPECT_FALSE(RecursiveSpectralBisection(g, {.k = 99}).ok());
+}
+
+TEST(ModularityTest, PerfectBlocksScoreHigh) {
+  UGraph g = Blocks(4, 10);
+  Clustering truth(std::vector<Index>(40));
+  for (Index v = 0; v < 40; ++v) truth.Assign(v, v / 10);
+  const Scalar q_truth = Modularity(g, truth);
+  EXPECT_GT(q_truth, 0.6);
+  // Random assignment scores near zero.
+  Rng rng(5);
+  Clustering random(std::vector<Index>(40));
+  for (Index v = 0; v < 40; ++v) {
+    random.Assign(v, static_cast<Index>(rng.UniformU64(4)));
+  }
+  EXPECT_LT(Modularity(g, random), q_truth / 3.0);
+}
+
+TEST(ModularityTest, SingleClusterScoresZero) {
+  UGraph g = Blocks(2, 6);
+  Clustering one(std::vector<Index>(12, 0));
+  EXPECT_NEAR(Modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(DirectedModularityTest, DirectedBlocksScoreHigh) {
+  // Dense directed blocks.
+  std::vector<Edge> edges;
+  for (Index b = 0; b < 3; ++b) {
+    for (Index i = 0; i < 8; ++i) {
+      for (Index j = 0; j < 8; ++j) {
+        if (i != j) edges.push_back(Edge{b * 8 + i, b * 8 + j, 1.0});
+      }
+    }
+    edges.push_back(Edge{b * 8, ((b + 1) % 3) * 8, 1.0});
+  }
+  auto g = Digraph::FromEdges(24, edges);
+  ASSERT_TRUE(g.ok());
+  Clustering truth(std::vector<Index>(24));
+  for (Index v = 0; v < 24; ++v) truth.Assign(v, v / 8);
+  EXPECT_GT(DirectedModularity(*g, truth), 0.5);
+  Clustering one(std::vector<Index>(24, 0));
+  EXPECT_NEAR(DirectedModularity(*g, one), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dgc

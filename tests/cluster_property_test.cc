@@ -1,0 +1,188 @@
+// Parameterized property tests for the clustering algorithms: invariants
+// that must hold across parameter sweeps (inflation values, k values,
+// random graph seeds).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/graclus.h"
+#include "cluster/mcl.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/partition_metis.h"
+#include "gen/planted.h"
+#include "gen/rmat.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+UGraph RandomUGraph(Index n, int edges, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::tuple<Index, Index, Scalar>> list;
+  for (int i = 0; i < edges; ++i) {
+    Index u = static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+    Index v = static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+    if (u != v) list.emplace_back(u, v, 0.5 + rng.UniformDouble());
+  }
+  return std::move(UGraph::FromEdges(n, list)).ValueOrDie();
+}
+
+class RmclProperty
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(RmclProperty, FlowStaysRowStochastic) {
+  const auto [inflation, seed] = GetParam();
+  UGraph g = RandomUGraph(60, 500, seed);
+  CsrMatrix mg = BuildFlowMatrix(g, 1.0);
+  RmclOptions options;
+  options.inflation = inflation;
+  auto flow = RmclIterate(mg, mg, options, 10);
+  ASSERT_TRUE(flow.ok());
+  auto sums = flow->RowSums();
+  for (Scalar s : sums) {
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  // Row cap respected.
+  for (Index r = 0; r < flow->rows(); ++r) {
+    EXPECT_LE(flow->RowNnz(r), options.max_row_nnz);
+  }
+}
+
+TEST_P(RmclProperty, EveryVertexAssigned) {
+  const auto [inflation, seed] = GetParam();
+  UGraph g = RandomUGraph(60, 500, seed);
+  RmclOptions options;
+  options.inflation = inflation;
+  auto clustering = Rmcl(g, options);
+  ASSERT_TRUE(clustering.ok());
+  for (Index v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_NE(clustering->LabelOf(v), Clustering::kUnassigned);
+  }
+}
+
+TEST_P(RmclProperty, Deterministic) {
+  const auto [inflation, seed] = GetParam();
+  UGraph g = RandomUGraph(40, 300, seed);
+  RmclOptions options;
+  options.inflation = inflation;
+  auto c1 = Rmcl(g, options);
+  auto c2 = Rmcl(g, options);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1->labels(), c2->labels());
+}
+
+INSTANTIATE_TEST_SUITE_P(InflationsAndSeeds, RmclProperty,
+                         ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                                            ::testing::Values(3u, 11u)));
+
+class PartitionerProperty
+    : public ::testing::TestWithParam<std::tuple<Index, uint64_t>> {};
+
+TEST_P(PartitionerProperty, MetisProducesExactlyKNonEmptyParts) {
+  const auto [k, seed] = GetParam();
+  UGraph g = RandomUGraph(120, 900, seed);
+  MetisOptions options;
+  options.k = k;
+  options.seed = seed;
+  auto c = MetisPartition(g, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), k);
+  auto sizes = c->ClusterSizes();
+  ASSERT_EQ(static_cast<Index>(sizes.size()), k);
+  for (Index s : sizes) {
+    EXPECT_GE(s, 1);
+  }
+  for (Index v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_GE(c->LabelOf(v), 0);
+    EXPECT_LT(c->LabelOf(v), k);
+  }
+}
+
+TEST_P(PartitionerProperty, GraclusProducesValidLabels) {
+  const auto [k, seed] = GetParam();
+  UGraph g = RandomUGraph(120, 900, seed);
+  GraclusOptions options;
+  options.k = k;
+  options.seed = seed;
+  auto c = GraclusCluster(g, options);
+  ASSERT_TRUE(c.ok());
+  for (Index v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_GE(c->LabelOf(v), 0);
+    EXPECT_LT(c->LabelOf(v), k);
+  }
+}
+
+TEST_P(PartitionerProperty, RefinementNeverWorsensNcut) {
+  // Graclus's final ncut must be no worse than projecting the initial
+  // greedy partition alone would give — approximated by comparing against
+  // a fresh random assignment (an upper bound on "no refinement at all").
+  const auto [k, seed] = GetParam();
+  UGraph g = RandomUGraph(120, 900, seed);
+  GraclusOptions options;
+  options.k = k;
+  options.seed = seed;
+  auto c = GraclusCluster(g, options);
+  ASSERT_TRUE(c.ok());
+  Rng rng(seed);
+  std::vector<Index> random_labels(static_cast<size_t>(g.NumVertices()));
+  for (auto& label : random_labels) {
+    label = static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(k)));
+  }
+  EXPECT_LE(LevelNormalizedCut(g.adjacency(), c->labels(), k),
+            LevelNormalizedCut(g.adjacency(), random_labels, k) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(KsAndSeeds, PartitionerProperty,
+                         ::testing::Combine(::testing::Values(2, 8, 24),
+                                            ::testing::Values(5u, 13u)));
+
+TEST(MlrMclPropertyTest, HandlesDisconnectedGraph) {
+  // Two components plus isolated vertices must not crash or merge.
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  for (Index i = 0; i < 9; ++i) edges.emplace_back(i, (i + 1) % 10, 1.0);
+  for (Index i = 20; i < 29; ++i) edges.emplace_back(i, i + 1, 1.0);
+  auto g = UGraph::FromEdges(40, edges);
+  ASSERT_TRUE(g.ok());
+  MlrMclOptions options;
+  auto c = MlrMcl(*g, options);
+  ASSERT_TRUE(c.ok());
+  // Vertices from the two components never share a cluster.
+  for (Index a = 0; a < 10; ++a) {
+    for (Index b = 20; b < 30; ++b) {
+      EXPECT_NE(c->LabelOf(a), c->LabelOf(b));
+    }
+  }
+}
+
+TEST(MlrMclPropertyTest, SingleVertexGraph) {
+  auto g = UGraph::FromEdges(1, {});
+  ASSERT_TRUE(g.ok());
+  auto c = MlrMcl(*g, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 1);
+}
+
+TEST(MetisPropertyTest, WeightedEdgesRespected) {
+  // Two triangles joined by a heavy edge and a light edge elsewhere; the
+  // partitioner must cut the light one.
+  auto g = UGraph::FromEdges(6, {{0, 1, 1.0},
+                                 {1, 2, 1.0},
+                                 {2, 0, 1.0},
+                                 {3, 4, 1.0},
+                                 {4, 5, 1.0},
+                                 {5, 3, 1.0},
+                                 {2, 3, 0.01}});
+  ASSERT_TRUE(g.ok());
+  MetisOptions options;
+  options.k = 2;
+  auto c = MetisPartition(*g, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->LabelOf(0), c->LabelOf(1));
+  EXPECT_EQ(c->LabelOf(0), c->LabelOf(2));
+  EXPECT_EQ(c->LabelOf(3), c->LabelOf(4));
+  EXPECT_NE(c->LabelOf(0), c->LabelOf(3));
+}
+
+}  // namespace
+}  // namespace dgc

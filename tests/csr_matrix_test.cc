@@ -1,0 +1,213 @@
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix Make(Index rows, Index cols, std::vector<Triplet> t) {
+  auto result = CsrMatrix::FromTriplets(rows, cols, std::move(t));
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix m = CsrMatrix::Zero(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(CsrMatrixTest, FromTripletsSortsAndStores) {
+  CsrMatrix m = Make(3, 3, {{2, 1, 5.0}, {0, 2, 1.0}, {0, 0, 2.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, FromTripletsSumsDuplicates) {
+  CsrMatrix m = Make(2, 2, {{0, 1, 1.0}, {0, 1, 2.5}, {0, 1, -0.5}});
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.0);
+}
+
+TEST(CsrMatrixTest, FromTripletsRejectsOutOfRange) {
+  auto result = CsrMatrix::FromTriplets(2, 2, {{0, 5, 1.0}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST(CsrMatrixTest, FromPartsValidates) {
+  // row_ptr not matching nnz.
+  auto bad = CsrMatrix::FromParts(2, 2, {0, 1, 3}, {0}, {1.0});
+  EXPECT_FALSE(bad.ok());
+  auto good = CsrMatrix::FromParts(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(CsrMatrixTest, FromPartsRejectsUnsortedColumns) {
+  auto bad = CsrMatrix::FromParts(1, 3, {0, 2}, {2, 1}, {1.0, 1.0});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CsrMatrixTest, FromPartsRejectsDuplicateColumns) {
+  auto bad = CsrMatrix::FromParts(1, 3, {0, 2}, {1, 1}, {1.0, 1.0});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CsrMatrixTest, IdentityBehaves) {
+  CsrMatrix eye = CsrMatrix::Identity(4);
+  EXPECT_EQ(eye.nnz(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(eye.At(i, i), 1.0);
+  }
+  EXPECT_TRUE(eye.IsSymmetric());
+}
+
+TEST(CsrMatrixTest, TransposeRoundTrip) {
+  Rng rng(123);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 200; ++i) {
+    triplets.push_back(Triplet{static_cast<Index>(rng.UniformU64(20)),
+                               static_cast<Index>(rng.UniformU64(30)),
+                               rng.UniformDouble()});
+  }
+  CsrMatrix m = Make(20, 30, triplets);
+  CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 30);
+  EXPECT_EQ(t.cols(), 20);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(CsrMatrixTest, TransposeMatchesAt) {
+  CsrMatrix m = Make(3, 2, {{0, 1, 4.0}, {2, 0, 7.0}});
+  CsrMatrix t = m.Transpose();
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 2), 7.0);
+}
+
+TEST(CsrMatrixTest, RowAndColSums) {
+  CsrMatrix m = Make(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}});
+  auto rows = m.RowSums();
+  EXPECT_DOUBLE_EQ(rows[0], 3.0);
+  EXPECT_DOUBLE_EQ(rows[1], 3.0);
+  auto cols = m.ColSums();
+  EXPECT_DOUBLE_EQ(cols[0], 1.0);
+  EXPECT_DOUBLE_EQ(cols[1], 0.0);
+  EXPECT_DOUBLE_EQ(cols[2], 5.0);
+}
+
+TEST(CsrMatrixTest, RowAndColCounts) {
+  CsrMatrix m = Make(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 2, 3.0}});
+  auto rc = m.RowCounts();
+  EXPECT_EQ(rc[0], 2);
+  EXPECT_EQ(rc[1], 1);
+  auto cc = m.ColCounts();
+  EXPECT_EQ(cc[0], 1);
+  EXPECT_EQ(cc[1], 0);
+  EXPECT_EQ(cc[2], 2);
+}
+
+TEST(CsrMatrixTest, ScaleRowsAndCols) {
+  CsrMatrix m = Make(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  std::vector<Scalar> row_scale = {2.0, 10.0};
+  m.ScaleRows(row_scale);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 30.0);
+  std::vector<Scalar> col_scale = {0.5, 0.1};
+  m.ScaleCols(col_scale);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 3.0);
+}
+
+TEST(CsrMatrixTest, PrunedDropsSmallEntriesAndDiagonal) {
+  CsrMatrix m = Make(2, 2,
+                     {{0, 0, 0.001}, {0, 1, 1.0}, {1, 0, -2.0}, {1, 1, 5.0}});
+  CsrMatrix p = m.Pruned(0.01);
+  EXPECT_EQ(p.nnz(), 3);  // |-2| kept, 0.001 dropped
+  CsrMatrix pd = m.Pruned(0.01, /*drop_diagonal=*/true);
+  EXPECT_EQ(pd.nnz(), 2);
+  EXPECT_DOUBLE_EQ(pd.At(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, PlusIdentity) {
+  CsrMatrix m = Make(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  auto result = m.PlusIdentity();
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(result->At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(result->At(0, 1), 2.0);
+}
+
+TEST(CsrMatrixTest, PlusIdentityRejectsNonSquare) {
+  CsrMatrix m = CsrMatrix::Zero(2, 3);
+  EXPECT_FALSE(m.PlusIdentity().ok());
+}
+
+TEST(CsrMatrixTest, AddMergesStructures) {
+  CsrMatrix a = Make(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  CsrMatrix b = Make(2, 2, {{0, 0, 3.0}, {0, 1, 4.0}});
+  auto sum = CsrMatrix::Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sum->At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(sum->At(1, 1), 2.0);
+  EXPECT_EQ(sum->nnz(), 3);
+}
+
+TEST(CsrMatrixTest, AddRejectsShapeMismatch) {
+  EXPECT_FALSE(CsrMatrix::Add(CsrMatrix::Zero(2, 2),
+                              CsrMatrix::Zero(3, 3)).ok());
+}
+
+TEST(CsrMatrixTest, MultiplyVector) {
+  CsrMatrix m = Make(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+  std::vector<Scalar> x = {1.0, 2.0, 3.0};
+  std::vector<Scalar> y(2);
+  m.Multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(CsrMatrixTest, MultiplyTransposeMatchesExplicitTranspose) {
+  Rng rng(7);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 100; ++i) {
+    triplets.push_back(Triplet{static_cast<Index>(rng.UniformU64(15)),
+                               static_cast<Index>(rng.UniformU64(10)),
+                               rng.UniformDouble()});
+  }
+  CsrMatrix m = Make(15, 10, triplets);
+  std::vector<Scalar> x(15);
+  for (auto& v : x) v = rng.UniformDouble();
+  std::vector<Scalar> y1(10), y2(10);
+  m.MultiplyTranspose(x, y1);
+  m.Transpose().Multiply(x, y2);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(CsrMatrixTest, IsSymmetricDetectsAsymmetry) {
+  CsrMatrix sym = Make(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_TRUE(sym.IsSymmetric());
+  CsrMatrix asym = Make(2, 2, {{0, 1, 1.0}});
+  EXPECT_FALSE(asym.IsSymmetric());
+  CsrMatrix weights = Make(2, 2, {{0, 1, 1.0}, {1, 0, 2.0}});
+  EXPECT_FALSE(weights.IsSymmetric());
+}
+
+TEST(CsrMatrixTest, ToDense) {
+  CsrMatrix m = Make(2, 2, {{0, 1, 3.0}, {1, 0, 4.0}});
+  auto dense = m.ToDense();
+  EXPECT_DOUBLE_EQ(dense[0 * 2 + 1], 3.0);
+  EXPECT_DOUBLE_EQ(dense[1 * 2 + 0], 4.0);
+  EXPECT_DOUBLE_EQ(dense[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dgc

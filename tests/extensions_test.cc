@@ -1,0 +1,138 @@
+// Tests for the future-work extensions: bipartite symmetrization and
+// APPR-based local partitioning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/local.h"
+#include "core/bipartite.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix BlockBipartite() {
+  // 6 users x 4 items; users {0,1,2} like items {0,1}, users {3,4,5} like
+  // items {2,3}.
+  std::vector<Triplet> t;
+  for (Index u : {0, 1, 2}) {
+    t.push_back({u, 0, 1.0});
+    t.push_back({u, 1, 1.0});
+  }
+  for (Index u : {3, 4, 5}) {
+    t.push_back({u, 2, 1.0});
+    t.push_back({u, 3, 1.0});
+  }
+  return std::move(CsrMatrix::FromTriplets(6, 4, t)).ValueOrDie();
+}
+
+TEST(BipartiteTest, RowSimilarityGroupsUsers) {
+  auto u = BipartiteRowSimilarity(BlockBipartite());
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->NumVertices(), 6);
+  EXPECT_GT(u->adjacency().At(0, 1), 0.0);
+  EXPECT_GT(u->adjacency().At(3, 4), 0.0);
+  EXPECT_DOUBLE_EQ(u->adjacency().At(0, 3), 0.0);  // no shared items
+}
+
+TEST(BipartiteTest, ColumnSimilarityGroupsItems) {
+  auto u = BipartiteColumnSimilarity(BlockBipartite());
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->NumVertices(), 4);
+  EXPECT_GT(u->adjacency().At(0, 1), 0.0);
+  EXPECT_GT(u->adjacency().At(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(u->adjacency().At(0, 2), 0.0);
+}
+
+TEST(BipartiteTest, DiscountPenalizesPopularItems) {
+  // Users 0,1 share a niche item; users 2,3 share an item everyone likes.
+  std::vector<Triplet> t = {{0, 0, 1.0}, {1, 0, 1.0},   // niche item 0
+                            {2, 1, 1.0}, {3, 1, 1.0}};  // popular item 1
+  for (Index u = 4; u < 14; ++u) t.push_back({u, 1, 1.0});
+  auto b = std::move(CsrMatrix::FromTriplets(14, 2, t)).ValueOrDie();
+  auto u = BipartiteRowSimilarity(b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_GT(u->adjacency().At(0, 1), u->adjacency().At(2, 3));
+}
+
+TEST(BipartiteTest, CoClusterGraphHasBothSides) {
+  auto joint = BipartiteCoClusterGraph(BlockBipartite());
+  ASSERT_TRUE(joint.ok()) << joint.status();
+  EXPECT_EQ(joint->NumVertices(), 10);
+  EXPECT_TRUE(joint->adjacency().IsSymmetric(1e-9));
+  // User 0 connects to item 0 (vertex 6 in the joint numbering).
+  EXPECT_GT(joint->adjacency().At(0, 6), 0.0);
+}
+
+TEST(BipartiteTest, RejectsEmpty) {
+  EXPECT_FALSE(BipartiteRowSimilarity(CsrMatrix::Zero(0, 4)).ok());
+  EXPECT_FALSE(BipartiteCoClusterGraph(CsrMatrix::Zero(3, 0)).ok());
+}
+
+UGraph TwoCommunities() {
+  // Two 10-cliques joined by a single edge.
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  for (Index b = 0; b < 2; ++b) {
+    for (Index i = 0; i < 10; ++i) {
+      for (Index j = i + 1; j < 10; ++j) {
+        edges.emplace_back(b * 10 + i, b * 10 + j, 1.0);
+      }
+    }
+  }
+  edges.emplace_back(0, 10, 1.0);
+  return std::move(UGraph::FromEdges(20, edges)).ValueOrDie();
+}
+
+TEST(LocalClusterTest, ApprMassConcentratesNearSeed) {
+  UGraph g = TwoCommunities();
+  auto ppr = ApproximatePersonalizedPageRank(g, 5, {});
+  ASSERT_TRUE(ppr.ok());
+  Scalar near = 0.0, far = 0.0;
+  for (const auto& [v, mass] : *ppr) {
+    (v < 10 ? near : far) += mass;
+  }
+  EXPECT_GT(near, 10.0 * far);
+}
+
+TEST(LocalClusterTest, RecoversSeedCommunity) {
+  UGraph g = TwoCommunities();
+  auto result = LocalCluster(g, 3, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::vector<Index> expected;
+  for (Index v = 0; v < 10; ++v) expected.push_back(v);
+  EXPECT_EQ(result->cluster, expected);
+  // Conductance of the clique cut: 1 cut edge / volume 91*... just assert
+  // it is small.
+  EXPECT_LT(result->conductance, 0.05);
+}
+
+TEST(LocalClusterTest, ConductanceHelper) {
+  UGraph g = TwoCommunities();
+  std::vector<Index> clique = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<Index> bad = {0, 1, 2, 10, 11};
+  EXPECT_LT(Conductance(g, clique), Conductance(g, bad));
+}
+
+TEST(LocalClusterTest, MaxSizeCapRespected) {
+  UGraph g = TwoCommunities();
+  LocalClusterOptions options;
+  options.max_cluster_size = 4;
+  auto result = LocalCluster(g, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->cluster.size(), 4u);
+}
+
+TEST(LocalClusterTest, RejectsBadInput) {
+  UGraph g = TwoCommunities();
+  EXPECT_FALSE(LocalCluster(g, -1, {}).ok());
+  EXPECT_FALSE(LocalCluster(g, 99, {}).ok());
+  LocalClusterOptions bad;
+  bad.alpha = 1.5;
+  EXPECT_FALSE(LocalCluster(g, 0, bad).ok());
+  auto isolated = UGraph::FromEdges(3, {{0, 1, 1.0}});
+  ASSERT_TRUE(isolated.ok());
+  EXPECT_TRUE(LocalCluster(*isolated, 2, {}).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dgc

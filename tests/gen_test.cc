@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/citation.h"
+#include "gen/hyperlink.h"
+#include "gen/planted.h"
+#include "gen/rmat.h"
+#include "gen/social.h"
+#include "graph/components.h"
+
+namespace dgc {
+namespace {
+
+TEST(PlantedTest, ShapeAndGroundTruth) {
+  PlantedOptions options;
+  options.num_clusters = 5;
+  options.cluster_size = 10;
+  auto dataset = GeneratePlanted(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->truth.NumCategories(), 5);
+  for (const auto& cat : dataset->truth.categories) {
+    EXPECT_EQ(cat.size(), 10u);
+  }
+  const Index members = 50;
+  const Index context = 5 * (8 + 4);
+  EXPECT_EQ(dataset->graph.NumVertices(), members + context);
+  EXPECT_GT(dataset->graph.NumEdges(), 0);
+}
+
+TEST(PlantedTest, PureFigure1PatternHasNoIntraClusterEdges) {
+  PlantedOptions options;
+  options.num_clusters = 3;
+  options.cluster_size = 8;
+  options.p_intra = 0.0;
+  options.noise_per_vertex = 0.0;
+  auto dataset = GeneratePlanted(options);
+  ASSERT_TRUE(dataset.ok());
+  for (const auto& cat : dataset->truth.categories) {
+    for (Index u : cat) {
+      for (Index v : cat) {
+        EXPECT_FALSE(dataset->graph.HasEdge(u, v))
+            << u << "->" << v << " should not exist";
+      }
+    }
+  }
+}
+
+TEST(PlantedTest, MembersShareTargets) {
+  PlantedOptions options;
+  options.num_clusters = 2;
+  options.cluster_size = 6;
+  options.p_member_to_target = 1.0;
+  options.noise_per_vertex = 0.0;
+  auto dataset = GeneratePlanted(options);
+  ASSERT_TRUE(dataset.ok());
+  // All members of cluster 0 have identical out-neighbor sets.
+  const auto& members = dataset->truth.categories[0];
+  auto first = dataset->graph.OutNeighbors(members[0]);
+  std::vector<Index> expected(first.begin(), first.end());
+  for (Index m : members) {
+    auto nbrs = dataset->graph.OutNeighbors(m);
+    std::vector<Index> actual(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(PlantedTest, Deterministic) {
+  PlantedOptions options;
+  options.seed = 123;
+  auto a = GeneratePlanted(options);
+  auto b = GeneratePlanted(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.adjacency(), b->graph.adjacency());
+}
+
+TEST(PlantedTest, RejectsBadOptions) {
+  PlantedOptions bad;
+  bad.num_clusters = 0;
+  EXPECT_FALSE(GeneratePlanted(bad).ok());
+  PlantedOptions bad_p;
+  bad_p.p_intra = 1.5;
+  EXPECT_FALSE(GeneratePlanted(bad_p).ok());
+}
+
+TEST(CitationTest, ShapeAndAcyclicity) {
+  CitationOptions options;
+  options.num_papers = 2000;
+  options.p_symmetric_noise = 0.0;
+  auto dataset = GenerateCitation(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.NumVertices(), 2000);
+  EXPECT_GT(dataset->graph.NumEdges(), 2000);
+  // With no symmetric noise, citations only go to earlier papers: DAG.
+  const CsrMatrix& a = dataset->graph.adjacency();
+  for (Index u = 0; u < 2000; ++u) {
+    for (Index v : a.RowCols(u)) {
+      EXPECT_LT(v, u);
+    }
+  }
+  EXPECT_DOUBLE_EQ(dataset->graph.FractionSymmetricEdges(), 0.0);
+}
+
+TEST(CitationTest, SymmetricNoiseCreatesReciprocalEdges) {
+  CitationOptions options;
+  options.num_papers = 3000;
+  options.p_symmetric_noise = 0.05;
+  auto dataset = GenerateCitation(options);
+  ASSERT_TRUE(dataset.ok());
+  const double frac = dataset->graph.FractionSymmetricEdges();
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(CitationTest, GroundTruthCoverage) {
+  CitationOptions options;
+  options.num_papers = 2000;
+  options.p_unlabeled = 0.2;
+  auto dataset = GenerateCitation(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->truth.NumCategories(),
+            options.num_fields * options.subfields_per_field);
+  const Offset labeled = dataset->truth.NumMemberships();
+  EXPECT_GT(labeled, 1400);
+  EXPECT_LT(labeled, 1800);  // ~80% of 2000
+}
+
+TEST(CitationTest, InDegreesAreSkewed) {
+  CitationOptions options;
+  options.num_papers = 3000;
+  auto dataset = GenerateCitation(options);
+  ASSERT_TRUE(dataset.ok());
+  auto in = dataset->graph.InDegrees();
+  Offset max_in = *std::max_element(in.begin(), in.end());
+  // Preferential attachment should produce a hub far above the mean.
+  EXPECT_GT(max_in, 10 * static_cast<Offset>(options.mean_citations));
+}
+
+TEST(HyperlinkTest, ShapeNamesAndTruth) {
+  HyperlinkOptions options;
+  options.num_articles = 5000;
+  options.num_categories = 50;
+  auto dataset = GenerateHyperlink(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.NumVertices(), 5000);
+  EXPECT_EQ(dataset->node_names.size(), 5000u);
+  EXPECT_EQ(dataset->NameOf(0), "Area");
+  EXPECT_GT(dataset->truth.NumCategories(), 10);
+}
+
+TEST(HyperlinkTest, HubsHaveHighInDegree) {
+  HyperlinkOptions options;
+  options.num_articles = 5000;
+  options.num_categories = 50;
+  auto dataset = GenerateHyperlink(options);
+  ASSERT_TRUE(dataset.ok());
+  auto in = dataset->graph.InDegrees();
+  // Hub 0 ("Area") must dwarf the median article.
+  std::vector<Offset> sorted(in.begin(), in.end());
+  std::nth_element(sorted.begin(), sorted.begin() + 2500, sorted.end());
+  EXPECT_GT(in[0], 20 * std::max<Offset>(1, sorted[2500]));
+}
+
+TEST(HyperlinkTest, ReciprocityInRange) {
+  HyperlinkOptions options;
+  options.num_articles = 4000;
+  options.num_categories = 40;
+  options.p_reciprocal = 0.3;
+  auto dataset = GenerateHyperlink(options);
+  ASSERT_TRUE(dataset.ok());
+  const double frac = dataset->graph.FractionSymmetricEdges();
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(HyperlinkTest, RejectsTooSmall) {
+  HyperlinkOptions bad;
+  bad.num_articles = 100;
+  bad.num_categories = 400;
+  EXPECT_FALSE(GenerateHyperlink(bad).ok());
+}
+
+TEST(SocialTest, ShapeAndReciprocity) {
+  SocialOptions options;
+  options.num_users = 20000;
+  options.avg_out_degree = 8.0;
+  options.p_reciprocal = 0.6;
+  auto dataset = GenerateSocial(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.NumVertices(), 20000);
+  const double avg_deg = static_cast<double>(dataset->graph.NumEdges()) /
+                         20000.0;
+  EXPECT_GT(avg_deg, 4.0);
+  EXPECT_LT(avg_deg, 20.0);
+  const double frac = dataset->graph.FractionSymmetricEdges();
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.9);
+}
+
+TEST(SocialTest, PowerLawDegrees) {
+  SocialOptions options;
+  options.num_users = 20000;
+  auto dataset = GenerateSocial(options);
+  ASSERT_TRUE(dataset.ok());
+  auto out = dataset->graph.OutDegrees();
+  Offset max_out = *std::max_element(out.begin(), out.end());
+  const double mean = static_cast<double>(dataset->graph.NumEdges()) /
+                      20000.0;
+  EXPECT_GT(static_cast<double>(max_out), 10.0 * mean);
+}
+
+TEST(RmatTest, ShapeAndSkew) {
+  RmatOptions options;
+  options.scale = 10;
+  options.edge_factor = 8.0;
+  auto dataset = GenerateRmat(options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.NumVertices(), 1024);
+  EXPECT_GT(dataset->graph.NumEdges(), 4000);
+  auto out = dataset->graph.OutDegrees();
+  Offset max_out = *std::max_element(out.begin(), out.end());
+  EXPECT_GT(max_out, 30);  // skewed quadrants produce hubs
+}
+
+TEST(RmatTest, RejectsBadQuadrants) {
+  RmatOptions bad;
+  bad.a = 0.9;
+  bad.b = 0.9;
+  EXPECT_FALSE(GenerateRmat(bad).ok());
+}
+
+TEST(GeneratorsTest, NoSelfLoopsAnywhere) {
+  auto planted = GeneratePlanted({});
+  auto citation = GenerateCitation({.num_papers = 1000});
+  RmatOptions rmat;
+  rmat.scale = 9;
+  auto rm = GenerateRmat(rmat);
+  for (const auto* d : {&planted, &citation, &rm}) {
+    ASSERT_TRUE(d->ok());
+    const CsrMatrix& a = (*d)->graph.adjacency();
+    for (Index u = 0; u < a.rows(); ++u) {
+      EXPECT_DOUBLE_EQ(a.At(u, u), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgc

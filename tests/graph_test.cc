@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "graph/clustering.h"
+#include "graph/components.h"
+#include "graph/digraph.h"
+#include "graph/graph_stats.h"
+#include "graph/ugraph.h"
+
+namespace dgc {
+namespace {
+
+Digraph MakeDigraph(Index n, std::vector<Edge> edges) {
+  auto g = Digraph::FromEdges(n, edges);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).ValueOrDie();
+}
+
+TEST(DigraphTest, BasicConstruction) {
+  Digraph g = MakeDigraph(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(DigraphTest, ParallelEdgesMerge) {
+  Digraph g = MakeDigraph(2, {{0, 1, 1.0}, {0, 1, 2.0}});
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_DOUBLE_EQ(g.adjacency().At(0, 1), 3.0);
+}
+
+TEST(DigraphTest, Degrees) {
+  Digraph g = MakeDigraph(3, {{0, 1, 1.0}, {0, 2, 1.0}, {1, 2, 1.0}});
+  auto out = g.OutDegrees();
+  auto in = g.InDegrees();
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(in[2], 2);
+  EXPECT_EQ(in[0], 0);
+}
+
+TEST(DigraphTest, FractionSymmetricEdges) {
+  // 0<->1 symmetric (2 edges), 0->2 not: 2/3.
+  Digraph g = MakeDigraph(3, {{0, 1, 1.0}, {1, 0, 1.0}, {0, 2, 1.0}});
+  EXPECT_NEAR(g.FractionSymmetricEdges(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DigraphTest, FractionSymmetricEmptyGraph) {
+  Digraph g = MakeDigraph(3, {});
+  EXPECT_DOUBLE_EQ(g.FractionSymmetricEdges(), 0.0);
+}
+
+TEST(DigraphTest, Reversed) {
+  Digraph g = MakeDigraph(3, {{0, 1, 5.0}});
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+}
+
+TEST(DigraphTest, FromAdjacencyRejectsNonSquare) {
+  EXPECT_FALSE(Digraph::FromAdjacency(CsrMatrix::Zero(2, 3)).ok());
+}
+
+TEST(UGraphTest, FromEdgesSymmetric) {
+  auto g = UGraph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2);
+  EXPECT_EQ(g->NumArcs(), 4);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(1, 0), 2.0);
+}
+
+TEST(UGraphTest, FromEdgesDropsSelfLoops) {
+  auto g = UGraph::FromEdges(2, {{0, 0, 5.0}, {0, 1, 1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1);
+}
+
+TEST(UGraphTest, RejectsAsymmetricAdjacency) {
+  auto bad = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(
+      UGraph::FromSymmetricAdjacency(std::move(bad).ValueOrDie()).ok());
+}
+
+TEST(UGraphTest, VolumeAndDegrees) {
+  auto g = UGraph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  ASSERT_TRUE(g.ok());
+  auto degrees = g->WeightedDegrees();
+  EXPECT_DOUBLE_EQ(degrees[1], 5.0);
+  EXPECT_DOUBLE_EQ(g->Volume(), 10.0);  // 2 * sum of edge weights
+}
+
+TEST(UGraphTest, Singletons) {
+  auto g = UGraph::FromEdges(4, {{0, 1, 1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumSingletons(), 2);
+}
+
+TEST(ClusteringTest, CompactRemapsLabels) {
+  Clustering c(std::vector<Index>{7, 7, 3, -1, 3, 9});
+  EXPECT_EQ(c.NumClusters(), 3);
+  EXPECT_EQ(c.Compact(), 3);
+  EXPECT_EQ(c.LabelOf(0), 0);
+  EXPECT_EQ(c.LabelOf(2), 1);
+  EXPECT_EQ(c.LabelOf(3), Clustering::kUnassigned);
+  EXPECT_EQ(c.LabelOf(5), 2);
+}
+
+TEST(ClusteringTest, ToClustersAndSizes) {
+  Clustering c(std::vector<Index>{0, 1, 0, -1});
+  auto clusters = c.ToClusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 2u);
+  EXPECT_EQ(clusters[1].size(), 1u);
+  auto sizes = c.ClusterSizes();
+  EXPECT_EQ(sizes[0], 2);
+  EXPECT_EQ(sizes[1], 1);
+}
+
+TEST(ClusteringTest, AssignSingletons) {
+  Clustering c(std::vector<Index>{0, -1, -1});
+  c.AssignSingletons();
+  EXPECT_EQ(c.NumClusters(), 3);
+  EXPECT_NE(c.LabelOf(1), c.LabelOf(2));
+}
+
+TEST(GroundTruthTest, RemoveSmallCategories) {
+  GroundTruth truth;
+  truth.categories = {{0, 1, 2}, {3}, {4, 5}};
+  truth.RemoveSmallCategories(2);
+  EXPECT_EQ(truth.NumCategories(), 2);
+  EXPECT_EQ(truth.NumMemberships(), 5);
+}
+
+TEST(ComponentsTest, FindsComponents) {
+  auto g = UGraph::FromEdges(6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}});
+  ASSERT_TRUE(g.ok());
+  auto comps = ConnectedComponents(*g);
+  EXPECT_EQ(NumComponents(comps), 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comps[0], comps[2]);
+  EXPECT_NE(comps[0], comps[3]);
+  EXPECT_NE(comps[3], comps[5]);
+}
+
+TEST(ComponentsTest, WeaklyConnectedIgnoresDirection) {
+  Digraph g = MakeDigraph(4, {{0, 1, 1.0}, {2, 1, 1.0}});
+  auto comps = WeaklyConnectedComponents(g);
+  EXPECT_EQ(NumComponents(comps), 2);
+  EXPECT_EQ(comps[0], comps[2]);
+}
+
+TEST(GraphStatsTest, DatasetStats) {
+  Digraph g = MakeDigraph(3, {{0, 1, 1.0}, {1, 0, 1.0}, {0, 2, 1.0}});
+  GroundTruth truth;
+  truth.categories = {{0, 1}, {2}};
+  DatasetStats stats = ComputeDatasetStats("toy", g, &truth);
+  EXPECT_EQ(stats.vertices, 3);
+  EXPECT_EQ(stats.edges, 3);
+  EXPECT_NEAR(stats.percent_symmetric, 66.67, 0.1);
+  EXPECT_EQ(stats.num_categories, 2);
+}
+
+TEST(GraphStatsTest, DegreeHistogramBuckets) {
+  // Degrees: 0:3 (star center), 1,2,3: 1 each... build a star of 4 nodes.
+  auto g = UGraph::FromEdges(5, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}});
+  ASSERT_TRUE(g.ok());
+  DegreeHistogram h = ComputeDegreeHistogram(*g);
+  EXPECT_EQ(h.zero_count, 1);    // node 4 isolated
+  EXPECT_EQ(h.max_degree, 3);
+  ASSERT_GE(h.bucket_counts.size(), 2u);
+  EXPECT_EQ(h.bucket_counts[0], 3);  // degree 1: nodes 1,2,3
+  EXPECT_EQ(h.bucket_counts[1], 1);  // degree 2-3: node 0
+  EXPECT_NEAR(h.mean_degree, 6.0 / 5.0, 1e-12);
+  std::string text = FormatDegreeHistogram(h);
+  EXPECT_NE(text.find("1-1,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,116 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dgc {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dgc_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  auto g = Digraph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 2.5}, {3, 0, 1.0}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteEdgeList(*g, Path("g.txt")).ok());
+  auto back = ReadEdgeList(Path("g.txt"), 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumEdges(), 3);
+  EXPECT_DOUBLE_EQ(back->adjacency().At(1, 2), 2.5);
+}
+
+TEST_F(IoTest, EdgeListInfersSize) {
+  WriteFile("infer.txt", "# comment\n0 5\n2 3\n");
+  auto g = ReadEdgeList(Path("infer.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 6);
+}
+
+TEST_F(IoTest, EdgeListRejectsOutOfRangeIds) {
+  WriteFile("bad.txt", "0 9\n");
+  EXPECT_FALSE(ReadEdgeList(Path("bad.txt"), 5).ok());
+}
+
+TEST_F(IoTest, EdgeListRejectsMalformedLine) {
+  WriteFile("bad2.txt", "0\n");
+  EXPECT_FALSE(ReadEdgeList(Path("bad2.txt")).ok());
+}
+
+TEST_F(IoTest, EdgeListMissingFile) {
+  auto result = ReadEdgeList(Path("missing.txt"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(IoTest, MetisRoundTrip) {
+  auto g = UGraph::FromEdges(4, {{0, 1, 2.0}, {1, 2, 3.0}, {2, 3, 1.0}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteMetisGraph(*g, Path("g.metis")).ok());
+  auto back = ReadMetisGraph(Path("g.metis"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumVertices(), 4);
+  EXPECT_EQ(back->NumEdges(), 3);
+  EXPECT_DOUBLE_EQ(back->adjacency().At(1, 2), 3.0);
+}
+
+TEST_F(IoTest, MetisWeightScaleRoundsFractionalWeights) {
+  auto g = UGraph::FromEdges(2, {{0, 1, 0.25}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteMetisGraph(*g, Path("f.metis"), 100.0).ok());
+  auto back = ReadMetisGraph(Path("f.metis"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->adjacency().At(0, 1), 25.0);
+}
+
+TEST_F(IoTest, MetisRejectsBadNeighborIds) {
+  WriteFile("bad.metis", "2 1 001\n5 1\n\n");
+  EXPECT_FALSE(ReadMetisGraph(Path("bad.metis")).ok());
+}
+
+TEST_F(IoTest, GroundTruthRoundTrip) {
+  GroundTruth truth;
+  truth.categories = {{0, 2}, {1}, {0, 1, 3}};
+  ASSERT_TRUE(WriteGroundTruth(truth, Path("gt.txt")).ok());
+  auto back = ReadGroundTruth(Path("gt.txt"), 4);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumCategories(), 3);
+  EXPECT_EQ(back->categories[0], (std::vector<Index>{0, 2}));
+  EXPECT_EQ(back->categories[2], (std::vector<Index>{0, 1, 3}));
+}
+
+TEST_F(IoTest, GroundTruthRejectsOutOfRangeVertex) {
+  WriteFile("gt_bad.txt", "9 0\n");
+  EXPECT_FALSE(ReadGroundTruth(Path("gt_bad.txt"), 5).ok());
+}
+
+TEST_F(IoTest, ClusteringRoundTrip) {
+  Clustering c(std::vector<Index>{0, 1, -1, 1});
+  ASSERT_TRUE(WriteClustering(c, Path("c.txt")).ok());
+  auto back = ReadClustering(Path("c.txt"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->labels(), c.labels());
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,203 @@
+// Tests for the LFR-style generator and the NMI/ARI partition metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/pipeline.h"
+#include "eval/partition_metrics.h"
+#include "gen/lfr.h"
+
+namespace dgc {
+namespace {
+
+TEST(LfrTest, PartitionCoversAllVertices) {
+  LfrOptions options;
+  options.num_vertices = 2000;
+  auto dataset = GenerateLfr(options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->truth.NumMemberships(), 2000);
+  std::vector<bool> seen(2000, false);
+  for (const auto& community : dataset->truth.categories) {
+    EXPECT_GE(static_cast<Index>(community.size()), options.min_community);
+    for (Index v : community) {
+      EXPECT_FALSE(seen[static_cast<size_t>(v)]);
+      seen[static_cast<size_t>(v)] = true;
+    }
+  }
+}
+
+TEST(LfrTest, MixingControlsInterCommunityEdges) {
+  auto fraction_inter = [](const Dataset& d) {
+    std::vector<Index> community(static_cast<size_t>(d.graph.NumVertices()));
+    for (size_t c = 0; c < d.truth.categories.size(); ++c) {
+      for (Index v : d.truth.categories[c]) {
+        community[static_cast<size_t>(v)] = static_cast<Index>(c);
+      }
+    }
+    Offset inter = 0;
+    const CsrMatrix& a = d.graph.adjacency();
+    for (Index u = 0; u < a.rows(); ++u) {
+      for (Index v : a.RowCols(u)) {
+        if (community[static_cast<size_t>(u)] !=
+            community[static_cast<size_t>(v)]) {
+          ++inter;
+        }
+      }
+    }
+    return static_cast<double>(inter) /
+           static_cast<double>(d.graph.NumEdges());
+  };
+  LfrOptions low, high;
+  low.num_vertices = high.num_vertices = 3000;
+  low.mixing = 0.1;
+  high.mixing = 0.5;
+  auto d_low = GenerateLfr(low);
+  auto d_high = GenerateLfr(high);
+  ASSERT_TRUE(d_low.ok());
+  ASSERT_TRUE(d_high.ok());
+  EXPECT_NEAR(fraction_inter(*d_low), 0.1, 0.05);
+  EXPECT_NEAR(fraction_inter(*d_high), 0.5, 0.07);
+}
+
+TEST(LfrTest, CocitationStyleHasNoMemberMemberEdges) {
+  LfrOptions options;
+  options.num_vertices = 1500;
+  options.style = LfrCommunityStyle::kCocitation;
+  options.mixing = 0.0;
+  auto dataset = GenerateLfr(options);
+  ASSERT_TRUE(dataset.ok());
+  // In co-citation style with mu=0, non-authority members point only at
+  // authorities: check that the vast majority of intra edges touch the
+  // authority prefix of each community.
+  for (const auto& community : dataset->truth.categories) {
+    const Index auth = std::max<Index>(
+        1, static_cast<Index>(options.authority_fraction *
+                              static_cast<double>(community.size())));
+    std::vector<bool> is_authority(community.size(), false);
+    for (Index i = 0; i < auth; ++i) is_authority[static_cast<size_t>(i)] = true;
+    // Map vertex -> rank within community.
+    std::unordered_map<Index, size_t> rank;
+    for (size_t i = 0; i < community.size(); ++i) rank[community[i]] = i;
+    for (size_t i = auth; i < community.size(); ++i) {
+      const Index member = community[i];
+      for (Index w : dataset->graph.OutNeighbors(member)) {
+        auto it = rank.find(w);
+        if (it == rank.end()) continue;  // inter edge
+        EXPECT_LT(it->second, static_cast<size_t>(auth))
+            << "member->member edge found in co-citation style";
+      }
+    }
+  }
+}
+
+TEST(LfrTest, RejectsBadOptions) {
+  LfrOptions bad;
+  bad.mixing = 1.0;
+  EXPECT_FALSE(GenerateLfr(bad).ok());
+  LfrOptions bad2;
+  bad2.min_community = 1;
+  EXPECT_FALSE(GenerateLfr(bad2).ok());
+}
+
+TEST(PartitionMetricsTest, IdenticalPartitionsScoreOne) {
+  Clustering a(std::vector<Index>{0, 0, 1, 1, 2, 2});
+  Clustering b(std::vector<Index>{5, 5, 3, 3, 9, 9});  // same up to labels
+  auto cmp = ComparePartitions(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->nmi, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->ari, 1.0);
+}
+
+TEST(PartitionMetricsTest, IndependentPartitionsScoreLow) {
+  // Labels alternating vs block: MI is zero.
+  Clustering a(std::vector<Index>{0, 0, 0, 0, 1, 1, 1, 1});
+  Clustering b(std::vector<Index>{0, 1, 0, 1, 0, 1, 0, 1});
+  auto cmp = ComparePartitions(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp->nmi, 0.0, 1e-9);
+  EXPECT_NEAR(cmp->ari, 0.0, 0.2);
+}
+
+TEST(PartitionMetricsTest, UnassignedExcluded) {
+  Clustering a(std::vector<Index>{0, 0, 1, 1, -1});
+  Clustering b(std::vector<Index>{2, 2, 7, 7, 3});
+  auto cmp = ComparePartitions(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->support, 4);
+  EXPECT_DOUBLE_EQ(cmp->nmi, 1.0);
+}
+
+TEST(PartitionMetricsTest, RejectsSizeMismatch) {
+  Clustering a(std::vector<Index>{0});
+  Clustering b(std::vector<Index>{0, 1});
+  EXPECT_FALSE(ComparePartitions(a, b).ok());
+}
+
+TEST(PartitionMetricsTest, TruthToClusteringRoundTrip) {
+  GroundTruth truth;
+  truth.categories = {{0, 2}, {1, 3}};
+  auto c = TruthToClustering(truth, 5);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->LabelOf(0), 0);
+  EXPECT_EQ(c->LabelOf(3), 1);
+  EXPECT_EQ(c->LabelOf(4), Clustering::kUnassigned);
+  GroundTruth overlapping;
+  overlapping.categories = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(TruthToClustering(overlapping, 3).ok());
+}
+
+TEST(EndToEndLfrTest, DenseStyleRecoverableByAPlusAT) {
+  LfrOptions options;
+  options.num_vertices = 1200;
+  options.min_community = 40;
+  options.max_community = 120;
+  options.mixing = 0.15;
+  auto dataset = GenerateLfr(options);
+  ASSERT_TRUE(dataset.ok());
+  PipelineOptions pipeline;
+  pipeline.method = SymmetrizationMethod::kAPlusAT;
+  pipeline.algorithm = ClusterAlgorithm::kGraclus;
+  pipeline.graclus.k = dataset->truth.NumCategories();
+  auto result = SymmetrizeAndCluster(dataset->graph, pipeline);
+  ASSERT_TRUE(result.ok());
+  auto truth_clustering =
+      TruthToClustering(dataset->truth, dataset->graph.NumVertices());
+  ASSERT_TRUE(truth_clustering.ok());
+  auto cmp = ComparePartitions(result->clustering, *truth_clustering);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_GT(cmp->nmi, 0.6);
+}
+
+TEST(EndToEndLfrTest, CocitationStyleNeedsSimilaritySymmetrization) {
+  LfrOptions options;
+  options.num_vertices = 1200;
+  options.min_community = 40;
+  options.max_community = 120;
+  options.mixing = 0.15;
+  options.style = LfrCommunityStyle::kCocitation;
+  options.authority_overlap = 0.5;
+  auto dataset = GenerateLfr(options);
+  ASSERT_TRUE(dataset.ok());
+  auto truth_clustering =
+      TruthToClustering(dataset->truth, dataset->graph.NumVertices());
+  ASSERT_TRUE(truth_clustering.ok());
+  auto run = [&](SymmetrizationMethod method) {
+    PipelineOptions pipeline;
+    pipeline.method = method;
+    pipeline.algorithm = ClusterAlgorithm::kGraclus;
+    pipeline.graclus.k = dataset->truth.NumCategories();
+    auto result = SymmetrizeAndCluster(dataset->graph, pipeline);
+    EXPECT_TRUE(result.ok());
+    auto cmp = ComparePartitions(result->clustering, *truth_clustering);
+    EXPECT_TRUE(cmp.ok());
+    return cmp.ok() ? cmp->nmi : 0.0;
+  };
+  const double nmi_dd = run(SymmetrizationMethod::kDegreeDiscounted);
+  const double nmi_sum = run(SymmetrizationMethod::kAPlusAT);
+  EXPECT_GT(nmi_dd, nmi_sum);
+  EXPECT_GT(nmi_dd, 0.5);
+}
+
+}  // namespace
+}  // namespace dgc

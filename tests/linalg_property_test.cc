@@ -1,0 +1,127 @@
+// Algebraic property tests for the sparse kernels: identities that must
+// hold for random matrices (transpose/addition/product interplay,
+// eigensolver agreement between the sparse Lanczos and dense Jacobi paths).
+#include <gtest/gtest.h>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/lanczos.h"
+#include "linalg/spgemm.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix RandomMatrix(Index rows, Index cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (int i = 0; i < nnz; ++i) {
+    t.push_back(
+        Triplet{static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(rows))),
+                static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(cols))),
+                rng.UniformDouble() - 0.3});
+  }
+  return std::move(CsrMatrix::FromTriplets(rows, cols, t)).ValueOrDie();
+}
+
+class LinalgProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinalgProperty, TransposeDistributesOverAddition) {
+  CsrMatrix a = RandomMatrix(20, 15, 120, GetParam());
+  CsrMatrix b = RandomMatrix(20, 15, 100, GetParam() + 1);
+  auto sum = CsrMatrix::Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  auto lhs = sum->Transpose();
+  auto rhs = CsrMatrix::Add(a.Transpose(), b.Transpose());
+  ASSERT_TRUE(rhs.ok());
+  auto dl = lhs.ToDense();
+  auto dr = rhs->ToDense();
+  for (size_t i = 0; i < dl.size(); ++i) EXPECT_NEAR(dl[i], dr[i], 1e-12);
+}
+
+TEST_P(LinalgProperty, ProductTransposeIdentity) {
+  // (A B)ᵀ == Bᵀ Aᵀ.
+  CsrMatrix a = RandomMatrix(12, 18, 90, GetParam());
+  CsrMatrix b = RandomMatrix(18, 10, 80, GetParam() + 2);
+  auto ab = SpGemm(a, b);
+  ASSERT_TRUE(ab.ok());
+  auto lhs = ab->Transpose().ToDense();
+  auto btat = SpGemm(b.Transpose(), a.Transpose());
+  ASSERT_TRUE(btat.ok());
+  auto rhs = btat->ToDense();
+  for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-10);
+}
+
+TEST_P(LinalgProperty, ProductAssociativity) {
+  CsrMatrix a = RandomMatrix(8, 10, 40, GetParam());
+  CsrMatrix b = RandomMatrix(10, 9, 45, GetParam() + 3);
+  CsrMatrix c = RandomMatrix(9, 7, 35, GetParam() + 4);
+  auto ab = SpGemm(a, b);
+  auto bc = SpGemm(b, c);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(bc.ok());
+  auto left = SpGemm(*ab, c);
+  auto right = SpGemm(a, *bc);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto dl = left->ToDense();
+  auto dr = right->ToDense();
+  for (size_t i = 0; i < dl.size(); ++i) EXPECT_NEAR(dl[i], dr[i], 1e-10);
+}
+
+TEST_P(LinalgProperty, MatVecAgreesWithProduct) {
+  // (A B) x == A (B x).
+  CsrMatrix a = RandomMatrix(15, 12, 80, GetParam());
+  CsrMatrix b = RandomMatrix(12, 15, 80, GetParam() + 5);
+  Rng rng(GetParam() + 6);
+  std::vector<Scalar> x(15);
+  for (auto& v : x) v = rng.UniformDouble();
+  auto ab = SpGemm(a, b);
+  ASSERT_TRUE(ab.ok());
+  std::vector<Scalar> direct(15), tmp(12), chained(15);
+  ab->Multiply(x, direct);
+  b.Multiply(x, tmp);
+  a.Multiply(tmp, chained);
+  for (size_t i = 0; i < 15; ++i) EXPECT_NEAR(direct[i], chained[i], 1e-10);
+}
+
+TEST_P(LinalgProperty, LanczosAgreesWithJacobiOnSmallMatrices) {
+  // Build a random symmetric sparse matrix and compare extremal
+  // eigenvalues computed by (a) sparse Lanczos and (b) dense Jacobi.
+  const Index n = 24;
+  Rng rng(GetParam() + 7);
+  std::vector<Triplet> t;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      if (i != j && !rng.Bernoulli(0.3)) continue;
+      const Scalar v = rng.UniformDouble() - 0.5;
+      t.push_back({i, j, v});
+      if (i != j) t.push_back({j, i, v});
+    }
+  }
+  auto sparse = CsrMatrix::FromTriplets(n, n, t);
+  ASSERT_TRUE(sparse.ok());
+  DenseMatrix dense(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) dense(i, j) = sparse->At(i, j);
+  }
+  std::vector<Scalar> jacobi_values;
+  DenseMatrix jacobi_vectors;
+  JacobiEigenSymmetric(dense, &jacobi_values, &jacobi_vectors);
+
+  LanczosOptions options;
+  options.num_eigenpairs = 4;
+  options.max_subspace = n;
+  auto lanczos = LanczosSymmetric(*sparse, options);
+  ASSERT_TRUE(lanczos.ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(lanczos->eigenvalues[static_cast<size_t>(i)],
+                jacobi_values[static_cast<size_t>(i)], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgProperty,
+                         ::testing::Values(11u, 29u, 47u));
+
+}  // namespace
+}  // namespace dgc

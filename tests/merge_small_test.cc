@@ -1,0 +1,67 @@
+#include "cluster/merge_small.h"
+
+#include <gtest/gtest.h>
+
+namespace dgc {
+namespace {
+
+TEST(MergeSmallTest, AbsorbsFragmentsIntoStrongestNeighbor) {
+  // Two 4-cliques plus one stray vertex attached to the first clique.
+  auto g = UGraph::FromEdges(9, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0},
+                                 {1, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0},
+                                 {4, 5, 1.0}, {4, 6, 1.0}, {4, 7, 1.0},
+                                 {5, 6, 1.0}, {5, 7, 1.0}, {6, 7, 1.0},
+                                 {8, 0, 2.0}, {8, 4, 0.5}});
+  ASSERT_TRUE(g.ok());
+  Clustering c(std::vector<Index>{0, 0, 0, 0, 1, 1, 1, 1, 2});
+  const Index k = MergeSmallClusters(*g, 2, &c);
+  EXPECT_EQ(k, 2);
+  // Vertex 8 joins clique 0 (weight 2.0 beats 0.5).
+  EXPECT_EQ(c.LabelOf(8), c.LabelOf(0));
+}
+
+TEST(MergeSmallTest, IsolatedFragmentsStay) {
+  auto g = UGraph::FromEdges(5, {{0, 1, 1.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  // Vertices 3 and 4 are isolated singleton clusters with no edges.
+  Clustering c(std::vector<Index>{0, 0, 0, 1, 2});
+  const Index k = MergeSmallClusters(*g, 3, &c);
+  EXPECT_EQ(k, 3);
+  EXPECT_NE(c.LabelOf(3), c.LabelOf(4));
+}
+
+TEST(MergeSmallTest, ChainOfFragmentsConverges) {
+  // A path of singletons: each merge round shortens the chain; the result
+  // must be a single cluster.
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  for (Index i = 0; i + 1 < 8; ++i) edges.emplace_back(i, i + 1, 1.0);
+  auto g = UGraph::FromEdges(8, edges);
+  ASSERT_TRUE(g.ok());
+  std::vector<Index> labels(8);
+  for (Index i = 0; i < 8; ++i) labels[static_cast<size_t>(i)] = i;
+  Clustering c(labels);
+  const Index k = MergeSmallClusters(*g, 4, &c);
+  EXPECT_LE(k, 2);
+  for (Index v = 0; v < 8; ++v) {
+    EXPECT_NE(c.LabelOf(v), Clustering::kUnassigned);
+  }
+}
+
+TEST(MergeSmallTest, NoOpWhenAllLargeEnough) {
+  auto g = UGraph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 1.0}, {1, 2, 0.1}});
+  ASSERT_TRUE(g.ok());
+  Clustering c(std::vector<Index>{0, 0, 1, 1});
+  Clustering before = c;
+  EXPECT_EQ(MergeSmallClusters(*g, 2, &c), 2);
+  EXPECT_EQ(c.labels(), before.labels());
+}
+
+TEST(MergeSmallTest, MinSizeOneDisables) {
+  auto g = UGraph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  Clustering c(std::vector<Index>{0, 1, 2});
+  EXPECT_EQ(MergeSmallClusters(*g, 1, &c), 3);
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,134 @@
+#include "linalg/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix Cycle(Index n) {
+  std::vector<Triplet> t;
+  for (Index i = 0; i < n; ++i) {
+    t.push_back(Triplet{i, static_cast<Index>((i + 1) % n), 1.0});
+  }
+  return std::move(CsrMatrix::FromTriplets(n, n, t)).ValueOrDie();
+}
+
+TEST(RowStochasticTest, NormalizesRows) {
+  auto a = std::move(CsrMatrix::FromTriplets(
+                         2, 2, {{0, 0, 2.0}, {0, 1, 6.0}, {1, 0, 5.0}}))
+               .ValueOrDie();
+  CsrMatrix p = RowStochastic(a);
+  EXPECT_DOUBLE_EQ(p.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(p.At(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(p.At(1, 0), 1.0);
+}
+
+TEST(RowStochasticTest, LeavesDanglingRowsEmpty) {
+  auto a = std::move(CsrMatrix::FromTriplets(2, 2, {{0, 1, 3.0}}))
+               .ValueOrDie();
+  CsrMatrix p = RowStochastic(a);
+  EXPECT_EQ(p.RowNnz(1), 0);
+}
+
+TEST(PageRankTest, UniformOnCycle) {
+  const Index n = 10;
+  auto result = PageRank(Cycle(n));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  for (Scalar v : result->pi) {
+    EXPECT_NEAR(v, 1.0 / n, 1e-9);
+  }
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Rng rng(99);
+  std::vector<Triplet> t;
+  for (int i = 0; i < 300; ++i) {
+    t.push_back(Triplet{static_cast<Index>(rng.UniformU64(50)),
+                        static_cast<Index>(rng.UniformU64(50)), 1.0});
+  }
+  auto a = std::move(CsrMatrix::FromTriplets(50, 50, t)).ValueOrDie();
+  auto result = PageRank(a);
+  ASSERT_TRUE(result.ok());
+  Scalar sum = 0.0;
+  for (Scalar v : result->pi) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, StationaryUnderOneMoreStep) {
+  // pi must satisfy pi = (1-t)(pi P + dangling/n) + t/n.
+  Rng rng(5);
+  std::vector<Triplet> t;
+  for (int i = 0; i < 120; ++i) {
+    t.push_back(Triplet{static_cast<Index>(rng.UniformU64(30)),
+                        static_cast<Index>(rng.UniformU64(30)), 1.0});
+  }
+  auto a = std::move(CsrMatrix::FromTriplets(30, 30, t)).ValueOrDie();
+  PageRankOptions options;
+  options.tolerance = 1e-14;
+  options.max_iterations = 500;
+  auto result = PageRank(a, options);
+  ASSERT_TRUE(result.ok());
+  const auto& pi = result->pi;
+  CsrMatrix p = RowStochastic(a);
+  std::vector<Scalar> next(pi.size(), 0.0);
+  Scalar dangling = 0.0;
+  for (Index u = 0; u < 30; ++u) {
+    if (p.RowNnz(u) == 0) {
+      dangling += pi[static_cast<size_t>(u)];
+      continue;
+    }
+    auto cols = p.RowCols(u);
+    auto vals = p.RowValues(u);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      next[static_cast<size_t>(cols[i])] +=
+          pi[static_cast<size_t>(u)] * vals[i];
+    }
+  }
+  const Scalar teleport = options.teleport;
+  for (size_t i = 0; i < next.size(); ++i) {
+    next[i] = (1.0 - teleport) * (next[i] + dangling / 30.0) +
+              teleport / 30.0;
+    EXPECT_NEAR(next[i], pi[i], 1e-8);
+  }
+}
+
+TEST(PageRankTest, HigherInDegreeMeansHigherRank) {
+  // Star: everyone points to node 0.
+  std::vector<Triplet> t;
+  for (Index i = 1; i < 10; ++i) t.push_back(Triplet{i, 0, 1.0});
+  auto a = std::move(CsrMatrix::FromTriplets(10, 10, t)).ValueOrDie();
+  auto result = PageRank(a);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < 10; ++i) {
+    EXPECT_GT(result->pi[0], result->pi[i]);
+  }
+}
+
+TEST(PageRankTest, RejectsBadInput) {
+  EXPECT_FALSE(PageRank(CsrMatrix::Zero(2, 3)).ok());
+  EXPECT_FALSE(PageRank(CsrMatrix::Zero(0, 0)).ok());
+  PageRankOptions bad;
+  bad.teleport = 1.5;
+  EXPECT_FALSE(PageRank(CsrMatrix::Identity(3), bad).ok());
+}
+
+TEST(PageRankTest, TeleportMattersOnAsymmetricGraph) {
+  std::vector<Triplet> t = {{0, 1, 1.0}, {1, 0, 1.0}, {2, 0, 1.0}};
+  auto a = std::move(CsrMatrix::FromTriplets(3, 3, t)).ValueOrDie();
+  PageRankOptions low, high;
+  low.teleport = 0.01;
+  high.teleport = 0.5;
+  auto r1 = PageRank(a, low);
+  auto r2 = PageRank(a, high);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Node 2 only receives teleport mass; higher teleport, higher share.
+  EXPECT_GT(r2->pi[2], r1->pi[2]);
+}
+
+}  // namespace
+}  // namespace dgc

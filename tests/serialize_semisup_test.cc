@@ -1,0 +1,155 @@
+// Tests for binary serialization and directed label propagation.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/semi_supervised.h"
+#include "graph/serialize.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dgc_ser_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+CsrMatrix RandomMatrix(Index rows, Index cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (int i = 0; i < nnz; ++i) {
+    t.push_back(
+        Triplet{static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(rows))),
+                static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(cols))),
+                rng.UniformDouble()});
+  }
+  return std::move(CsrMatrix::FromTriplets(rows, cols, t)).ValueOrDie();
+}
+
+TEST_F(SerializeTest, MatrixRoundTrip) {
+  CsrMatrix m = RandomMatrix(50, 40, 400, 1);
+  ASSERT_TRUE(SaveMatrix(m, Path("m.dgcm")).ok());
+  auto back = LoadMatrix(Path("m.dgcm"));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, m);
+}
+
+TEST_F(SerializeTest, EmptyMatrixRoundTrip) {
+  CsrMatrix m = CsrMatrix::Zero(7, 3);
+  ASSERT_TRUE(SaveMatrix(m, Path("z.dgcm")).ok());
+  auto back = LoadMatrix(Path("z.dgcm"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, m);
+}
+
+TEST_F(SerializeTest, RejectsGarbage) {
+  {
+    std::ofstream out(Path("bad.dgcm"), std::ios::binary);
+    out << "this is not a matrix";
+  }
+  EXPECT_FALSE(LoadMatrix(Path("bad.dgcm")).ok());
+  EXPECT_TRUE(LoadMatrix(Path("missing.dgcm")).status().IsIOError());
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  CsrMatrix m = RandomMatrix(30, 30, 200, 2);
+  ASSERT_TRUE(SaveMatrix(m, Path("full.dgcm")).ok());
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(Path("full.dgcm"));
+  std::filesystem::resize_file(Path("full.dgcm"), size / 2);
+  EXPECT_FALSE(LoadMatrix(Path("full.dgcm")).ok());
+}
+
+TEST_F(SerializeTest, DigraphRoundTrip) {
+  auto g = Digraph::FromEdges(5, {{0, 1, 2.0}, {3, 2, 1.5}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(SaveDigraph(*g, Path("g.dgcm")).ok());
+  auto back = LoadDigraph(Path("g.dgcm"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->adjacency(), g->adjacency());
+}
+
+TEST_F(SerializeTest, UGraphRoundTripValidatesSymmetry) {
+  auto g = UGraph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 0.5}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(SaveUGraph(*g, Path("u.dgcm")).ok());
+  auto back = LoadUGraph(Path("u.dgcm"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->adjacency(), g->adjacency());
+  // An asymmetric matrix saved as-is must be rejected by LoadUGraph.
+  auto asym = Digraph::FromEdges(3, {{0, 1, 1.0}});
+  ASSERT_TRUE(asym.ok());
+  ASSERT_TRUE(SaveMatrix(asym->adjacency(), Path("a.dgcm")).ok());
+  EXPECT_FALSE(LoadUGraph(Path("a.dgcm")).ok());
+}
+
+Digraph DirectedBlocks(Index blocks, Index size) {
+  std::vector<Edge> edges;
+  for (Index b = 0; b < blocks; ++b) {
+    const Index base = b * size;
+    for (Index i = 0; i < size; ++i) {
+      for (Index j = 0; j < size; ++j) {
+        if (i != j) edges.push_back(Edge{base + i, base + j, 1.0});
+      }
+    }
+    edges.push_back(Edge{base, ((b + 1) % blocks) * size, 1.0});
+  }
+  return std::move(Digraph::FromEdges(blocks * size, edges)).ValueOrDie();
+}
+
+TEST(SemiSupervisedTest, TwoSeedsLabelDirectedBlocks) {
+  Digraph g = DirectedBlocks(2, 10);
+  auto result = PropagateLabelsDirected(g, {{0, 0}, {10, 1}}, 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  for (Index v = 0; v < 10; ++v) {
+    EXPECT_EQ(result->labels.LabelOf(v), 0) << "vertex " << v;
+  }
+  for (Index v = 10; v < 20; ++v) {
+    EXPECT_EQ(result->labels.LabelOf(v), 1) << "vertex " << v;
+  }
+}
+
+TEST(SemiSupervisedTest, ThreeClasses) {
+  Digraph g = DirectedBlocks(3, 8);
+  auto result =
+      PropagateLabelsDirected(g, {{1, 0}, {9, 1}, {17, 2}}, 3);
+  ASSERT_TRUE(result.ok());
+  int correct = 0;
+  for (Index v = 0; v < 24; ++v) {
+    if (result->labels.LabelOf(v) == v / 8) ++correct;
+  }
+  EXPECT_GE(correct, 22);  // near-perfect propagation
+}
+
+TEST(SemiSupervisedTest, SeedsKeepTheirClass) {
+  Digraph g = DirectedBlocks(2, 6);
+  auto result = PropagateLabelsDirected(g, {{2, 1}, {8, 0}}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.LabelOf(2), 1);
+  EXPECT_EQ(result->labels.LabelOf(8), 0);
+}
+
+TEST(SemiSupervisedTest, RejectsBadInput) {
+  Digraph g = DirectedBlocks(2, 5);
+  EXPECT_FALSE(PropagateLabelsDirected(g, {}, 2).ok());
+  EXPECT_FALSE(PropagateLabelsDirected(g, {{0, 5}}, 2).ok());
+  EXPECT_FALSE(PropagateLabelsDirected(g, {{99, 0}}, 2).ok());
+  SemiSupervisedOptions bad;
+  bad.mu = 1.5;
+  EXPECT_FALSE(PropagateLabelsDirected(g, {{0, 0}}, 2, bad).ok());
+}
+
+}  // namespace
+}  // namespace dgc

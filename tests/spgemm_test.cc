@@ -1,0 +1,164 @@
+#include "linalg/spgemm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix Random(Index rows, Index cols, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < nnz; ++i) {
+    triplets.push_back(
+        Triplet{static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(rows))),
+                static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(cols))),
+                rng.UniformDouble() + 0.1});
+  }
+  return std::move(CsrMatrix::FromTriplets(rows, cols, triplets)).ValueOrDie();
+}
+
+std::vector<Scalar> DenseProduct(const CsrMatrix& a, const CsrMatrix& b) {
+  auto da = a.ToDense();
+  auto db = b.ToDense();
+  std::vector<Scalar> dc(static_cast<size_t>(a.rows()) * b.cols(), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k = 0; k < a.cols(); ++k) {
+      const Scalar av = da[static_cast<size_t>(i) * a.cols() + k];
+      if (av == 0.0) continue;
+      for (Index j = 0; j < b.cols(); ++j) {
+        dc[static_cast<size_t>(i) * b.cols() + j] +=
+            av * db[static_cast<size_t>(k) * b.cols() + j];
+      }
+    }
+  }
+  return dc;
+}
+
+TEST(SpGemmTest, SmallKnownProduct) {
+  auto a = std::move(CsrMatrix::FromTriplets(
+                         2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}}))
+               .ValueOrDie();
+  auto b = std::move(CsrMatrix::FromTriplets(
+                         2, 2, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}}))
+               .ValueOrDie();
+  auto c = SpGemm(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c->At(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(c->At(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c->At(1, 1), 3.0);
+}
+
+TEST(SpGemmTest, MatchesDenseReference) {
+  CsrMatrix a = Random(25, 18, 120, 1);
+  CsrMatrix b = Random(18, 30, 140, 2);
+  auto c = SpGemm(a, b);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->Validate().ok());
+  auto expected = DenseProduct(a, b);
+  auto actual = c->ToDense();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-10);
+  }
+}
+
+TEST(SpGemmTest, RejectsDimensionMismatch) {
+  EXPECT_FALSE(SpGemm(CsrMatrix::Zero(2, 3), CsrMatrix::Zero(4, 2)).ok());
+}
+
+TEST(SpGemmTest, ThresholdDropsSmallEntries) {
+  CsrMatrix a = Random(20, 20, 100, 3);
+  SpGemmOptions options;
+  options.threshold = 0.5;
+  auto c = SpGemm(a, a, options);
+  ASSERT_TRUE(c.ok());
+  for (Scalar v : c->values()) {
+    EXPECT_GE(std::abs(v), 0.5);
+  }
+  // The thresholded result must be a subset of the full product.
+  auto full = SpGemm(a, a);
+  ASSERT_TRUE(full.ok());
+  for (Index i = 0; i < c->rows(); ++i) {
+    auto cols = c->RowCols(i);
+    auto vals = c->RowValues(i);
+    for (size_t e = 0; e < cols.size(); ++e) {
+      EXPECT_NEAR(full->At(i, cols[e]), vals[e], 1e-10);
+    }
+  }
+}
+
+TEST(SpGemmTest, DropDiagonalRemovesSelfEntries) {
+  CsrMatrix a = Random(20, 20, 100, 4);
+  SpGemmOptions options;
+  options.drop_diagonal = true;
+  auto c = SpGemmAAt(a, options);
+  ASSERT_TRUE(c.ok());
+  for (Index i = 0; i < c->rows(); ++i) {
+    EXPECT_DOUBLE_EQ(c->At(i, i), 0.0);
+  }
+}
+
+TEST(SpGemmTest, AAtIsExactlySymmetric) {
+  CsrMatrix a = Random(40, 25, 300, 5);
+  auto c = SpGemmAAt(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsSymmetric(0.0));  // bitwise symmetry (same summation order)
+}
+
+TEST(SpGemmTest, AtAIsExactlySymmetric) {
+  CsrMatrix a = Random(40, 25, 300, 6);
+  auto c = SpGemmAtA(a);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->IsSymmetric(0.0));
+  EXPECT_EQ(c->rows(), 25);
+}
+
+TEST(SpGemmTest, AAtCountsCommonOutLinks) {
+  // Paper Section 2.2: B(i,j) = number of nodes both i and j point to.
+  auto a = std::move(CsrMatrix::FromTriplets(3, 3,
+                                             {{0, 2, 1.0},
+                                              {1, 2, 1.0},
+                                              {0, 1, 1.0},
+                                              {1, 0, 1.0}}))
+               .ValueOrDie();
+  auto b = SpGemmAAt(a);
+  ASSERT_TRUE(b.ok());
+  // Nodes 0 and 1 share exactly one out-neighbor (node 2).
+  EXPECT_DOUBLE_EQ(b->At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(b->At(1, 0), 1.0);
+}
+
+TEST(SpGemmTest, MultiThreadedMatchesSingleThreaded) {
+  CsrMatrix a = Random(60, 60, 700, 7);
+  SpGemmOptions single;
+  SpGemmOptions multi;
+  multi.num_threads = 4;
+  auto c1 = SpGemm(a, a, single);
+  auto c4 = SpGemm(a, a, multi);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c4.ok());
+  EXPECT_EQ(*c1, *c4);
+}
+
+TEST(SpGemmTest, FlopsCountsMultiplies) {
+  auto a = std::move(CsrMatrix::FromTriplets(
+                         2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}}))
+               .ValueOrDie();
+  // Row 0 touches rows 0 (2 nnz) and 1 (1 nnz) of a: 3 flops.
+  // Row 1 touches row 0: 2 flops. Total 5.
+  EXPECT_EQ(SpGemmFlops(a, a), 5);
+}
+
+TEST(SpGemmTest, EmptyProduct) {
+  auto c = SpGemm(CsrMatrix::Zero(3, 4), CsrMatrix::Zero(4, 5));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->nnz(), 0);
+  EXPECT_EQ(c->rows(), 3);
+  EXPECT_EQ(c->cols(), 5);
+}
+
+}  // namespace
+}  // namespace dgc

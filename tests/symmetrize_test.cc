@@ -1,0 +1,345 @@
+#include "core/symmetrize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+Digraph MakeDigraph(Index n, std::vector<Edge> edges) {
+  auto g = Digraph::FromEdges(n, edges);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).ValueOrDie();
+}
+
+/// The idealized graph of the paper's Figure 1: nodes 4 and 5 point at the
+/// same targets {2, 3} and are pointed at by the same sources {0, 1}, but
+/// do not link to each other.
+Digraph Figure1Graph() {
+  return MakeDigraph(6, {
+                            {0, 4, 1.0},
+                            {0, 5, 1.0},
+                            {1, 4, 1.0},
+                            {1, 5, 1.0},
+                            {4, 2, 1.0},
+                            {4, 3, 1.0},
+                            {5, 2, 1.0},
+                            {5, 3, 1.0},
+                        });
+}
+
+TEST(MethodNameTest, NamesAndParsing) {
+  EXPECT_EQ(SymmetrizationMethodName(SymmetrizationMethod::kAPlusAT), "A+A'");
+  EXPECT_EQ(SymmetrizationMethodName(SymmetrizationMethod::kDegreeDiscounted),
+            "Degree-discounted");
+  EXPECT_EQ(ParseSymmetrizationMethod("dd").ValueOrDie(),
+            SymmetrizationMethod::kDegreeDiscounted);
+  EXPECT_EQ(ParseSymmetrizationMethod("Bibliometric").ValueOrDie(),
+            SymmetrizationMethod::kBibliometric);
+  EXPECT_EQ(ParseSymmetrizationMethod("a+at").ValueOrDie(),
+            SymmetrizationMethod::kAPlusAT);
+  EXPECT_EQ(ParseSymmetrizationMethod("rw").ValueOrDie(),
+            SymmetrizationMethod::kRandomWalk);
+  EXPECT_FALSE(ParseSymmetrizationMethod("nonsense").ok());
+}
+
+TEST(APlusATTest, SumsReciprocalEdges) {
+  Digraph g = MakeDigraph(3, {{0, 1, 2.0}, {1, 0, 3.0}, {1, 2, 1.0}});
+  auto u = SymmetrizeAPlusAT(g);
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(u->adjacency().At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(u->adjacency().At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(u->adjacency().At(1, 2), 1.0);
+  EXPECT_EQ(u->NumEdges(), 2);
+}
+
+TEST(APlusATTest, CannotConnectFigure1Pair) {
+  // The paper's core observation (Section 3.1): nodes 4 and 5 stay
+  // unconnected under A + Aᵀ.
+  auto u = SymmetrizeAPlusAT(Figure1Graph());
+  ASSERT_TRUE(u.ok());
+  EXPECT_DOUBLE_EQ(u->adjacency().At(4, 5), 0.0);
+}
+
+TEST(RandomWalkTest, SameEdgeSetAsAPlusAT) {
+  // Section 3.2: Random walk symmetrization has the exact same non-zero
+  // structure as A + Aᵀ.
+  Rng rng(77);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 120; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(25)),
+                         static_cast<Index>(rng.UniformU64(25)), 1.0});
+  }
+  Digraph g = MakeDigraph(25, edges);
+  auto sum = SymmetrizeAPlusAT(g);
+  auto rw = SymmetrizeRandomWalk(g);
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(rw.ok());
+  ASSERT_EQ(sum->NumEdges(), rw->NumEdges());
+  for (Index v = 0; v < 25; ++v) {
+    auto a = sum->Neighbors(v);
+    auto b = rw->Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(RandomWalkTest, WeightsAreFlowProbabilities) {
+  // Two-node mutual edge: pi = (1/2, 1/2), P = permutation, so
+  // U(0,1) = (pi0*P01 + pi1*P10)/2 = 1/2.
+  Digraph g = MakeDigraph(2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  SymmetrizationOptions options;
+  options.pagerank.teleport = 0.0;
+  auto u = SymmetrizeRandomWalk(g, options);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(u->adjacency().At(0, 1), 0.5, 1e-9);
+}
+
+TEST(BibliometricTest, CountsCommonInAndOutLinks) {
+  Digraph g = Figure1Graph();
+  auto u = SymmetrizeBibliometric(g);
+  ASSERT_TRUE(u.ok());
+  // Nodes 4,5: two common out-links (2,3) + two common in-links (0,1) = 4.
+  EXPECT_DOUBLE_EQ(u->adjacency().At(4, 5), 4.0);
+  // Nodes 0,1 share out-links {4,5}: weight 2 (no common in-links).
+  EXPECT_DOUBLE_EQ(u->adjacency().At(0, 1), 2.0);
+  // Nodes 2,3 share in-links {4,5}: weight 2.
+  EXPECT_DOUBLE_EQ(u->adjacency().At(2, 3), 2.0);
+}
+
+TEST(BibliometricTest, SelfLoopOptionPreservesOriginalEdges) {
+  // With A := A + I, an edge i->j yields a nonzero (i,j) similarity even
+  // without shared neighbors (Section 3.3).
+  Digraph g = MakeDigraph(3, {{0, 1, 1.0}});
+  auto plain = SymmetrizeBibliometric(g);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(plain->adjacency().At(0, 1), 0.0);
+  SymmetrizationOptions options;
+  options.add_self_loops = true;
+  auto with_loops = SymmetrizeBibliometric(g, options);
+  ASSERT_TRUE(with_loops.ok());
+  EXPECT_GT(with_loops->adjacency().At(0, 1), 0.0);
+}
+
+TEST(BibliometricTest, ThresholdSparsifies) {
+  Rng rng(5);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 400; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(40)),
+                         static_cast<Index>(rng.UniformU64(40)), 1.0});
+  }
+  Digraph g = MakeDigraph(40, edges);
+  SymmetrizationOptions loose, tight;
+  tight.prune_threshold = 3.0;
+  auto full = SymmetrizeBibliometric(g, loose);
+  auto pruned = SymmetrizeBibliometric(g, tight);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->NumEdges(), full->NumEdges());
+  for (Scalar v : pruned->adjacency().values()) EXPECT_GE(v, 3.0);
+}
+
+TEST(DegreeDiscountedTest, MatchesPaperFormulaOnFigure1) {
+  // Ud(4,5) per Eq. 8: out-part: common targets 2,3 with Di=2 each, both
+  // sources have Do=2: (1/sqrt(2))^2 * [1/2 + 1/2] ... explicitly:
+  //   Bd(4,5) = Do(4)^-.5 Do(5)^-.5 * sum_k A(4,k)A(5,k) Di(k)^-1... no:
+  //   Bd(4,5) = (1/sqrt(Do4 Do5)) * sum_k A4k A5k / sqrt(Di k) hmm — with
+  // alpha=beta=0.5: Bd = Do^-1/2 A Di^-1/2 ... A^T:
+  //   Bd(4,5) = Do(4)^-1/2 Do(5)^-1/2 * sum_k A(4,k)A(5,k) Di(k)^-1/2...
+  // Wait the middle discount applies once per k: Di(k)^-beta with beta=0.5.
+  // Do(4)=Do(5)=2, Di(2)=Di(3)=2:
+  //   Bd(4,5) = 2^-.5 * 2^-.5 * (2^-.5 + 2^-.5) = (1/2) * 2/sqrt(2) = 0.7071
+  // Cd(4,5) symmetric: same value. Total = sqrt(2).
+  Digraph g = Figure1Graph();
+  auto u = SymmetrizeDegreeDiscounted(g);
+  ASSERT_TRUE(u.ok());
+  EXPECT_NEAR(u->adjacency().At(4, 5), std::sqrt(2.0), 1e-9);
+}
+
+TEST(DegreeDiscountedTest, MatrixMatchesPairOracle) {
+  // Property: the SpGEMM-built matrix equals the direct per-pair definition.
+  Rng rng(31);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 300; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(30)),
+                         static_cast<Index>(rng.UniformU64(30)), 1.0});
+  }
+  Digraph g = MakeDigraph(30, edges);
+  SymmetrizationOptions options;
+  auto u = SymmetrizeDegreeDiscounted(g, options);
+  ASSERT_TRUE(u.ok());
+  for (Index i = 0; i < 30; ++i) {
+    for (Index j = 0; j < 30; ++j) {
+      if (i == j) continue;
+      const Scalar expected = DegreeDiscountedSimilarity(
+          g, i, j, options.out_discount, options.in_discount);
+      EXPECT_NEAR(u->adjacency().At(i, j), expected, 1e-9)
+          << "pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(DegreeDiscountedTest, HubPenalized) {
+  // Node h is a hub target with high in-degree; k is a niche target.
+  // Sharing the niche target must contribute more similarity than sharing
+  // the hub (Figure 3a).
+  std::vector<Edge> edges;
+  // i=0 and j=1 both point to hub 2 and niche 3.
+  edges.push_back(Edge{0, 2, 1.0});
+  edges.push_back(Edge{1, 2, 1.0});
+  edges.push_back(Edge{0, 3, 1.0});
+  edges.push_back(Edge{1, 3, 1.0});
+  // 20 other nodes also point at the hub.
+  for (Index v = 4; v < 24; ++v) edges.push_back(Edge{v, 2, 1.0});
+  Digraph g = MakeDigraph(24, edges);
+  SymmetrizationOptions options;
+  // Contribution through hub: Di(2) = 22 -> 1/sqrt(22); through niche:
+  // Di(3) = 2 -> 1/sqrt(2).
+  const Scalar sim = DegreeDiscountedSimilarity(g, 0, 1,
+                                                options.out_discount,
+                                                options.in_discount);
+  const Scalar hub_part = 0.5 * (1.0 / std::sqrt(22.0));
+  const Scalar niche_part = 0.5 * (1.0 / std::sqrt(2.0));
+  EXPECT_NEAR(sim, hub_part + niche_part, 1e-9);
+  EXPECT_GT(niche_part, hub_part);
+}
+
+TEST(DegreeDiscountedTest, AlphaBetaZeroEqualsBibliometric) {
+  // Table 4's alpha = beta = 0 row: no discounting reduces Ud to AAᵀ+AᵀA.
+  Rng rng(41);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(25)),
+                         static_cast<Index>(rng.UniformU64(25)), 1.0});
+  }
+  Digraph g = MakeDigraph(25, edges);
+  SymmetrizationOptions dd;
+  dd.out_discount = DiscountSpec::Power(0.0);
+  dd.in_discount = DiscountSpec::Power(0.0);
+  auto u1 = SymmetrizeDegreeDiscounted(g, dd);
+  auto u2 = SymmetrizeBibliometric(g);
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  EXPECT_EQ(u1->NumEdges(), u2->NumEdges());
+  for (Index i = 0; i < 25; ++i) {
+    for (Index j = 0; j < 25; ++j) {
+      EXPECT_NEAR(u1->adjacency().At(i, j), u2->adjacency().At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(DegreeDiscountedTest, LogDiscountDiffersFromPower) {
+  Digraph g = Figure1Graph();
+  SymmetrizationOptions log_options;
+  log_options.out_discount = DiscountSpec::Log();
+  log_options.in_discount = DiscountSpec::Log();
+  auto log_u = SymmetrizeDegreeDiscounted(g, log_options);
+  auto pow_u = SymmetrizeDegreeDiscounted(g);
+  ASSERT_TRUE(log_u.ok());
+  ASSERT_TRUE(pow_u.ok());
+  EXPECT_NE(log_u->adjacency().At(4, 5), pow_u->adjacency().At(4, 5));
+  EXPECT_GT(log_u->adjacency().At(4, 5), 0.0);
+}
+
+TEST(DegreeDiscountedTest, OutputIsSymmetricAndLoopFree) {
+  Rng rng(55);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 500; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(50)),
+                         static_cast<Index>(rng.UniformU64(50)), 1.0});
+  }
+  Digraph g = MakeDigraph(50, edges);
+  for (SymmetrizationMethod method : kAllSymmetrizations) {
+    auto u = Symmetrize(g, method);
+    ASSERT_TRUE(u.ok()) << SymmetrizationMethodName(method);
+    EXPECT_TRUE(u->adjacency().IsSymmetric(1e-9))
+        << SymmetrizationMethodName(method);
+    for (Index v = 0; v < 50; ++v) {
+      EXPECT_DOUBLE_EQ(u->adjacency().At(v, v), 0.0)
+          << SymmetrizationMethodName(method);
+    }
+  }
+}
+
+TEST(SymmetrizeTest, DispatcherMatchesDirectCalls) {
+  Digraph g = Figure1Graph();
+  auto via_dispatch =
+      Symmetrize(g, SymmetrizationMethod::kBibliometric);
+  auto direct = SymmetrizeBibliometric(g);
+  ASSERT_TRUE(via_dispatch.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_dispatch->adjacency(), direct->adjacency());
+}
+
+TEST(SymmetrizeTest, EmptyGraphRejected) {
+  Digraph g = MakeDigraph(0, {});
+  EXPECT_FALSE(SymmetrizeRandomWalk(g).ok());
+  EXPECT_FALSE(SymmetrizeBibliometric(g).ok());
+  EXPECT_FALSE(SymmetrizeDegreeDiscounted(g).ok());
+}
+
+TEST(DiscountTest, FactorsAndNames) {
+  std::vector<Offset> degrees = {0, 1, 4, 9};
+  auto power = DiscountFactors(degrees, DiscountSpec::Power(0.5));
+  EXPECT_DOUBLE_EQ(power[0], 0.0);
+  EXPECT_DOUBLE_EQ(power[1], 1.0);
+  EXPECT_DOUBLE_EQ(power[2], 0.5);
+  EXPECT_NEAR(power[3], 1.0 / 3.0, 1e-12);
+  auto none = DiscountFactors(degrees, DiscountSpec::None());
+  for (Scalar v : none) EXPECT_DOUBLE_EQ(v, 1.0);
+  auto log = DiscountFactors(degrees, DiscountSpec::Log());
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+  EXPECT_NEAR(log[2], 1.0 / std::log(5.0), 1e-12);
+  EXPECT_EQ(DiscountSpec::Power(0.5).ToString(), "0.5");
+  EXPECT_EQ(DiscountSpec::Power(0.0).ToString(), "0");
+  EXPECT_EQ(DiscountSpec::Log().ToString(), "log");
+}
+
+TEST(SimilarityFactorsTest, ReconstructUd) {
+  // U = M Mᵀ + Nᵀ N must reproduce SymmetrizeDegreeDiscounted (unpruned).
+  Rng rng(61);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 150; ++i) {
+    edges.push_back(Edge{static_cast<Index>(rng.UniformU64(20)),
+                         static_cast<Index>(rng.UniformU64(20)), 1.0});
+  }
+  Digraph g = MakeDigraph(20, edges);
+  auto factors = BuildSimilarityFactors(
+      g, SymmetrizationMethod::kDegreeDiscounted);
+  ASSERT_TRUE(factors.ok());
+  auto u = SymmetrizeDegreeDiscounted(g);
+  ASSERT_TRUE(u.ok());
+  // Verify one row against a hand computation via factor mat-vecs.
+  const CsrMatrix& m = factors->m;
+  const CsrMatrix& nmat = factors->n;
+  for (Index i = 0; i < 20; i += 7) {
+    std::vector<Scalar> ei(20, 0.0);
+    ei[static_cast<size_t>(i)] = 1.0;
+    std::vector<Scalar> tmp_m(20), row_b(20), tmp_n(20), row_c(20);
+    m.MultiplyTranspose(ei, tmp_m);   // Mᵀ e_i
+    m.Multiply(tmp_m, row_b);         // M Mᵀ e_i
+    nmat.Multiply(ei, tmp_n);         // N e_i (for Nᵀ N: row i of NᵀN is N^T (N e_i)... careful)
+    nmat.MultiplyTranspose(tmp_n, row_c);
+    for (Index j = 0; j < 20; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(u->adjacency().At(i, j),
+                  row_b[static_cast<size_t>(j)] +
+                      row_c[static_cast<size_t>(j)],
+                  1e-9);
+    }
+  }
+}
+
+TEST(SimilarityFactorsTest, RejectsNonSimilarityMethods) {
+  Digraph g = Figure1Graph();
+  EXPECT_FALSE(
+      BuildSimilarityFactors(g, SymmetrizationMethod::kAPlusAT).ok());
+  EXPECT_FALSE(
+      BuildSimilarityFactors(g, SymmetrizationMethod::kRandomWalk).ok());
+}
+
+}  // namespace
+}  // namespace dgc

@@ -1,0 +1,110 @@
+// dgc_score: evaluates a clustering file against ground truth with the
+// paper's micro-averaged best-match F-measure (Section 4.3), plus NMI/ARI
+// when the truth is a partition, plus normalized cuts when a graph is
+// supplied. Also runs the paired sign test between two clusterings
+// (Section 5.6).
+//
+//   $ ./dgc_score --labels=c.txt --truth=truth.txt --n=6000
+//         [--graph=graph.txt] [--labels-b=other.txt]
+#include <cstdio>
+#include <string>
+
+#include "core/symmetrize.h"
+#include "eval/fscore.h"
+#include "eval/ncut.h"
+#include "eval/partition_metrics.h"
+#include "eval/sign_test.h"
+#include "graph/io.h"
+#include "linalg/power_iteration.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+  using namespace dgc;
+  auto opts = Options::Parse(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return 2;
+  }
+  const std::string labels_path = opts->GetString("labels", "");
+  const std::string truth_path = opts->GetString("truth", "");
+  if (labels_path.empty() || truth_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dgc_score --labels=<file> --truth=<file> "
+                 "[--n=<vertices>] [--graph=<edge-list>] "
+                 "[--labels-b=<file>]\n");
+    return 2;
+  }
+  auto clustering = ReadClustering(labels_path);
+  if (!clustering.ok()) {
+    std::fprintf(stderr, "%s\n", clustering.status().ToString().c_str());
+    return 1;
+  }
+  const Index n = static_cast<Index>(
+      opts->GetInt("n", clustering->NumVertices()));
+  auto truth = ReadGroundTruth(truth_path, n);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  auto f = EvaluateFScore(*clustering, *truth);
+  if (!f.ok()) {
+    std::fprintf(stderr, "%s\n", f.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clusters:   %d\n", clustering->NumClusters());
+  std::printf("avg F:      %.4f\n", f->avg_f);
+  std::printf("precision:  %.4f\n", f->avg_precision);
+  std::printf("recall:     %.4f\n", f->avg_recall);
+
+  // NMI/ARI only make sense when the truth is a partition.
+  auto truth_clustering = TruthToClustering(*truth, n);
+  if (truth_clustering.ok()) {
+    auto cmp = ComparePartitions(*clustering, *truth_clustering);
+    if (cmp.ok()) {
+      std::printf("NMI:        %.4f\n", cmp->nmi);
+      std::printf("ARI:        %.4f\n", cmp->ari);
+    }
+  } else {
+    std::printf("NMI/ARI:    skipped (%s)\n",
+                truth_clustering.status().message().c_str());
+  }
+
+  const std::string graph_path = opts->GetString("graph", "");
+  if (!graph_path.empty()) {
+    auto graph = ReadEdgeList(graph_path, n);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    auto u = SymmetrizeAPlusAT(*graph);
+    auto pr = PageRank(graph->adjacency());
+    if (u.ok() && pr.ok()) {
+      std::printf("ncut(A+A'): %.4f\n", NormalizedCut(*u, *clustering));
+      std::printf("ncut_dir:   %.4f\n",
+                  DirectedNormalizedCut(*graph, pr->pi, *clustering));
+    }
+  }
+
+  const std::string labels_b = opts->GetString("labels-b", "");
+  if (!labels_b.empty()) {
+    auto other = ReadClustering(labels_b);
+    if (!other.ok()) {
+      std::fprintf(stderr, "%s\n", other.status().ToString().c_str());
+      return 1;
+    }
+    auto mask_a = CorrectlyClusteredMask(*clustering, *truth);
+    auto mask_b = CorrectlyClusteredMask(*other, *truth);
+    if (mask_a.ok() && mask_b.ok()) {
+      auto sign = PairedSignTest(*mask_a, *mask_b);
+      if (sign.ok()) {
+        std::printf(
+            "sign test (A = --labels, B = --labels-b): A-only %lld, "
+            "B-only %lld, log10(p) = %.2f\n",
+            static_cast<long long>(sign->a_only),
+            static_cast<long long>(sign->b_only), sign->log10_p_value);
+      }
+    }
+  }
+  return 0;
+}
