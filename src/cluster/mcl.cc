@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace dgc {
 
@@ -16,8 +19,8 @@ namespace {
 /// selection happens on raw values *before* the expensive pow() calls, so
 /// cost is O(t) for the selection plus O(k log k) for the final sort —
 /// never O(t log t) on the (possibly dense) expanded row.
-void InflatePruneRow(std::vector<Index>& cols, std::vector<Scalar>& vals,
-                     const RmclOptions& options,
+void InflatePruneRow(Index row, std::vector<Index>& cols,
+                     std::vector<Scalar>& vals, const RmclOptions& options,
                      std::vector<std::pair<Scalar, Index>>& scratch) {
   if (cols.empty()) return;
   scratch.clear();
@@ -39,6 +42,20 @@ void InflatePruneRow(std::vector<Index>& cols, std::vector<Scalar>& vals,
     sum += v;
   }
   if (sum <= 0.0) {
+    // Every inflated value underflowed to zero. Collapse the row onto its
+    // self-loop if it has one (the natural attractor), else onto the
+    // largest-magnitude original entry — never an arbitrary stale column.
+    size_t keep = 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (std::abs(vals[i]) > std::abs(vals[keep])) keep = i;
+    }
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == row) {
+        keep = i;
+        break;
+      }
+    }
+    cols[0] = cols[keep];
     cols.resize(1);
     vals.resize(1);
     vals[0] = 1.0;
@@ -70,17 +87,60 @@ void InflatePruneRow(std::vector<Index>& cols, std::vector<Scalar>& vals,
   }
 }
 
+/// Per-worker workspace for the row-parallel R-MCL loop, allocated once and
+/// reused across iterations. `marker` holds int64 stamps (iteration * n +
+/// row) so it never needs clearing between iterations; the buffered rows of
+/// the current iteration live in (rows, cols, vals) until pass 2 copies
+/// them to their final CSR offsets.
+struct RmclWorkspace {
+  std::vector<Scalar> accum;
+  std::vector<int64_t> marker;
+  std::vector<Index> touched;
+  std::vector<Index> row_cols;
+  std::vector<Scalar> row_vals;
+  std::vector<std::pair<Scalar, Index>> scratch;
+  std::vector<Index> rows;   ///< rows buffered by this worker this iteration
+  std::vector<Index> cols;   ///< their column indices, concatenated
+  std::vector<Scalar> vals;  ///< their values, concatenated
+
+  void EnsureSize(Index n) {
+    if (static_cast<Index>(marker.size()) < n) {
+      accum.assign(static_cast<size_t>(n), 0.0);
+      marker.assign(static_cast<size_t>(n), -1);
+    }
+  }
+  void ClearBuffers() {
+    rows.clear();
+    cols.clear();
+    vals.clear();
+  }
+};
+
 }  // namespace
 
 CsrMatrix BuildFlowMatrixFromAdjacency(const CsrMatrix& adj,
-                                       Scalar self_loop_scale) {
+                                       Scalar self_loop_scale,
+                                       int num_threads) {
   const Index n = adj.rows();
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(num_threads), std::max<Index>(n, 1)));
+  // Pass 1: per-row sizes (one extra slot when the diagonal is absent).
   std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
-  std::vector<Index> col_idx;
-  std::vector<Scalar> values;
-  col_idx.reserve(static_cast<size_t>(adj.nnz() + n));
-  values.reserve(static_cast<size_t>(adj.nnz() + n));
+  ParallelFor(0, n, threads, [&](int64_t u64) {
+    const Index u = static_cast<Index>(u64);
+    auto cols = adj.RowCols(u);
+    const bool has_diag = std::binary_search(cols.begin(), cols.end(), u);
+    row_ptr[static_cast<size_t>(u) + 1] = adj.RowNnz(u) + (has_diag ? 0 : 1);
+  });
   for (Index u = 0; u < n; ++u) {
+    row_ptr[static_cast<size_t>(u) + 1] += row_ptr[static_cast<size_t>(u)];
+  }
+  // Pass 2: each row is filled and normalized independently at its final
+  // offset, so the result is bit-identical for every thread count.
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  ParallelFor(0, n, threads, [&](int64_t u64) {
+    const Index u = static_cast<Index>(u64);
     auto cols = adj.RowCols(u);
     auto vals = adj.RowValues(u);
     // Mean incident weight (excluding any existing diagonal).
@@ -100,47 +160,48 @@ CsrMatrix BuildFlowMatrixFromAdjacency(const CsrMatrix& adj,
         self_loop_scale * (count > 0 ? sum / static_cast<Scalar>(count)
                                      : 1.0);
     // Merge the self-loop into the sorted row.
+    size_t out = static_cast<size_t>(row_ptr[static_cast<size_t>(u)]);
     bool inserted = false;
     Scalar row_total = 0.0;
     for (size_t i = 0; i < cols.size(); ++i) {
       if (cols[i] == u) {
-        col_idx.push_back(u);
-        values.push_back(self);
+        col_idx[out] = u;
+        values[out++] = self;
         row_total += self;
         inserted = true;
       } else {
         if (!inserted && cols[i] > u) {
-          col_idx.push_back(u);
-          values.push_back(self);
+          col_idx[out] = u;
+          values[out++] = self;
           row_total += self;
           inserted = true;
         }
-        col_idx.push_back(cols[i]);
-        values.push_back(vals[i]);
+        col_idx[out] = cols[i];
+        values[out++] = vals[i];
         row_total += vals[i];
       }
     }
     if (!inserted) {
-      col_idx.push_back(u);
-      values.push_back(self);
+      col_idx[out] = u;
+      values[out++] = self;
       row_total += self;
     }
     // Normalize the row in place.
     for (size_t i = static_cast<size_t>(row_ptr[static_cast<size_t>(u)]);
-         i < values.size(); ++i) {
+         i < out; ++i) {
       values[i] /= row_total;
     }
-    row_ptr[static_cast<size_t>(u) + 1] =
-        static_cast<Offset>(col_idx.size());
-  }
+  });
   auto result = CsrMatrix::FromParts(n, n, std::move(row_ptr),
                                      std::move(col_idx), std::move(values));
   DGC_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).ValueOrDie();
 }
 
-CsrMatrix BuildFlowMatrix(const UGraph& g, Scalar self_loop_scale) {
-  return BuildFlowMatrixFromAdjacency(g.adjacency(), self_loop_scale);
+CsrMatrix BuildFlowMatrix(const UGraph& g, Scalar self_loop_scale,
+                          int num_threads) {
+  return BuildFlowMatrixFromAdjacency(g.adjacency(), self_loop_scale,
+                                      num_threads);
 }
 
 Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
@@ -152,75 +213,118 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
     return Status::InvalidArgument("inflation must be > 1");
   }
   const Index n = m.rows();
-  std::vector<Scalar> accum(static_cast<size_t>(n), 0.0);
-  std::vector<Index> marker(static_cast<size_t>(n), -1);
-  std::vector<Index> touched;
-  std::vector<Index> row_cols;
-  std::vector<Scalar> row_vals;
-  std::vector<std::pair<Scalar, Index>> scratch;
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(n, 1)));
+  std::vector<RmclWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(n), 0);
+  std::vector<Scalar> row_diff(static_cast<size_t>(n), 0.0);
 
   for (int iter = 0; iter < iterations; ++iter) {
     const CsrMatrix& right = options.regularized ? mg : m;
+    const int64_t stamp_base = static_cast<int64_t>(iter) * n;
+    for (auto& w : workspaces) w.ClearBuffers();
+    // Pass 1: expand, inflate and prune each row into per-worker buffers.
+    // Every quantity written (row_nnz, row_diff, the row itself) depends
+    // only on the row, so dynamic chunk assignment cannot change results.
+    ParallelForWorkers(
+        0, n, threads, /*grain=*/0,
+        [&](int worker, int64_t lo, int64_t hi) {
+          RmclWorkspace& w = workspaces[static_cast<size_t>(worker)];
+          w.EnsureSize(n);
+          for (int64_t r64 = lo; r64 < hi; ++r64) {
+            const Index r = static_cast<Index>(r64);
+            const int64_t stamp = stamp_base + r;
+            // Expansion: row r of M * right.
+            w.touched.clear();
+            auto mcols = m.RowCols(r);
+            auto mvals = m.RowValues(r);
+            for (size_t i = 0; i < mcols.size(); ++i) {
+              const Index k = mcols[i];
+              const Scalar mv = mvals[i];
+              auto rcols = right.RowCols(k);
+              auto rvals = right.RowValues(k);
+              for (size_t j = 0; j < rcols.size(); ++j) {
+                const Index c = rcols[j];
+                if (w.marker[static_cast<size_t>(c)] != stamp) {
+                  w.marker[static_cast<size_t>(c)] = stamp;
+                  w.accum[static_cast<size_t>(c)] = 0.0;
+                  w.touched.push_back(c);
+                }
+                w.accum[static_cast<size_t>(c)] += mv * rvals[j];
+              }
+            }
+            w.row_cols.assign(w.touched.begin(), w.touched.end());
+            w.row_vals.resize(w.touched.size());
+            for (size_t i = 0; i < w.touched.size(); ++i) {
+              w.row_vals[i] =
+                  w.accum[static_cast<size_t>(w.touched[i])];
+            }
+            InflatePruneRow(r, w.row_cols, w.row_vals, options, w.scratch);
+            // L1 change of this row versus the previous flow (sorted
+            // merge).
+            {
+              auto old_cols = m.RowCols(r);
+              auto old_vals = m.RowValues(r);
+              Scalar diff = 0.0;
+              size_t a = 0, b = 0;
+              while (a < w.row_cols.size() || b < old_cols.size()) {
+                if (b >= old_cols.size() ||
+                    (a < w.row_cols.size() && w.row_cols[a] < old_cols[b])) {
+                  diff += std::abs(w.row_vals[a]);
+                  ++a;
+                } else if (a >= w.row_cols.size() ||
+                           old_cols[b] < w.row_cols[a]) {
+                  diff += std::abs(old_vals[b]);
+                  ++b;
+                } else {
+                  diff += std::abs(w.row_vals[a] - old_vals[b]);
+                  ++a;
+                  ++b;
+                }
+              }
+              row_diff[static_cast<size_t>(r)] = diff;
+            }
+            row_nnz[static_cast<size_t>(r)] =
+                static_cast<Offset>(w.row_cols.size());
+            w.rows.push_back(r);
+            w.cols.insert(w.cols.end(), w.row_cols.begin(), w.row_cols.end());
+            w.vals.insert(w.vals.end(), w.row_vals.begin(), w.row_vals.end());
+          }
+        });
+    // Serial prefix sum: deterministic row pointers for any thread count.
     std::vector<Offset> new_row_ptr(static_cast<size_t>(n) + 1, 0);
-    std::vector<Index> new_cols;
-    std::vector<Scalar> new_vals;
-    new_cols.reserve(static_cast<size_t>(m.nnz()));
-    new_vals.reserve(static_cast<size_t>(m.nnz()));
+    for (Index r = 0; r < n; ++r) {
+      new_row_ptr[static_cast<size_t>(r) + 1] =
+          new_row_ptr[static_cast<size_t>(r)] +
+          row_nnz[static_cast<size_t>(r)];
+    }
+    // Pass 2: each worker copies its buffered rows to their final offsets.
+    std::vector<Index> new_cols(static_cast<size_t>(new_row_ptr.back()));
+    std::vector<Scalar> new_vals(static_cast<size_t>(new_row_ptr.back()));
+    ParallelFor(0, threads, threads, [&](int64_t wi) {
+      const RmclWorkspace& w = workspaces[static_cast<size_t>(wi)];
+      size_t pos = 0;
+      for (Index r : w.rows) {
+        const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+        std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
+                    new_cols.begin() + new_row_ptr[static_cast<size_t>(r)]);
+        std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
+                    new_vals.begin() + new_row_ptr[static_cast<size_t>(r)]);
+        pos += k;
+      }
+    });
+    // Serial reduction in row order, so the convergence decision (and with
+    // it the iteration count) is bit-identical across thread counts. Rows
+    // are sorted, deduplicated and in range by construction; skip the
+    // O(nnz) validation pass that would otherwise serialize every
+    // iteration.
     Scalar total_diff = 0.0;
     for (Index r = 0; r < n; ++r) {
-      // Expansion: row r of M * right.
-      touched.clear();
-      auto mcols = m.RowCols(r);
-      auto mvals = m.RowValues(r);
-      for (size_t i = 0; i < mcols.size(); ++i) {
-        const Index k = mcols[i];
-        const Scalar mv = mvals[i];
-        auto rcols = right.RowCols(k);
-        auto rvals = right.RowValues(k);
-        for (size_t j = 0; j < rcols.size(); ++j) {
-          const Index c = rcols[j];
-          if (marker[static_cast<size_t>(c)] != r) {
-            marker[static_cast<size_t>(c)] = r;
-            accum[static_cast<size_t>(c)] = 0.0;
-            touched.push_back(c);
-          }
-          accum[static_cast<size_t>(c)] += mv * rvals[j];
-        }
-      }
-      row_cols.assign(touched.begin(), touched.end());
-      row_vals.resize(touched.size());
-      for (size_t i = 0; i < touched.size(); ++i) {
-        row_vals[i] = accum[static_cast<size_t>(touched[i])];
-      }
-      InflatePruneRow(row_cols, row_vals, options, scratch);
-      // L1 change of this row versus the previous flow (sorted merge).
-      {
-        auto old_cols = m.RowCols(r);
-        auto old_vals = m.RowValues(r);
-        size_t a = 0, b = 0;
-        while (a < row_cols.size() || b < old_cols.size()) {
-          if (b >= old_cols.size() ||
-              (a < row_cols.size() && row_cols[a] < old_cols[b])) {
-            total_diff += std::abs(row_vals[a]);
-            ++a;
-          } else if (a >= row_cols.size() || old_cols[b] < row_cols[a]) {
-            total_diff += std::abs(old_vals[b]);
-            ++b;
-          } else {
-            total_diff += std::abs(row_vals[a] - old_vals[b]);
-            ++a;
-            ++b;
-          }
-        }
-      }
-      new_cols.insert(new_cols.end(), row_cols.begin(), row_cols.end());
-      new_vals.insert(new_vals.end(), row_vals.begin(), row_vals.end());
-      new_row_ptr[static_cast<size_t>(r) + 1] =
-          static_cast<Offset>(new_cols.size());
+      total_diff += row_diff[static_cast<size_t>(r)];
     }
-    DGC_ASSIGN_OR_RETURN(m, CsrMatrix::FromParts(n, n, std::move(new_row_ptr),
-                                                 std::move(new_cols),
-                                                 std::move(new_vals)));
+    m = CsrMatrix::FromPartsUnchecked(n, n, std::move(new_row_ptr),
+                                      std::move(new_cols),
+                                      std::move(new_vals));
     if (total_diff / static_cast<Scalar>(n) < options.convergence_tol) {
       break;
     }
@@ -267,7 +371,8 @@ Result<Clustering> Rmcl(const UGraph& g, const RmclOptions& options) {
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot cluster an empty graph");
   }
-  CsrMatrix mg = BuildFlowMatrix(g, options.self_loop_scale);
+  CsrMatrix mg =
+      BuildFlowMatrix(g, options.self_loop_scale, options.num_threads);
   DGC_ASSIGN_OR_RETURN(CsrMatrix flow,
                        RmclIterate(mg, mg, options, options.max_iterations));
   return FlowToClustering(flow);

@@ -1,19 +1,24 @@
 #include "cluster/mlr_mcl.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace dgc {
 
 Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
                               const std::vector<Index>& to_coarser,
-                              Index num_fine) {
+                              Index num_fine, int num_threads) {
   if (static_cast<Index>(to_coarser.size()) != num_fine) {
     return Status::InvalidArgument("to_coarser size != num_fine");
   }
   const Index num_coarse = coarse_flow.rows();
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(num_threads), std::max<Index>(num_fine, 1)));
   // Children lists of each supernode (matching => 1 or 2 children).
   std::vector<std::vector<Index>> children(
       static_cast<size_t>(num_coarse));
@@ -24,28 +29,48 @@ Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
     }
     children[static_cast<size_t>(p)].push_back(i);
   }
+  // Pass 1: per-fine-row sizes (sum of child counts of the parent's
+  // columns), prefix-summed serially into deterministic row pointers.
   std::vector<Offset> row_ptr(static_cast<size_t>(num_fine) + 1, 0);
-  std::vector<Index> col_idx;
-  std::vector<Scalar> values;
-  std::vector<std::pair<Index, Scalar>> row;
-  for (Index i = 0; i < num_fine; ++i) {
+  ParallelFor(0, num_fine, threads, [&](int64_t i) {
     const Index p = to_coarser[static_cast<size_t>(i)];
-    auto cols = coarse_flow.RowCols(p);
-    auto vals = coarse_flow.RowValues(p);
-    row.clear();
-    for (size_t e = 0; e < cols.size(); ++e) {
-      const auto& kids = children[static_cast<size_t>(cols[e])];
-      if (kids.empty()) continue;
-      const Scalar share = vals[e] / static_cast<Scalar>(kids.size());
-      for (Index kid : kids) row.emplace_back(kid, share);
+    Offset count = 0;
+    for (Index c : coarse_flow.RowCols(p)) {
+      count += static_cast<Offset>(children[static_cast<size_t>(c)].size());
     }
-    std::sort(row.begin(), row.end());
-    for (const auto& [c, v] : row) {
-      col_idx.push_back(c);
-      values.push_back(v);
-    }
-    row_ptr[static_cast<size_t>(i) + 1] = static_cast<Offset>(col_idx.size());
+    row_ptr[static_cast<size_t>(i) + 1] = count;
+  });
+  for (Index i = 0; i < num_fine; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] += row_ptr[static_cast<size_t>(i)];
   }
+  // Pass 2: fill and sort each fine row independently at its final offset.
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  std::vector<std::vector<std::pair<Index, Scalar>>> row_scratch(
+      static_cast<size_t>(threads));
+  ParallelForWorkers(
+      0, num_fine, threads, /*grain=*/0,
+      [&](int worker, int64_t lo, int64_t hi) {
+        auto& row = row_scratch[static_cast<size_t>(worker)];
+        for (int64_t i = lo; i < hi; ++i) {
+          const Index p = to_coarser[static_cast<size_t>(i)];
+          auto cols = coarse_flow.RowCols(p);
+          auto vals = coarse_flow.RowValues(p);
+          row.clear();
+          for (size_t e = 0; e < cols.size(); ++e) {
+            const auto& kids = children[static_cast<size_t>(cols[e])];
+            if (kids.empty()) continue;
+            const Scalar share = vals[e] / static_cast<Scalar>(kids.size());
+            for (Index kid : kids) row.emplace_back(kid, share);
+          }
+          std::sort(row.begin(), row.end());
+          size_t out = static_cast<size_t>(row_ptr[static_cast<size_t>(i)]);
+          for (const auto& [c, v] : row) {
+            col_idx[out] = c;
+            values[out++] = v;
+          }
+        }
+      });
   return CsrMatrix::FromParts(num_fine, num_fine, std::move(row_ptr),
                               std::move(col_idx), std::move(values));
 }
@@ -64,7 +89,7 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
   flow_graphs.reserve(static_cast<size_t>(hierarchy.NumLevels()));
   for (const GraphLevel& level : hierarchy.levels) {
     flow_graphs.push_back(BuildFlowMatrixFromAdjacency(
-        level.adj, options.rmcl.self_loop_scale));
+        level.adj, options.rmcl.self_loop_scale, options.rmcl.num_threads));
   }
 
   // Converge on the coarsest level starting from M = M_G.
@@ -78,8 +103,9 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
   // Project and refine through the finer levels.
   for (int level = last - 1; level >= 0; --level) {
     const GraphLevel& fine = hierarchy.levels[static_cast<size_t>(level)];
-    DGC_ASSIGN_OR_RETURN(flow, ProjectFlow(flow, fine.to_coarser,
-                                           fine.adj.rows()));
+    DGC_ASSIGN_OR_RETURN(flow,
+                         ProjectFlow(flow, fine.to_coarser, fine.adj.rows(),
+                                     options.rmcl.num_threads));
     int iterations = options.iterations_per_level;
     if (level == 0) iterations += options.finest_extra_iterations;
     DGC_ASSIGN_OR_RETURN(

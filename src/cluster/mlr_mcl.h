@@ -43,8 +43,10 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options = {});
 /// \brief Projects a coarse flow matrix to the finer level: fine vertex i
 /// inherits its parent's flow row, with each coarse column's mass split
 /// equally among that supernode's children. Rows remain stochastic.
+/// Row-parallel (num_threads follows the 0 = hardware-concurrency
+/// convention); output is bit-identical for every thread count.
 Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
                               const std::vector<Index>& to_coarser,
-                              Index num_fine);
+                              Index num_fine, int num_threads = 1);
 
 }  // namespace dgc

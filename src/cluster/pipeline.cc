@@ -16,30 +16,48 @@ std::string_view ClusterAlgorithmName(ClusterAlgorithm algorithm) {
   return "?";
 }
 
+namespace {
+
+/// Applies the pipeline-wide num_threads override to the per-stage options
+/// (no-op at the default of 1, so explicit per-stage settings survive).
+PipelineOptions ResolveThreadOverrides(const PipelineOptions& options) {
+  PipelineOptions resolved = options;
+  if (options.num_threads != 1) {
+    resolved.symmetrization.num_threads = options.num_threads;
+    resolved.mlr_mcl.rmcl.num_threads = options.num_threads;
+  }
+  return resolved;
+}
+
+}  // namespace
+
 Result<Clustering> ClusterUGraph(const UGraph& g,
                                  const PipelineOptions& options) {
-  switch (options.algorithm) {
+  const PipelineOptions resolved = ResolveThreadOverrides(options);
+  switch (resolved.algorithm) {
     case ClusterAlgorithm::kMlrMcl:
-      return MlrMcl(g, options.mlr_mcl);
+      return MlrMcl(g, resolved.mlr_mcl);
     case ClusterAlgorithm::kMetis:
-      return MetisPartition(g, options.metis);
+      return MetisPartition(g, resolved.metis);
     case ClusterAlgorithm::kGraclus:
-      return GraclusCluster(g, options.graclus);
+      return GraclusCluster(g, resolved.graclus);
   }
   return Status::InvalidArgument("unknown clustering algorithm");
 }
 
 Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
                                             const PipelineOptions& options) {
+  const PipelineOptions resolved = ResolveThreadOverrides(options);
   PipelineResult result;
   WallTimer timer;
-  DGC_ASSIGN_OR_RETURN(result.symmetrized,
-                       Symmetrize(g, options.method, options.symmetrization));
+  DGC_ASSIGN_OR_RETURN(
+      result.symmetrized,
+      Symmetrize(g, resolved.method, resolved.symmetrization));
   result.symmetrize_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
   DGC_ASSIGN_OR_RETURN(result.clustering,
-                       ClusterUGraph(result.symmetrized, options));
+                       ClusterUGraph(result.symmetrized, resolved));
   result.cluster_seconds = timer.ElapsedSeconds();
   result.num_clusters = result.clustering.NumClusters();
   return result;

@@ -34,6 +34,13 @@ struct PipelineOptions {
   MlrMclOptions mlr_mcl;
   MetisOptions metis;
   GraclusOptions graclus;
+  /// Convenience thread count for the whole pipeline. When != 1 it
+  /// overrides symmetrization.num_threads and mlr_mcl.rmcl.num_threads
+  /// (0 = one thread per hardware core). The default 1 leaves the
+  /// per-stage settings untouched and preserves the paper's
+  /// single-threaded timing semantics. Clustering results are
+  /// bit-identical for every setting.
+  int num_threads = 1;
 };
 
 struct PipelineResult {

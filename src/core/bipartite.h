@@ -23,6 +23,7 @@ struct BipartiteOptions {
   DiscountSpec shared_discount = DiscountSpec::Power(0.5);
   /// Entries below this are dropped.
   Scalar prune_threshold = 0.0;
+  /// Threads for the similarity product (1 = serial, 0 = one per core).
   int num_threads = 1;
 };
 

@@ -69,8 +69,9 @@ struct SymmetrizationOptions {
   /// walk only; the paper uses teleport 0.05 (Section 4.2).
   PageRankOptions pagerank;
 
-  /// Row-parallelism for the similarity products; 1 matches the paper's
-  /// single-threaded setup.
+  /// Row-parallelism for the similarity products; 1 (the default) matches
+  /// the paper's single-threaded setup, 0 uses one thread per hardware
+  /// core. The symmetrized graph is bit-identical for every setting.
   int num_threads = 1;
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace dgc {
 
@@ -16,6 +17,14 @@ Result<CsrMatrix> CsrMatrix::FromParts(Index rows, Index cols,
               std::move(values));
   DGC_RETURN_IF_ERROR(m.Validate());
   return m;
+}
+
+CsrMatrix CsrMatrix::FromPartsUnchecked(Index rows, Index cols,
+                                        std::vector<Offset> row_ptr,
+                                        std::vector<Index> col_idx,
+                                        std::vector<Scalar> values) {
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
 }
 
 Result<CsrMatrix> CsrMatrix::FromTriplets(Index rows, Index cols,
@@ -126,26 +135,92 @@ Status CsrMatrix::Validate() const {
   return Status::OK();
 }
 
-CsrMatrix CsrMatrix::Transpose() const {
+CsrMatrix CsrMatrix::Transpose(int num_threads) const {
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(num_threads), std::max<Index>(rows_, 1)));
   std::vector<Offset> t_row_ptr(static_cast<size_t>(cols_) + 1, 0);
   std::vector<Index> t_col_idx(col_idx_.size());
   std::vector<Scalar> t_values(values_.size());
-  for (Index c : col_idx_) ++t_row_ptr[static_cast<size_t>(c) + 1];
+  if (threads <= 1) {
+    for (Index c : col_idx_) ++t_row_ptr[static_cast<size_t>(c) + 1];
+    for (Index c = 0; c < cols_; ++c) {
+      t_row_ptr[static_cast<size_t>(c) + 1] +=
+          t_row_ptr[static_cast<size_t>(c)];
+    }
+    std::vector<Offset> fill(t_row_ptr.begin(), t_row_ptr.end() - 1);
+    for (Index r = 0; r < rows_; ++r) {
+      for (Offset p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        Index c = col_idx_[static_cast<size_t>(p)];
+        Offset dst = fill[static_cast<size_t>(c)]++;
+        t_col_idx[static_cast<size_t>(dst)] = r;
+        t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+      }
+    }
+    // Rows of the transpose are filled in increasing source-row order, so
+    // columns are already sorted.
+    return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
+                     std::move(t_values));
+  }
+  // Parallel counting sort over static row blocks. Each entry (r, c) lands
+  // at t_row_ptr[c] + #(entries with column c in rows < r) — a position
+  // that does not depend on the block partition, so the result is identical
+  // to the serial path for every thread count.
+  const int blocks = threads;
+  auto block_begin = [this, blocks](int b) {
+    return static_cast<Index>(static_cast<int64_t>(rows_) * b / blocks);
+  };
+  // Per-block column counts (cursor[b][c] at index b * cols_ + c).
+  std::vector<Offset> cursor(static_cast<size_t>(blocks) *
+                                 static_cast<size_t>(cols_),
+                             0);
+  ParallelFor(0, blocks, threads, [&](int64_t b) {
+    Offset* counts = cursor.data() + b * static_cast<int64_t>(cols_);
+    for (Index r = block_begin(static_cast<int>(b));
+         r < block_begin(static_cast<int>(b) + 1); ++r) {
+      for (Offset p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        ++counts[col_idx_[static_cast<size_t>(p)]];
+      }
+    }
+  });
+  ParallelFor(0, cols_, threads, [&](int64_t c) {
+    Offset total = 0;
+    for (int b = 0; b < blocks; ++b) {
+      total += cursor[static_cast<size_t>(b) * static_cast<size_t>(cols_) +
+                      static_cast<size_t>(c)];
+    }
+    t_row_ptr[static_cast<size_t>(c) + 1] = total;
+  });
   for (Index c = 0; c < cols_; ++c) {
     t_row_ptr[static_cast<size_t>(c) + 1] += t_row_ptr[static_cast<size_t>(c)];
   }
-  std::vector<Offset> fill(t_row_ptr.begin(), t_row_ptr.end() - 1);
-  for (Index r = 0; r < rows_; ++r) {
-    for (Offset p = row_ptr_[static_cast<size_t>(r)];
-         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-      Index c = col_idx_[static_cast<size_t>(p)];
-      Offset dst = fill[static_cast<size_t>(c)]++;
-      t_col_idx[static_cast<size_t>(dst)] = r;
-      t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+  // Turn counts into exact per-block starting cursors within each output
+  // row: block b's entries for column c start after blocks < b.
+  ParallelFor(0, cols_, threads, [&](int64_t c) {
+    Offset run = t_row_ptr[static_cast<size_t>(c)];
+    for (int b = 0; b < blocks; ++b) {
+      Offset& slot =
+          cursor[static_cast<size_t>(b) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+      const Offset count = slot;
+      slot = run;
+      run += count;
     }
-  }
-  // Rows of the transpose are filled in increasing source-row order, so
-  // columns are already sorted.
+  });
+  ParallelFor(0, blocks, threads, [&](int64_t b) {
+    Offset* fill = cursor.data() + b * static_cast<int64_t>(cols_);
+    for (Index r = block_begin(static_cast<int>(b));
+         r < block_begin(static_cast<int>(b) + 1); ++r) {
+      for (Offset p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        const Index c = col_idx_[static_cast<size_t>(p)];
+        const Offset dst = fill[c]++;
+        t_col_idx[static_cast<size_t>(dst)] = r;
+        t_values[static_cast<size_t>(dst)] = values_[static_cast<size_t>(p)];
+      }
+    }
+  });
   return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
                    std::move(t_values));
 }

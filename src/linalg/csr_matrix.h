@@ -34,6 +34,15 @@ class CsrMatrix {
                                      std::vector<Index> col_idx,
                                      std::vector<Scalar> values);
 
+  /// As FromParts but skips Validate(). For kernels that construct rows
+  /// correct-by-construction (sorted, deduplicated, in range) in a hot loop
+  /// where the O(nnz) serial validation pass would dominate; everyone else
+  /// should use FromParts.
+  static CsrMatrix FromPartsUnchecked(Index rows, Index cols,
+                                      std::vector<Offset> row_ptr,
+                                      std::vector<Index> col_idx,
+                                      std::vector<Scalar> values);
+
   /// Builds from unsorted triplets; duplicate (row, col) entries are summed.
   /// Entries whose summed value is exactly 0 are kept (callers that want to
   /// drop them should Prune with an epsilon).
@@ -72,8 +81,11 @@ class CsrMatrix {
   /// Checks all CSR invariants; OK on success.
   Status Validate() const;
 
-  /// Aᵀ as a new matrix (counting sort; O(nnz + rows + cols)).
-  CsrMatrix Transpose() const;
+  /// Aᵀ as a new matrix (counting sort; O(nnz + rows + cols)). With more
+  /// than one thread (0 = one per hardware core) the counting and scatter
+  /// passes run over static row blocks with exact per-block placement, so
+  /// the result is bit-identical for every thread count.
+  CsrMatrix Transpose(int num_threads = 1) const;
 
   /// Per-row sum of values (out-weight of each vertex for adjacency input).
   std::vector<Scalar> RowSums() const;

@@ -10,14 +10,32 @@ namespace dgc {
 
 namespace {
 
-/// Computes one output row of C = A * B into (cols, vals), using
-/// accumulator/marker workspaces of size cols(B). marker[c] == row marks
-/// column c as touched for the current row.
+/// Per-worker state for the two-pass SpGEMM: a dense accumulator plus the
+/// worker's buffered output rows (row ids and concatenated cols/vals), so
+/// pass 2 can copy straight into the final CSR without any per-row
+/// std::vector allocations.
+struct SpGemmWorkspace {
+  std::vector<Scalar> accum;
+  std::vector<Index> marker;
+  std::vector<Index> touched;
+  std::vector<Index> rows;   ///< output rows buffered by this worker
+  std::vector<Index> cols;   ///< their column indices, concatenated
+  std::vector<Scalar> vals;  ///< their values, concatenated
+
+  void EnsureSize(Index n) {
+    if (static_cast<Index>(marker.size()) < n) {
+      accum.assign(static_cast<size_t>(n), 0.0);
+      marker.assign(static_cast<size_t>(n), -1);
+    }
+  }
+};
+
+/// Computes one output row of C = A * B, appending the surviving entries to
+/// w.cols / w.vals (sorted by column). marker[c] == row marks column c as
+/// touched for the current row.
 void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
-                const SpGemmOptions& options, std::vector<Scalar>& accum,
-                std::vector<Index>& marker, std::vector<Index>& touched,
-                std::vector<Index>& out_cols, std::vector<Scalar>& out_vals) {
-  touched.clear();
+                const SpGemmOptions& options, SpGemmWorkspace& w) {
+  w.touched.clear();
   auto a_cols = a.RowCols(row);
   auto a_vals = a.RowValues(row);
   for (size_t i = 0; i < a_cols.size(); ++i) {
@@ -27,23 +45,21 @@ void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
     auto b_vals = b.RowValues(k);
     for (size_t j = 0; j < b_cols.size(); ++j) {
       const Index c = b_cols[j];
-      if (marker[static_cast<size_t>(c)] != row) {
-        marker[static_cast<size_t>(c)] = row;
-        accum[static_cast<size_t>(c)] = 0.0;
-        touched.push_back(c);
+      if (w.marker[static_cast<size_t>(c)] != row) {
+        w.marker[static_cast<size_t>(c)] = row;
+        w.accum[static_cast<size_t>(c)] = 0.0;
+        w.touched.push_back(c);
       }
-      accum[static_cast<size_t>(c)] += av * b_vals[j];
+      w.accum[static_cast<size_t>(c)] += av * b_vals[j];
     }
   }
-  std::sort(touched.begin(), touched.end());
-  out_cols.clear();
-  out_vals.clear();
-  for (Index c : touched) {
-    const Scalar v = accum[static_cast<size_t>(c)];
+  std::sort(w.touched.begin(), w.touched.end());
+  for (Index c : w.touched) {
+    const Scalar v = w.accum[static_cast<size_t>(c)];
     if (std::abs(v) < options.threshold) continue;
     if (options.drop_diagonal && c == row) continue;
-    out_cols.push_back(c);
-    out_vals.push_back(v);
+    w.cols.push_back(c);
+    w.vals.push_back(v);
   }
 }
 
@@ -58,54 +74,60 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
   }
   const Index rows = a.rows();
   const Index cols = b.cols();
-  const int threads = std::max(1, options.num_threads);
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
 
-  // Per-row results gathered into per-thread buckets, then concatenated.
-  std::vector<std::vector<Index>> row_cols(static_cast<size_t>(rows));
-  std::vector<std::vector<Scalar>> row_vals(static_cast<size_t>(rows));
-
-  ParallelForChunked(
-      0, rows, threads,
-      [&](int64_t lo, int64_t hi) {
-        std::vector<Scalar> accum(static_cast<size_t>(cols), 0.0);
-        std::vector<Index> marker(static_cast<size_t>(cols), -1);
-        std::vector<Index> touched;
-        std::vector<Index> out_cols;
-        std::vector<Scalar> out_vals;
+  // Pass 1: compute every output row into per-worker buffers, recording the
+  // per-row nnz. Dynamic chunking keeps hub rows from imbalancing workers.
+  std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(rows), 0);
+  ParallelForWorkers(
+      0, rows, threads, /*grain=*/0,
+      [&](int worker, int64_t lo, int64_t hi) {
+        SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
+        w.EnsureSize(cols);
         for (int64_t r = lo; r < hi; ++r) {
-          ComputeRow(a, b, static_cast<Index>(r), options, accum, marker,
-                     touched, out_cols, out_vals);
-          row_cols[static_cast<size_t>(r)] = out_cols;
-          row_vals[static_cast<size_t>(r)] = out_vals;
+          const size_t before = w.cols.size();
+          ComputeRow(a, b, static_cast<Index>(r), options, w);
+          row_nnz[static_cast<size_t>(r)] =
+              static_cast<Offset>(w.cols.size() - before);
+          w.rows.push_back(static_cast<Index>(r));
         }
       });
 
+  // Serial prefix sum of row pointers: deterministic for any thread count.
   std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
   for (Index r = 0; r < rows; ++r) {
     row_ptr[static_cast<size_t>(r) + 1] =
-        row_ptr[static_cast<size_t>(r)] +
-        static_cast<Offset>(row_cols[static_cast<size_t>(r)].size());
+        row_ptr[static_cast<size_t>(r)] + row_nnz[static_cast<size_t>(r)];
   }
+
+  // Pass 2: each worker copies its buffered rows into the final CSR at the
+  // now-known offsets.
   std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
   std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
-  for (Index r = 0; r < rows; ++r) {
-    std::copy(row_cols[static_cast<size_t>(r)].begin(),
-              row_cols[static_cast<size_t>(r)].end(),
-              col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
-    std::copy(row_vals[static_cast<size_t>(r)].begin(),
-              row_vals[static_cast<size_t>(r)].end(),
-              values.begin() + row_ptr[static_cast<size_t>(r)]);
-  }
+  ParallelFor(0, threads, threads, [&](int64_t wi) {
+    const SpGemmWorkspace& w = workspaces[static_cast<size_t>(wi)];
+    size_t pos = 0;
+    for (Index r : w.rows) {
+      const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+      std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
+                  col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
+      std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
+                  values.begin() + row_ptr[static_cast<size_t>(r)]);
+      pos += k;
+    }
+  });
   return CsrMatrix::FromParts(rows, cols, std::move(row_ptr),
                               std::move(col_idx), std::move(values));
 }
 
 Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const SpGemmOptions& options) {
-  return SpGemm(a, a.Transpose(), options);
+  return SpGemm(a, a.Transpose(options.num_threads), options);
 }
 
 Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a, const SpGemmOptions& options) {
-  return SpGemm(a.Transpose(), a, options);
+  return SpGemm(a.Transpose(options.num_threads), a, options);
 }
 
 Offset SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b) {

@@ -19,7 +19,8 @@ struct SpGemmOptions {
   bool drop_diagonal = false;
 
   /// Threads for row-parallel execution. 1 (the default) reproduces the
-  /// paper's single-threaded setup.
+  /// paper's single-threaded setup; 0 uses one thread per hardware core.
+  /// The product is bit-identical for every setting.
   int num_threads = 1;
 };
 
@@ -28,7 +29,10 @@ struct SpGemmOptions {
 /// Per output row: scatter contributions into a cols(B)-sized accumulator,
 /// gather touched columns, sort, filter by `options`. Complexity
 /// O(sum_i sum_{k in row i of A} nnz(B_k)) — the paper's O(sum d_i^2) bound
-/// for similarity products.
+/// for similarity products. Two-pass row-parallel execution: rows are
+/// computed into per-worker buffers (dynamic chunking over the persistent
+/// pool), row pointers prefix-summed, then rows copied to their final
+/// offsets in parallel.
 Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
                          const SpGemmOptions& options = {});
 

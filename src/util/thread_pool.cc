@@ -1,10 +1,27 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace dgc {
+
+namespace {
+
+/// Set while a thread is executing chunks of a parallel region; nested
+/// ParallelFor calls from inside a region run inline instead of deadlocking
+/// the pool.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  if (num_threads < 0) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   DGC_CHECK_GE(num_threads, 1);
@@ -37,6 +54,18 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::EnsureWorkers(int num_threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -59,34 +88,71 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+void ParallelForWorkers(
+    int64_t begin, int64_t end, int num_threads, int64_t grain,
+    const std::function<void(int, int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  const int threads = static_cast<int>(
+      std::min<int64_t>(ResolveNumThreads(num_threads), n));
+  if (threads <= 1 || t_inside_parallel_region) {
+    body(0, begin, end);
+    return;
+  }
+  if (grain <= 0) grain = std::max<int64_t>(1, n / (8 * threads));
+
+  struct CallState {
+    std::atomic<int64_t> next;
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending;
+  } state;
+  state.next.store(begin, std::memory_order_relaxed);
+  state.pending = threads - 1;
+
+  auto run = [&state, &body, end, grain](int worker) {
+    t_inside_parallel_region = true;
+    for (;;) {
+      const int64_t lo =
+          state.next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      body(worker, lo, std::min(end, lo + grain));
+    }
+    t_inside_parallel_region = false;
+  };
+
+  ThreadPool& pool = GlobalThreadPool();
+  pool.EnsureWorkers(threads - 1);
+  for (int w = 1; w < threads; ++w) {
+    pool.Submit([&state, &run, w] {
+      run(w);
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.pending == 0) state.done.notify_all();
+    });
+  }
+  run(0);
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.pending == 0; });
+}
+
 void ParallelFor(int64_t begin, int64_t end, int num_threads,
                  const std::function<void(int64_t)>& body) {
-  ParallelForChunked(begin, end, num_threads,
-                     [&body](int64_t lo, int64_t hi) {
+  ParallelForWorkers(begin, end, num_threads, /*grain=*/0,
+                     [&body](int, int64_t lo, int64_t hi) {
                        for (int64_t i = lo; i < hi; ++i) body(i);
                      });
 }
 
 void ParallelForChunked(int64_t begin, int64_t end, int num_threads,
                         const std::function<void(int64_t, int64_t)>& body) {
-  if (end <= begin) return;
-  const int64_t n = end - begin;
-  if (num_threads <= 1 || n == 1) {
-    body(begin, end);
-    return;
-  }
-  const int threads = static_cast<int>(
-      std::min<int64_t>(num_threads, n));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  const int64_t chunk = (n + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    int64_t lo = begin + t * chunk;
-    int64_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([&body, lo, hi] { body(lo, hi); });
-  }
-  for (auto& th : pool) th.join();
+  ParallelForWorkers(begin, end, num_threads, /*grain=*/0,
+                     [&body](int, int64_t lo, int64_t hi) { body(lo, hi); });
 }
 
 }  // namespace dgc

@@ -1,7 +1,16 @@
-// Fixed-size thread pool with a ParallelFor convenience. The symmetrization
-// kernels are embarrassingly parallel over output rows; the paper's code was
-// single-threaded, so parallelism is opt-in (num_threads = 1 by default in
-// all experiment harnesses to preserve the paper's timing semantics).
+// Persistent work-queue thread pool plus dynamic-chunk parallel-for
+// primitives. Every parallel loop in the library runs on one lazily created
+// process-wide pool (see GlobalThreadPool): chunks are claimed from an
+// atomic counter so power-law hub rows cannot load-imbalance a static
+// partition, and the pool's workers are reused across calls instead of
+// spawning fresh threads.
+//
+// Threading convention used by every options struct in the library:
+// num_threads == 1 (the default) reproduces the paper's single-threaded
+// setup, num_threads == 0 resolves to std::thread::hardware_concurrency(),
+// and num_threads > 1 asks for exactly that many workers. All parallel
+// kernels are written so that their output is bit-identical for every
+// thread count.
 #pragma once
 
 #include <condition_variable>
@@ -14,7 +23,12 @@
 
 namespace dgc {
 
-/// \brief A basic work-queue thread pool.
+/// Resolves a user-facing `num_threads` option: positive values pass
+/// through, 0 becomes std::thread::hardware_concurrency() (at least 1),
+/// and negative values clamp to 1.
+int ResolveNumThreads(int num_threads);
+
+/// \brief A basic work-queue thread pool that can grow on demand.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -30,27 +44,58 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Grows the pool to at least `num_threads` workers. No-op when the pool
+  /// is already that large. Thread-safe.
+  void EnsureWorkers(int num_threads);
+
+  int num_threads() const;
 
  private:
   void WorkerLoop();
 
+  mutable std::mutex mutex_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;
   bool shutdown_ = false;
 };
 
-/// \brief Runs body(i) for i in [begin, end), split into contiguous chunks
-/// across `num_threads` threads. With num_threads <= 1 runs inline.
+/// \brief The process-wide persistent pool used by the ParallelFor family.
+///
+/// Lazily created on first use with hardware_concurrency() - 1 workers (the
+/// thread entering a parallel region always participates as worker 0) and
+/// grown on demand when a caller requests more threads than that.
+ThreadPool& GlobalThreadPool();
+
+/// \brief Dynamic-chunk parallel loop with stable worker identities.
+///
+/// Runs body(worker, chunk_begin, chunk_end) for dynamically claimed chunks
+/// of [begin, end), where `worker` is in [0, resolved_threads): the calling
+/// thread is worker 0 and pool workers take ids 1..resolved_threads-1, so
+/// callers can index per-worker workspaces by `worker` without locking.
+/// Chunks of `grain` indices are claimed from a shared atomic counter
+/// (grain <= 0 picks n / (8 * threads), at least 1). `num_threads` follows
+/// the 0 = hardware-concurrency convention. Runs inline as worker 0 when
+/// one thread is requested, the range has a single index, or the caller is
+/// itself inside a parallel region (nested parallelism is serialized).
+///
+/// Chunk-to-worker assignment is nondeterministic; loops stay deterministic
+/// by making body(i) depend only on i and write only to i-indexed slots.
+void ParallelForWorkers(int64_t begin, int64_t end, int num_threads,
+                        int64_t grain,
+                        const std::function<void(int, int64_t, int64_t)>& body);
+
+/// \brief Runs body(i) for i in [begin, end) across `num_threads` threads,
+/// dynamically chunked. With num_threads == 1 runs inline.
 void ParallelFor(int64_t begin, int64_t end, int num_threads,
                  const std::function<void(int64_t)>& body);
 
-/// \brief Chunked variant: body(chunk_begin, chunk_end) per worker chunk.
-/// Lower overhead when per-index work is tiny.
+/// \brief Chunked variant: body(chunk_begin, chunk_end) per claimed chunk.
+/// Lower overhead when per-index work is tiny. A worker may receive several
+/// chunks (dynamic scheduling), so per-chunk state must not assume one
+/// chunk per thread; use ParallelForWorkers for per-worker workspaces.
 void ParallelForChunked(
     int64_t begin, int64_t end, int num_threads,
     const std::function<void(int64_t, int64_t)>& body);

@@ -1,0 +1,176 @@
+// Bit-identical determinism of every parallel kernel: each test runs the
+// same computation at num_threads = 1 and num_threads = 8 (plus 0 = auto
+// where cheap) on R-MAT and LFR graphs and requires exactly equal results.
+// This is the contract that lets the experiment harnesses enable threads
+// without perturbing any paper figure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/mcl.h"
+#include "cluster/mlr_mcl.h"
+#include "cluster/pipeline.h"
+#include "core/symmetrize.h"
+#include "gen/lfr.h"
+#include "gen/rmat.h"
+#include "graph/digraph.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/spgemm.h"
+#include "util/thread_pool.h"
+
+namespace dgc {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  Digraph (*make)();
+};
+
+Digraph MakeRmatGraph() {
+  RmatOptions options;
+  options.scale = 9;
+  options.edge_factor = 8.0;
+  auto dataset = GenerateRmat(options);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset).ValueOrDie().graph;
+}
+
+Digraph MakeLfrGraph() {
+  LfrOptions options;
+  options.num_vertices = 1200;
+  options.style = LfrCommunityStyle::kCocitation;
+  options.authority_overlap = 0.3;
+  auto dataset = GenerateLfr(options);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset).ValueOrDie().graph;
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<GraphCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ParallelDeterminismTest,
+    ::testing::Values(GraphCase{"Rmat", &MakeRmatGraph},
+                      GraphCase{"Lfr", &MakeLfrGraph}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(ParallelDeterminismTest, TransposeMatchesSerial) {
+  const Digraph g = GetParam().make();
+  const CsrMatrix& a = g.adjacency();
+  const CsrMatrix serial = a.Transpose(1);
+  EXPECT_EQ(serial, a.Transpose(8));
+  EXPECT_EQ(serial, a.Transpose(0));
+  EXPECT_EQ(serial, a.Transpose(3));
+}
+
+TEST_P(ParallelDeterminismTest, SpGemmMatchesSerial) {
+  const Digraph g = GetParam().make();
+  const CsrMatrix& a = g.adjacency();
+  for (Scalar threshold : {0.0, 0.5}) {
+    SpGemmOptions options;
+    options.threshold = threshold;
+    options.num_threads = 1;
+    auto serial = SpGemmAAt(a, options);
+    ASSERT_TRUE(serial.ok());
+    options.num_threads = 8;
+    auto parallel = SpGemmAAt(a, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(*serial, *parallel);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, BuildFlowMatrixMatchesSerial) {
+  const Digraph g = GetParam().make();
+  auto u = SymmetrizeAPlusAT(g);
+  ASSERT_TRUE(u.ok());
+  const CsrMatrix serial = BuildFlowMatrix(*u, 1.0, 1);
+  EXPECT_EQ(serial, BuildFlowMatrix(*u, 1.0, 8));
+  EXPECT_EQ(serial, BuildFlowMatrix(*u, 1.0, 0));
+}
+
+TEST_P(ParallelDeterminismTest, RmclIterateMatchesSerial) {
+  const Digraph g = GetParam().make();
+  auto u = SymmetrizeAPlusAT(g);
+  ASSERT_TRUE(u.ok());
+  RmclOptions options;
+  options.num_threads = 1;
+  const CsrMatrix mg = BuildFlowMatrix(*u, options.self_loop_scale, 8);
+  auto serial = RmclIterate(mg, mg, options, 12);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 8;
+  auto parallel = RmclIterate(mg, mg, options, 12);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(*serial, *parallel);
+  options.num_threads = 0;
+  auto auto_threads = RmclIterate(mg, mg, options, 12);
+  ASSERT_TRUE(auto_threads.ok());
+  EXPECT_EQ(*serial, *auto_threads);
+}
+
+TEST_P(ParallelDeterminismTest, RmclClusteringMatchesSerial) {
+  const Digraph g = GetParam().make();
+  auto u = SymmetrizeAPlusAT(g);
+  ASSERT_TRUE(u.ok());
+  RmclOptions options;
+  options.max_iterations = 30;
+  options.num_threads = 1;
+  auto serial = Rmcl(*u, options);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 8;
+  auto parallel = Rmcl(*u, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->labels(), parallel->labels());
+}
+
+TEST_P(ParallelDeterminismTest, MlrMclMatchesSerial) {
+  const Digraph g = GetParam().make();
+  SymmetrizationOptions sym_options;
+  sym_options.prune_threshold = 0.05;
+  auto u = SymmetrizeDegreeDiscounted(g, sym_options);
+  ASSERT_TRUE(u.ok());
+  MlrMclOptions options;
+  options.rmcl.num_threads = 1;
+  auto serial = MlrMcl(*u, options);
+  ASSERT_TRUE(serial.ok());
+  options.rmcl.num_threads = 8;
+  auto parallel = MlrMcl(*u, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->labels(), parallel->labels());
+}
+
+TEST_P(ParallelDeterminismTest, AllSymmetrizationsMatchSerial) {
+  const Digraph g = GetParam().make();
+  for (SymmetrizationMethod method : kAllSymmetrizations) {
+    SymmetrizationOptions options;
+    if (method == SymmetrizationMethod::kBibliometric ||
+        method == SymmetrizationMethod::kDegreeDiscounted) {
+      options.prune_threshold =
+          method == SymmetrizationMethod::kBibliometric ? 2.0 : 0.05;
+    }
+    options.num_threads = 1;
+    auto serial = Symmetrize(g, method, options);
+    ASSERT_TRUE(serial.ok()) << SymmetrizationMethodName(method);
+    options.num_threads = 8;
+    auto parallel = Symmetrize(g, method, options);
+    ASSERT_TRUE(parallel.ok()) << SymmetrizationMethodName(method);
+    EXPECT_EQ(serial->adjacency(), parallel->adjacency())
+        << SymmetrizationMethodName(method);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, PipelineThreadOverrideMatchesSerial) {
+  const Digraph g = GetParam().make();
+  PipelineOptions options;
+  options.symmetrization.prune_threshold = 0.05;
+  options.num_threads = 1;
+  auto serial = SymmetrizeAndCluster(g, options);
+  ASSERT_TRUE(serial.ok());
+  options.num_threads = 8;
+  auto parallel = SymmetrizeAndCluster(g, options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->symmetrized.adjacency(), parallel->symmetrized.adjacency());
+  EXPECT_EQ(serial->clustering.labels(), parallel->clustering.labels());
+}
+
+}  // namespace
+}  // namespace dgc

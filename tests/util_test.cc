@@ -236,6 +236,75 @@ TEST(ParallelForTest, EmptyRange) {
   EXPECT_FALSE(called);
 }
 
+TEST(ParallelForTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(0, 100, 0, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ResolveNumThreadsTest, Convention) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  EXPECT_GE(ResolveNumThreads(0), 1);  // hardware concurrency
+  EXPECT_EQ(ResolveNumThreads(-3), 1);
+}
+
+TEST(ParallelForWorkersTest, WorkerIdsAreInRangeAndRangeIsCovered) {
+  constexpr int kThreads = 4;
+  std::vector<std::atomic<int>> hits(512);
+  std::atomic<bool> bad_worker{false};
+  ParallelForWorkers(0, 512, kThreads, /*grain=*/16,
+                     [&](int worker, int64_t lo, int64_t hi) {
+                       if (worker < 0 || worker >= kThreads) {
+                         bad_worker.store(true);
+                       }
+                       for (int64_t i = lo; i < hi; ++i) {
+                         hits[static_cast<size_t>(i)].fetch_add(1);
+                       }
+                     });
+  EXPECT_FALSE(bad_worker.load());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForWorkersTest, NestedCallsRunInline) {
+  // A parallel region inside a parallel region must serialize instead of
+  // deadlocking the shared pool.
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(0, 8, 4, [&hits](int64_t outer) {
+    ParallelFor(0, 8, 4, [&hits, outer](int64_t inner) {
+      hits[static_cast<size_t>(outer * 8 + inner)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsPool) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.EnsureWorkers(2);  // never shrinks
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, ManyMoreThreadsThanCoresStillCovers) {
+  // Requesting more threads than hardware cores must still terminate and
+  // cover the range exactly once (the pool grows on demand).
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, 16, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(VectorOpsTest, BasicOps) {
   std::vector<Scalar> x = {3.0, 4.0};
   std::vector<Scalar> y = {1.0, -1.0};
