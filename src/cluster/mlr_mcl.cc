@@ -71,8 +71,14 @@ Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
           }
         }
       });
-  return CsrMatrix::FromParts(num_fine, num_fine, std::move(row_ptr),
-                              std::move(col_idx), std::move(values));
+  // Each fine row is sorted before the copy-out and every column is a child
+  // index < num_fine, so structure holds by construction; checked builds
+  // re-verify at the boundary.
+  CsrMatrix projected = CsrMatrix::FromPartsUnchecked(
+      num_fine, num_fine, std::move(row_ptr), std::move(col_idx),
+      std::move(values));
+  projected.ValidateStructure("ProjectFlow");
+  return projected;
 }
 
 Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {

@@ -5,6 +5,7 @@ namespace dgc {
 Result<UGraph> SymmetrizeAPlusAT(const Digraph& g) {
   const CsrMatrix& a = g.adjacency();
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(a, a.Transpose()));
+  u.ValidateStructure("SymmetrizeAPlusAT");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);
 }

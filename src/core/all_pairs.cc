@@ -99,8 +99,13 @@ Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
         static_cast<Offset>(out_cols.size());
   }
   if (stats != nullptr) *stats = local_stats;
-  return CsrMatrix::FromParts(rows, rows, std::move(row_ptr),
-                              std::move(out_cols), std::move(out_vals));
+  // Correct by construction: rows emitted in order, `touched` sorted before
+  // the output pass, every j < rows.
+  CsrMatrix sim = CsrMatrix::FromPartsUnchecked(
+      rows, rows, std::move(row_ptr), std::move(out_cols),
+      std::move(out_vals));
+  sim.ValidateStructure("AllPairsSimilarity");
+  return sim;
 }
 
 }  // namespace dgc

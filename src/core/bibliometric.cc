@@ -30,6 +30,7 @@ Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
   if (options.prune_threshold > 0.0) {
     u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
   }
+  u.ValidateStructure("SymmetrizeBibliometric");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);
 }

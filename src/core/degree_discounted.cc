@@ -29,6 +29,7 @@ Result<UGraph> SymmetrizeDegreeDiscounted(
   if (options.prune_threshold > 0.0) {
     u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
   }
+  u.ValidateStructure("SymmetrizeDegreeDiscounted");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);
 }

@@ -17,6 +17,7 @@ Result<UGraph> SymmetrizeRandomWalk(const Digraph& g,
   // U = (M + Mᵀ) / 2. Same nonzero structure as A + Aᵀ (Section 3.2).
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(m, m.Transpose()));
   for (Scalar& v : u.mutable_values()) v *= 0.5;
+  u.ValidateStructure("SymmetrizeRandomWalk");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);
 }

@@ -27,6 +27,16 @@ CsrMatrix CsrMatrix::FromPartsUnchecked(Index rows, Index cols,
                    std::move(values));
 }
 
+void CsrMatrix::ValidateStructure(const char* context) const {
+#if DGC_DCHECKS_ENABLED
+  const Status status = Validate();
+  DGC_CHECK(status.ok()) << context << ": structurally invalid matrix ("
+                         << DebugString() << "): " << status;
+#else
+  (void)context;
+#endif
+}
+
 Result<CsrMatrix> CsrMatrix::FromTriplets(Index rows, Index cols,
                                           std::vector<Triplet> triplets) {
   if (rows < 0 || cols < 0) {
@@ -68,8 +78,10 @@ Result<CsrMatrix> CsrMatrix::FromTriplets(Index rows, Index cols,
     col_idx[i] = triplets[i].col;
     values[i] = triplets[i].value;
   }
-  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
-                   std::move(values));
+  CsrMatrix m = FromPartsUnchecked(rows, cols, std::move(row_ptr),
+                                   std::move(col_idx), std::move(values));
+  m.ValidateStructure("CsrMatrix::FromTriplets");
+  return m;
 }
 
 CsrMatrix CsrMatrix::Identity(Index n) {
@@ -111,12 +123,18 @@ Status CsrMatrix::Validate() const {
       col_idx_.size() != values_.size()) {
     return Status::InvalidArgument("array sizes inconsistent with row_ptr");
   }
+  // Row pointers must be vetted in full before they are used to index
+  // col_idx_ below: with a corrupt interior pointer the column loop itself
+  // would read out of bounds. Monotonicity plus the front()/back() checks
+  // above imply every pointer is within [0, nnz].
   for (Index r = 0; r < rows_; ++r) {
     if (row_ptr_[static_cast<size_t>(r) + 1] <
         row_ptr_[static_cast<size_t>(r)]) {
       return Status::InvalidArgument("row_ptr not non-decreasing at row " +
                                      std::to_string(r));
     }
+  }
+  for (Index r = 0; r < rows_; ++r) {
     Index prev = -1;
     for (Offset p = row_ptr_[static_cast<size_t>(r)];
          p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
@@ -159,8 +177,11 @@ CsrMatrix CsrMatrix::Transpose(int num_threads) const {
     }
     // Rows of the transpose are filled in increasing source-row order, so
     // columns are already sorted.
-    return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
-                     std::move(t_values));
+    CsrMatrix t = FromPartsUnchecked(cols_, rows_, std::move(t_row_ptr),
+                                     std::move(t_col_idx),
+                                     std::move(t_values));
+    t.ValidateStructure("CsrMatrix::Transpose(serial)");
+    return t;
   }
   // Parallel counting sort over static row blocks. Each entry (r, c) lands
   // at t_row_ptr[c] + #(entries with column c in rows < r) — a position
@@ -221,8 +242,10 @@ CsrMatrix CsrMatrix::Transpose(int num_threads) const {
       }
     }
   });
-  return CsrMatrix(cols_, rows_, std::move(t_row_ptr), std::move(t_col_idx),
-                   std::move(t_values));
+  CsrMatrix t = FromPartsUnchecked(cols_, rows_, std::move(t_row_ptr),
+                                   std::move(t_col_idx), std::move(t_values));
+  t.ValidateStructure("CsrMatrix::Transpose(parallel)");
+  return t;
 }
 
 std::vector<Scalar> CsrMatrix::RowSums() const {
@@ -295,8 +318,11 @@ CsrMatrix CsrMatrix::Pruned(Scalar threshold, bool drop_diagonal) const {
     new_row_ptr[static_cast<size_t>(r) + 1] =
         static_cast<Offset>(new_col_idx.size());
   }
-  return CsrMatrix(rows_, cols_, std::move(new_row_ptr),
-                   std::move(new_col_idx), std::move(new_values));
+  CsrMatrix pruned =
+      FromPartsUnchecked(rows_, cols_, std::move(new_row_ptr),
+                         std::move(new_col_idx), std::move(new_values));
+  pruned.ValidateStructure("CsrMatrix::Pruned");
+  return pruned;
 }
 
 Result<CsrMatrix> CsrMatrix::PlusIdentity() const {
@@ -340,8 +366,10 @@ Result<CsrMatrix> CsrMatrix::Add(const CsrMatrix& a, const CsrMatrix& b) {
     }
     row_ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(col_idx.size());
   }
-  return CsrMatrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
-                   std::move(values));
+  CsrMatrix sum = FromPartsUnchecked(a.rows(), a.cols(), std::move(row_ptr),
+                                     std::move(col_idx), std::move(values));
+  sum.ValidateStructure("CsrMatrix::Add");
+  return sum;
 }
 
 void CsrMatrix::Multiply(std::span<const Scalar> x,

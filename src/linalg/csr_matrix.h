@@ -81,6 +81,14 @@ class CsrMatrix {
   /// Checks all CSR invariants; OK on success.
   Status Validate() const;
 
+  /// Debug-build structural check for kernel boundaries: when
+  /// DGC_ENABLE_DCHECKS is on, fatals with `context` in the message if
+  /// Validate() fails; otherwise compiles to (almost) nothing. Every
+  /// FromPartsUnchecked call site must be paired with one of these on the
+  /// constructed matrix (enforced by tools/lint/dgc_lint.py, rule
+  /// unchecked-needs-validate).
+  void ValidateStructure(const char* context) const;
+
   /// Aᵀ as a new matrix (counting sort; O(nnz + rows + cols)). With more
   /// than one thread (0 = one per hardware core) the counting and scatter
   /// passes run over static row blocks with exact per-block placement, so

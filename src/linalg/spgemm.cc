@@ -118,8 +118,14 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
       pos += k;
     }
   });
-  return CsrMatrix::FromParts(rows, cols, std::move(row_ptr),
-                              std::move(col_idx), std::move(values));
+  // Rows are sorted, deduplicated and in range by construction (ComputeRow
+  // sorts `touched` and the accumulator cannot produce a column twice); the
+  // O(nnz) serial Validate() pass is debug-only so Release keeps the
+  // parallel speedup.
+  CsrMatrix c = CsrMatrix::FromPartsUnchecked(
+      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values));
+  c.ValidateStructure("SpGemm");
+  return c;
 }
 
 Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const SpGemmOptions& options) {

@@ -1,10 +1,21 @@
 // Minimal leveled logging to stderr plus CHECK macros for invariants whose
 // violation indicates a bug (not a recoverable error -> those use Status).
+//
+// Two strength tiers:
+//  - DGC_CHECK* / DGC_CHECK_OK: always compiled in, including NDEBUG
+//    Release builds. Use for cheap invariants whose violation must never
+//    ship silently.
+//  - DGC_DCHECK* / DGC_DCHECK_OK: compiled in only when DGC_ENABLE_DCHECKS
+//    is defined (CMake option of the same name, default ON in Debug).
+//    Use for expensive structural validation on hot paths, e.g. the
+//    O(nnz) CsrMatrix::Validate() pass behind every FromPartsUnchecked.
 #pragma once
 
 #include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "util/status.h"
 
 namespace dgc {
 
@@ -68,3 +79,47 @@ struct LogMessageVoidify {
 #define DGC_CHECK_LE(a, b) DGC_CHECK((a) <= (b))
 #define DGC_CHECK_GT(a, b) DGC_CHECK((a) > (b))
 #define DGC_CHECK_GE(a, b) DGC_CHECK((a) >= (b))
+
+/// Fatal unless `expr` (a Status or Result) is OK; always compiled in.
+#define DGC_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    const ::dgc::Status _dgc_check_ok_status = (expr);                  \
+    DGC_CHECK(_dgc_check_ok_status.ok()) << _dgc_check_ok_status;       \
+  } while (false)
+
+// Debug-only checks. DGC_DCHECKS_ENABLED is the single source of truth for
+// whether they are live; test targets may force it either way regardless of
+// the build-wide DGC_ENABLE_DCHECKS setting.
+#if defined(DGC_DCHECK_FORCE_ON)
+#define DGC_DCHECKS_ENABLED 1
+#elif defined(DGC_DCHECK_FORCE_OFF)
+#define DGC_DCHECKS_ENABLED 0
+#elif defined(DGC_ENABLE_DCHECKS)
+#define DGC_DCHECKS_ENABLED 1
+#else
+#define DGC_DCHECKS_ENABLED 0
+#endif
+
+#if DGC_DCHECKS_ENABLED
+
+#define DGC_DCHECK(condition) DGC_CHECK(condition)
+#define DGC_DCHECK_OK(expr) DGC_CHECK_OK(expr)
+
+#else  // !DGC_DCHECKS_ENABLED
+
+// `while (false)` keeps the condition and any streamed operands
+// syntactically checked (so disabled builds cannot rot) without evaluating
+// them; the dead loop folds to nothing at any optimization level.
+#define DGC_DCHECK(condition) \
+  while (false) DGC_CHECK(condition)
+#define DGC_DCHECK_OK(expr) \
+  while (false) DGC_CHECK_OK(expr)
+
+#endif  // DGC_DCHECKS_ENABLED
+
+#define DGC_DCHECK_EQ(a, b) DGC_DCHECK((a) == (b))
+#define DGC_DCHECK_NE(a, b) DGC_DCHECK((a) != (b))
+#define DGC_DCHECK_LT(a, b) DGC_DCHECK((a) < (b))
+#define DGC_DCHECK_LE(a, b) DGC_DCHECK((a) <= (b))
+#define DGC_DCHECK_GT(a, b) DGC_DCHECK((a) > (b))
+#define DGC_DCHECK_GE(a, b) DGC_DCHECK((a) >= (b))

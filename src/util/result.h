@@ -2,10 +2,10 @@
 // produce a value. Mirrors arrow::Result / absl::StatusOr.
 #pragma once
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace dgc {
@@ -20,7 +20,7 @@ namespace dgc {
 ///   Use(m.ValueOrDie());
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : storage_(std::move(value)) {}  // NOLINT
@@ -41,17 +41,19 @@ class Result {
     return std::get<Status>(storage_);
   }
 
-  /// The contained value. Must only be called when ok().
+  /// The contained value. Must only be called when ok(); misuse is fatal
+  /// even under NDEBUG (a wrong value extracted here corrupts everything
+  /// downstream, so this is never compiled out).
   const T& ValueOrDie() const& {
-    assert(ok() && "ValueOrDie called on error Result");
+    DGC_CHECK(ok()) << "ValueOrDie called on error Result: " << status();
     return std::get<T>(storage_);
   }
   T& ValueOrDie() & {
-    assert(ok() && "ValueOrDie called on error Result");
+    DGC_CHECK(ok()) << "ValueOrDie called on error Result: " << status();
     return std::get<T>(storage_);
   }
   T&& ValueOrDie() && {
-    assert(ok() && "ValueOrDie called on error Result");
+    DGC_CHECK(ok()) << "ValueOrDie called on error Result: " << status();
     return std::get<T>(std::move(storage_));
   }
 

@@ -30,9 +30,10 @@ std::string_view StatusCodeToString(StatusCode code);
 /// \brief Outcome of a fallible operation: a code plus an optional message.
 ///
 /// Statuses are cheap to copy when OK (no allocation) and must be checked by
-/// the caller; helper macros DGC_RETURN_IF_ERROR / DGC_ASSIGN_OR_RETURN keep
-/// call sites terse.
-class Status {
+/// the caller — the class is [[nodiscard]], so silently dropping one is a
+/// compile-time warning (error under DGC_WERROR); helper macros
+/// DGC_RETURN_IF_ERROR / DGC_ASSIGN_OR_RETURN keep call sites terse.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace dgc {
 namespace {
@@ -11,6 +13,14 @@ CsrMatrix Make(Index rows, Index cols, std::vector<Triplet> t) {
   auto result = CsrMatrix::FromTriplets(rows, cols, std::move(t));
   EXPECT_TRUE(result.ok()) << result.status();
   return std::move(result).ValueOrDie();
+}
+
+/// Builds a (possibly malformed) matrix with no validation, for exercising
+/// the Validate() error paths below.
+CsrMatrix MakeRaw(Index rows, Index cols, std::vector<Offset> row_ptr,
+                  std::vector<Index> col_idx, std::vector<Scalar> values) {
+  return CsrMatrix::FromPartsUnchecked(  // dgc-lint: allow(unchecked-needs-validate) deliberately building malformed matrices to test Validate()
+      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values));
 }
 
 TEST(CsrMatrixTest, EmptyMatrix) {
@@ -58,6 +68,83 @@ TEST(CsrMatrixTest, FromPartsRejectsUnsortedColumns) {
 TEST(CsrMatrixTest, FromPartsRejectsDuplicateColumns) {
   auto bad = CsrMatrix::FromParts(1, 3, {0, 2}, {1, 1}, {1.0, 1.0});
   EXPECT_FALSE(bad.ok());
+}
+
+TEST(CsrMatrixValidateTest, AcceptsWellFormedMatrix) {
+  CsrMatrix m = MakeRaw(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(CsrMatrixValidateTest, RejectsUnsortedColumns) {
+  CsrMatrix m = MakeRaw(1, 3, {0, 2}, {2, 0}, {1.0, 2.0});
+  Status s = m.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("not strictly increasing"), std::string::npos)
+      << s;
+}
+
+TEST(CsrMatrixValidateTest, RejectsDuplicateColumns) {
+  CsrMatrix m = MakeRaw(1, 3, {0, 2}, {1, 1}, {1.0, 2.0});
+  Status s = m.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("not strictly increasing"), std::string::npos)
+      << s;
+}
+
+TEST(CsrMatrixValidateTest, RejectsColumnOutOfRange) {
+  CsrMatrix high = MakeRaw(1, 3, {0, 1}, {3}, {1.0});
+  EXPECT_TRUE(high.Validate().IsOutOfRange());
+  CsrMatrix negative = MakeRaw(1, 3, {0, 1}, {-1}, {1.0});
+  EXPECT_TRUE(negative.Validate().IsOutOfRange());
+}
+
+TEST(CsrMatrixValidateTest, RejectsNonMonotoneRowPtr) {
+  // Sizes are consistent (row_ptr.back() == nnz == 2) but the interior
+  // pointer overshoots; Validate() must report this without ever using the
+  // corrupt pointer to index col_idx (that read would itself be
+  // out of bounds).
+  CsrMatrix m = MakeRaw(2, 3, {0, 3, 2}, {0, 1}, {1.0, 2.0});
+  Status s = m.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("non-decreasing"), std::string::npos) << s;
+}
+
+TEST(CsrMatrixValidateTest, RejectsRowPtrNotStartingAtZero) {
+  CsrMatrix m = MakeRaw(1, 3, {1, 2}, {0, 1}, {1.0, 2.0});
+  Status s = m.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("row_ptr[0]"), std::string::npos) << s;
+}
+
+TEST(CsrMatrixValidateTest, RejectsRowPtrSizeMismatch) {
+  CsrMatrix m = MakeRaw(3, 3, {0, 1}, {0}, {1.0});
+  Status s = m.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("rows+1"), std::string::npos) << s;
+}
+
+TEST(CsrMatrixValidateTest, RejectsNnzMismatch) {
+  // row_ptr promises 3 entries but only 2 are stored.
+  CsrMatrix truncated = MakeRaw(1, 4, {0, 3}, {0, 1}, {1.0, 2.0});
+  EXPECT_TRUE(truncated.Validate().IsInvalidArgument());
+  // col_idx and values disagree.
+  CsrMatrix ragged = MakeRaw(1, 4, {0, 2}, {0, 1}, {1.0});
+  EXPECT_TRUE(ragged.Validate().IsInvalidArgument());
+}
+
+TEST(CsrMatrixValidateTest, RejectsNegativeDimensions) {
+  CsrMatrix m = MakeRaw(-1, 2, {0}, {}, {});
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(CsrMatrixValidateDeathTest, ValidateStructureTrapsInCheckedBuilds) {
+  CsrMatrix bad = MakeRaw(1, 3, {0, 2}, {2, 0}, {1.0, 2.0});
+#if DGC_DCHECKS_ENABLED
+  EXPECT_DEATH(bad.ValidateStructure("CsrMatrixValidateDeathTest"),
+               "structurally invalid");
+#else
+  bad.ValidateStructure("CsrMatrixValidateDeathTest");  // compiled out
+#endif
 }
 
 TEST(CsrMatrixTest, IdentityBehaves) {

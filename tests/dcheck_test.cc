@@ -1,0 +1,84 @@
+// Behavior of the DGC_DCHECK* debug-check layer in both compile modes.
+// tests/CMakeLists.txt builds this file twice: dcheck_on_test defines
+// DGC_DCHECK_FORCE_ON and dcheck_off_test defines DGC_DCHECK_FORCE_OFF, so
+// both halves of the macros are exercised no matter how the build itself
+// was configured. (A third target, dcheck_test, follows the build-wide
+// DGC_ENABLE_DCHECKS setting.)
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace dgc {
+namespace {
+
+TEST(DcheckTest, PassingChecksAreAlwaysSilent) {
+  DGC_DCHECK(true);
+  DGC_DCHECK_EQ(1, 1);
+  DGC_DCHECK_NE(1, 2);
+  DGC_DCHECK_LT(1, 2);
+  DGC_DCHECK_LE(1, 1);
+  DGC_DCHECK_GT(2, 1);
+  DGC_DCHECK_GE(2, 2);
+  DGC_DCHECK_OK(Status::OK());
+}
+
+TEST(DcheckTest, ConditionEvaluatedOnlyWhenEnabled) {
+  int calls = 0;
+  auto count_and_pass = [&calls]() {
+    ++calls;
+    return true;
+  };
+  DGC_DCHECK(count_and_pass());
+#if DGC_DCHECKS_ENABLED
+  EXPECT_EQ(calls, 1);
+#else
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+TEST(DcheckTest, StatusExpressionEvaluatedOnlyWhenEnabled) {
+  int calls = 0;
+  auto count_and_ok = [&calls]() {
+    ++calls;
+    return Status::OK();
+  };
+  DGC_DCHECK_OK(count_and_ok());
+#if DGC_DCHECKS_ENABLED
+  EXPECT_EQ(calls, 1);
+#else
+  EXPECT_EQ(calls, 0);
+#endif
+}
+
+TEST(DcheckDeathTest, FailureFatalOnlyWhenEnabled) {
+#if DGC_DCHECKS_ENABLED
+  EXPECT_DEATH(DGC_DCHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(DGC_DCHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(DGC_DCHECK_OK(Status::Internal("bad structure")),
+               "bad structure");
+#else
+  DGC_DCHECK(false) << "compiled out";
+  DGC_DCHECK_EQ(1, 2);
+  DGC_DCHECK_OK(Status::Internal("compiled out"));
+#endif
+}
+
+TEST(DcheckDeathTest, CheckOkIsFatalInEveryBuildMode) {
+  DGC_CHECK_OK(Status::OK());
+  EXPECT_DEATH(DGC_CHECK_OK(Status::InvalidArgument("always fatal")),
+               "always fatal");
+}
+
+TEST(DcheckTest, DcheckIsSafeInUnbracedIfElse) {
+  // The disabled expansion must not swallow the else branch.
+  bool took_else = false;
+  if (false)
+    DGC_DCHECK(true);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+}  // namespace
+}  // namespace dgc

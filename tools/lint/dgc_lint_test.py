@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Self-test for dgc-lint: every rule must fire on a seeded violation and
+stay quiet on conforming code; suppression must work via both the allowlist
+and inline comments. This is the CI "negative test" — if a rule silently
+stops firing, this fails before the tree can rot."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "dgc_lint.py")
+
+
+def run_lint(root, *extra):
+    return subprocess.run(
+        [sys.executable, LINT, "--root", root, *extra],
+        capture_output=True, text=True)
+
+
+class DgcLintTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+        os.makedirs(os.path.join(self.root, "src", "util"))
+        os.makedirs(os.path.join(self.root, "tests"))
+        os.makedirs(os.path.join(self.root, "tools", "lint"))
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def rules_fired(self, result):
+        rules = set()
+        for line in result.stdout.splitlines():
+            if "] " in line and ": [" in line:
+                rules.add(line.split(": [")[1].split("]")[0])
+        return rules
+
+    def test_every_rule_fires_on_seeded_violations(self):
+        self.write("src/util/bad.cc", """\
+#include "../util/x.h"
+#include <bits/stdc++.h>
+#include <util/logging.h>
+void f(int x) {
+  assert(x > 0);
+  abort();
+  std::mt19937 gen(42);
+}
+void g() {
+  auto m = CsrMatrix::FromPartsUnchecked(1, 1, {0, 0}, {}, {});
+  use(m);
+}
+void h(const Thing& t) { (void)t.Validate(); }
+""")
+        self.write("src/util/noguard.h", "int x;\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(
+            self.rules_fired(result),
+            {"no-raw-assert", "no-raw-random", "unchecked-needs-validate",
+             "no-void-status-discard", "include-no-relative",
+             "include-no-bits", "include-project-quotes",
+             "include-pragma-once"})
+
+    def test_clean_tree_passes(self):
+        self.write("src/util/good.cc", """\
+#include "util/logging.h"
+void f(int x) { DGC_CHECK_GT(x, 0); }
+void g() {
+  auto m = CsrMatrix::FromPartsUnchecked(1, 1, {0, 0}, {}, {});
+  m.ValidateStructure("g");
+}
+""")
+        self.write("src/util/good.h", "#pragma once\nint declared();\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_violations_in_comments_and_strings_ignored(self):
+        self.write("src/util/prose.cc", """\
+// assert(x) and std::mt19937 belong in comments; so does abort().
+/* FromPartsUnchecked( without validation, in a block comment. */
+const char* kMsg = "assert(failed) std::rand()";
+""")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_logging_and_rng_are_exempt_in_their_own_files(self):
+        self.write("src/util/logging.cc",
+                   "void Die() { abort(); }\n")
+        self.write("src/util/rng.cc",
+                   "int Legacy() { return std::mt19937(7)(); }\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_static_assert_is_not_a_raw_assert(self):
+        self.write("src/util/sa.cc",
+                   "static_assert(sizeof(int) == 4);\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_allowlist_suppresses_with_justification(self):
+        self.write("src/util/bad.cc", "void f() { abort(); }\n")
+        self.write("tools/lint/allowlist.txt",
+                   "no-raw-assert|src/util/bad.cc|abort"
+                   "|vetted: exercising the allowlist in a test\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("1 allowlisted", result.stderr)
+
+    def test_malformed_allowlist_entry_is_a_finding(self):
+        self.write("src/util/fine.cc", "void f();\n")
+        self.write("tools/lint/allowlist.txt",
+                   "no-raw-assert|src/util/bad.cc|abort|\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("allowlist-malformed", result.stdout)
+
+    def test_inline_allow_comment_suppresses(self):
+        self.write(
+            "src/util/bad.cc",
+            "void f() { abort(); }  "
+            "// dgc-lint: allow(no-raw-assert) exercising inline allow\n")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_json_report_shape(self):
+        self.write("src/util/bad.cc", "void f() { abort(); }\n")
+        out = os.path.join(self.root, "report.json")
+        result = run_lint(self.root, "--json", out)
+        self.assertEqual(result.returncode, 1)
+        with open(out, encoding="utf-8") as f:
+            report = json.load(f)
+        self.assertEqual(report["tool"], "dgc-lint")
+        self.assertEqual(report["checked_files"], 1)
+        finding = report["findings"][0]
+        self.assertEqual(finding["rule"], "no-raw-assert")
+        self.assertEqual(finding["file"], "src/util/bad.cc")
+        self.assertEqual(finding["line"], 1)
+        self.assertIn("abort", finding["text"])
+
+    def test_compile_commands_union(self):
+        # A TU reachable only via compile_commands.json is still linted.
+        os.makedirs(os.path.join(self.root, "extra"))
+        self.write("extra/stray.cc", "void f() { abort(); }\n")
+        cc = os.path.join(self.root, "compile_commands.json")
+        with open(cc, "w", encoding="utf-8") as f:
+            json.dump([{"directory": self.root, "file": "extra/stray.cc",
+                        "command": "c++ -c extra/stray.cc"}], f)
+        result = run_lint(self.root, "--compile-commands", cc)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("extra/stray.cc", result.stdout)
+
+    def test_declaration_and_definition_are_not_call_sites(self):
+        self.write("src/util/decl.h", """\
+#pragma once
+class CsrMatrix {
+  static CsrMatrix FromPartsUnchecked(int rows, int cols);
+};
+""")
+        self.write("src/util/decl.cc", """\
+CsrMatrix CsrMatrix::FromPartsUnchecked(int rows, int cols) {
+  return CsrMatrix(rows, cols);
+}
+""")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
