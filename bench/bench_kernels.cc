@@ -1,16 +1,35 @@
 // Micro-benchmarks (google-benchmark) for the computational kernels the
 // symmetrization framework is built on: sparse transpose, SpGEMM with and
-// without pruning, PageRank power iteration, and the four symmetrizations,
-// on R-MAT graphs (the paper's reference [14] for realistic directed
-// networks). Complements the per-table experiment binaries.
+// without pruning, PageRank power iteration, the four symmetrizations, and
+// the fused-vs-reference similarity engines on the paper's four stand-in
+// datasets. Complements the per-table experiment binaries.
+//
+// Flags (consumed before google-benchmark sees the command line):
+//   --json=<path>   write the google-benchmark JSON report to <path>
+//                   (shorthand for --benchmark_out=<path>
+//                   --benchmark_out_format=json)
+//   --scale=<f>     scale factor for the stand-in datasets (default 1;
+//                   CI smoke runs use a small fraction)
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "cluster/mcl.h"
+#include "core/all_pairs.h"
 #include "core/symmetrize.h"
 #include "gen/rmat.h"
 #include "util/logging.h"
 #include "linalg/power_iteration.h"
 #include "linalg/spgemm.h"
+
+// Stand-in dataset scale, settable via --scale= (file-scope so the custom
+// main below can write it before benchmark registration runs).
+static double g_dataset_scale = 1.0;
 
 namespace dgc {
 namespace {
@@ -22,6 +41,31 @@ Dataset MakeGraph(int scale) {
   auto dataset = GenerateRmat(options);
   DGC_CHECK(dataset.ok());
   return std::move(dataset).ValueOrDie();
+}
+
+/// The paper's four stand-in datasets (Section 4.1), generated lazily and
+/// cached: benchmark registration enumerates them by index 0..3.
+const Dataset& StandIn(int64_t index) {
+  static std::array<std::unique_ptr<Dataset>, 4> cache;
+  auto& slot = cache[static_cast<size_t>(index)];
+  if (slot == nullptr) {
+    switch (index) {
+      case 0:
+        slot = std::make_unique<Dataset>(bench::MakeCora(g_dataset_scale));
+        break;
+      case 1:
+        slot = std::make_unique<Dataset>(bench::MakeWiki(g_dataset_scale));
+        break;
+      case 2:
+        slot = std::make_unique<Dataset>(bench::MakeFlickr(g_dataset_scale));
+        break;
+      default:
+        slot = std::make_unique<Dataset>(
+            bench::MakeLivejournal(g_dataset_scale));
+        break;
+    }
+  }
+  return *slot;
 }
 
 void BM_Transpose(benchmark::State& state) {
@@ -174,7 +218,113 @@ BENCHMARK(BM_RmclIterateThreads)
     ->ArgPair(14, 8)
     ->UseRealTime();
 
+// Fused vs reference similarity engines on the four stand-in datasets
+// (Arg = dataset index). The acceptance criterion for the fused path is
+// CPU time: fused Degree-discounted must be >= 1.5x faster than reference
+// on at least 3 of the 4 datasets.
+
+void RunDegreeDiscounted(benchmark::State& state, SimilarityEngine engine) {
+  const Dataset& d = StandIn(state.range(0));
+  SymmetrizationOptions options;
+  options.prune_threshold = 0.05;
+  options.engine = engine;
+  for (auto _ : state) {
+    auto u = SymmetrizeDegreeDiscounted(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name);
+}
+
+void BM_DegreeDiscountedFused(benchmark::State& state) {
+  RunDegreeDiscounted(state, SimilarityEngine::kFused);
+}
+BENCHMARK(BM_DegreeDiscountedFused)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DegreeDiscountedReference(benchmark::State& state) {
+  RunDegreeDiscounted(state, SimilarityEngine::kReference);
+}
+BENCHMARK(BM_DegreeDiscountedReference)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void RunBibliometric(benchmark::State& state, SimilarityEngine engine) {
+  const Dataset& d = StandIn(state.range(0));
+  SymmetrizationOptions options;
+  options.prune_threshold = 2.0;
+  options.engine = engine;
+  for (auto _ : state) {
+    auto u = SymmetrizeBibliometric(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name);
+}
+
+void BM_BibliometricFused(benchmark::State& state) {
+  RunBibliometric(state, SimilarityEngine::kFused);
+}
+BENCHMARK(BM_BibliometricFused)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BibliometricReference(benchmark::State& state) {
+  RunBibliometric(state, SimilarityEngine::kReference);
+}
+BENCHMARK(BM_BibliometricReference)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllPairsSimilarityThreads(benchmark::State& state) {
+  const Dataset& d = StandIn(1);  // wiki stand-in: hubs + skewed weights
+  auto factors = BuildSimilarityFactors(
+      d.graph, SymmetrizationMethod::kDegreeDiscounted, {});
+  DGC_CHECK(factors.ok());
+  AllPairsOptions options;
+  options.threshold = 0.05;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto sim = AllPairsSimilarity(factors->m, options);
+    benchmark::DoNotOptimize(sim);
+  }
+  state.SetLabel(d.name);
+}
+BENCHMARK(BM_AllPairsSimilarityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace dgc
 
-BENCHMARK_MAIN();
+// Custom main: peel off --json= / --scale= before handing the remaining
+// flags to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      storage.emplace_back(std::string("--benchmark_out=") + (arg + 7));
+      storage.emplace_back("--benchmark_out_format=json");
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      g_dataset_scale = std::strtod(arg + 8, nullptr);
+      DGC_CHECK(g_dataset_scale > 0.0) << "--scale must be positive";
+    } else {
+      storage.emplace_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

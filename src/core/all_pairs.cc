@@ -3,7 +3,94 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace dgc {
+
+namespace {
+
+/// Per-worker state for the row-parallel candidate search: the dense
+/// accumulator/marker pair, the scratch vectors of the serial algorithm,
+/// the worker's buffered output rows, and its partial stats. Stats merge
+/// deterministically because they are sums of per-row integer counts —
+/// integer addition is associative, so the total is independent of which
+/// worker processed which row.
+struct AllPairsWorkspace {
+  std::vector<Scalar> accum;
+  std::vector<Index> marker;
+  std::vector<Index> touched;
+  std::vector<Scalar> suffix_bound;
+  std::vector<Index> rows;   ///< output rows buffered by this worker
+  std::vector<Index> cols;   ///< their column indices, concatenated
+  std::vector<Scalar> vals;  ///< their values, concatenated
+  AllPairsStats stats;
+
+  void EnsureSize(Index n) {
+    if (static_cast<Index>(marker.size()) < n) {
+      accum.assign(static_cast<size_t>(n), 0.0);
+      marker.assign(static_cast<size_t>(n), -1);
+    }
+  }
+};
+
+/// Computes output row `i` (candidate generation + Bayardo bounds),
+/// appending surviving pairs to w.cols / w.vals. Identical decision
+/// sequence to the original serial loop, so any row partition yields the
+/// same rows.
+void ComputeAllPairsRow(const CsrMatrix& m, const CsrMatrix& mt,
+                        const std::vector<Scalar>& col_max, Index i,
+                        const AllPairsOptions& options,
+                        AllPairsWorkspace& w) {
+  const Scalar t = options.threshold;
+  auto cols = m.RowCols(i);
+  auto vals = m.RowValues(i);
+  // Suffix bounds: suffix_bound[p] = sum_{q >= p} vals[q] * col_max[c_q]
+  // bounds the similarity any pair first met at feature p can still
+  // accumulate.
+  w.suffix_bound.assign(cols.size() + 1, 0.0);
+  for (size_t p = cols.size(); p-- > 0;) {
+    w.suffix_bound[p] = w.suffix_bound[p + 1] +
+                        vals[p] * col_max[static_cast<size_t>(cols[p])];
+  }
+  // Row-level bound: if even the full row cannot reach t against the
+  // best possible partner, no output pair involves row i.
+  if (!cols.empty() && w.suffix_bound[0] < t) {
+    ++w.stats.skipped_rows;
+    return;
+  }
+  w.touched.clear();
+  for (size_t p = 0; p < cols.size(); ++p) {
+    const Index c = cols[p];
+    const Scalar vi = vals[p];
+    const bool allow_new = w.suffix_bound[p] >= t;
+    auto jrows = mt.RowCols(c);
+    auto jvals = mt.RowValues(c);
+    for (size_t q = 0; q < jrows.size(); ++q) {
+      const Index j = jrows[q];
+      if (w.marker[static_cast<size_t>(j)] == i) {
+        w.accum[static_cast<size_t>(j)] += vi * jvals[q];
+      } else if (allow_new) {
+        // A pair first met here can only reach suffix_bound[p]; when
+        // that is below t it is provably below threshold and skipped.
+        w.marker[static_cast<size_t>(j)] = i;
+        w.accum[static_cast<size_t>(j)] = vi * jvals[q];
+        w.touched.push_back(j);
+      }
+    }
+  }
+  w.stats.candidate_pairs += static_cast<int64_t>(w.touched.size());
+  std::sort(w.touched.begin(), w.touched.end());
+  for (Index j : w.touched) {
+    if (options.drop_diagonal && j == i) continue;
+    const Scalar s = w.accum[static_cast<size_t>(j)];
+    if (s < t) continue;
+    w.cols.push_back(j);
+    w.vals.push_back(s);
+    ++w.stats.output_pairs;
+  }
+}
+
+}  // namespace
 
 Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
                                      const AllPairsOptions& options) {
@@ -24,81 +111,75 @@ Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
     }
   }
   const Index rows = m.rows();
-  const Scalar t = options.threshold;
-  AllPairsStats local_stats;
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
 
   // Inverted index = Mᵀ (rows of mt are the columns of m).
-  const CsrMatrix mt = m.Transpose();
-  // Column maxima: the largest value any row has in column c.
+  const CsrMatrix mt = m.Transpose(threads);
+  // Column maxima: the largest value any row has in column c. Each column
+  // is reduced independently, so the parallel loop is deterministic.
   std::vector<Scalar> col_max(static_cast<size_t>(m.cols()), 0.0);
-  for (Index c = 0; c < mt.rows(); ++c) {
-    for (Scalar v : mt.RowValues(c)) {
-      col_max[static_cast<size_t>(c)] =
-          std::max(col_max[static_cast<size_t>(c)], v);
-    }
-  }
-
-  std::vector<Scalar> accum(static_cast<size_t>(rows), 0.0);
-  std::vector<Index> marker(static_cast<size_t>(rows), -1);
-  std::vector<Index> touched;
-  std::vector<Scalar> suffix_bound;
-
-  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
-  std::vector<Index> out_cols;
-  std::vector<Scalar> out_vals;
-  for (Index i = 0; i < rows; ++i) {
-    auto cols = m.RowCols(i);
-    auto vals = m.RowValues(i);
-    // Suffix bounds: suffix_bound[p] = sum_{q >= p} vals[q] * col_max[c_q]
-    // bounds the similarity any pair first met at feature p can still
-    // accumulate.
-    suffix_bound.assign(cols.size() + 1, 0.0);
-    for (size_t p = cols.size(); p-- > 0;) {
-      suffix_bound[p] = suffix_bound[p + 1] +
-                        vals[p] * col_max[static_cast<size_t>(cols[p])];
-    }
-    // Row-level bound: if even the full row cannot reach t against the
-    // best possible partner, no output pair involves row i.
-    if (!cols.empty() && suffix_bound[0] < t) {
-      ++local_stats.skipped_rows;
-      row_ptr[static_cast<size_t>(i) + 1] =
-          static_cast<Offset>(out_cols.size());
-      continue;
-    }
-    touched.clear();
-    for (size_t p = 0; p < cols.size(); ++p) {
-      const Index c = cols[p];
-      const Scalar vi = vals[p];
-      const bool allow_new = suffix_bound[p] >= t;
-      auto jrows = mt.RowCols(c);
-      auto jvals = mt.RowValues(c);
-      for (size_t q = 0; q < jrows.size(); ++q) {
-        const Index j = jrows[q];
-        if (marker[static_cast<size_t>(j)] == i) {
-          accum[static_cast<size_t>(j)] += vi * jvals[q];
-        } else if (allow_new) {
-          // A pair first met here can only reach suffix_bound[p]; when
-          // that is below t it is provably below threshold and skipped.
-          marker[static_cast<size_t>(j)] = i;
-          accum[static_cast<size_t>(j)] = vi * jvals[q];
-          touched.push_back(j);
-        }
+  ParallelForChunked(0, mt.rows(), threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      Scalar best = 0.0;
+      for (Scalar v : mt.RowValues(static_cast<Index>(c))) {
+        best = std::max(best, v);
       }
+      col_max[static_cast<size_t>(c)] = best;
     }
-    local_stats.candidate_pairs += static_cast<int64_t>(touched.size());
-    std::sort(touched.begin(), touched.end());
-    for (Index j : touched) {
-      if (options.drop_diagonal && j == i) continue;
-      const Scalar s = accum[static_cast<size_t>(j)];
-      if (s < t) continue;
-      out_cols.push_back(j);
-      out_vals.push_back(s);
-      ++local_stats.output_pairs;
-    }
-    row_ptr[static_cast<size_t>(i) + 1] =
-        static_cast<Offset>(out_cols.size());
+  });
+
+  // Pass 1: compute every output row into per-worker buffers (dynamic
+  // chunking over the persistent pool), recording the per-row nnz.
+  std::vector<AllPairsWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(rows), 0);
+  ParallelForWorkers(
+      0, rows, threads, /*grain=*/0,
+      [&](int worker, int64_t lo, int64_t hi) {
+        AllPairsWorkspace& w = workspaces[static_cast<size_t>(worker)];
+        w.EnsureSize(rows);
+        for (int64_t r = lo; r < hi; ++r) {
+          const size_t before = w.cols.size();
+          ComputeAllPairsRow(m, mt, col_max, static_cast<Index>(r), options,
+                             w);
+          row_nnz[static_cast<size_t>(r)] =
+              static_cast<Offset>(w.cols.size() - before);
+          w.rows.push_back(static_cast<Index>(r));
+        }
+      });
+
+  // Serial prefix sum of row pointers: deterministic for any thread count.
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] + row_nnz[static_cast<size_t>(r)];
   }
-  if (stats != nullptr) *stats = local_stats;
+
+  // Pass 2: each worker copies its buffered rows into the final CSR at the
+  // now-known offsets; stats merge as plain sums in worker order.
+  std::vector<Index> out_cols(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> out_vals(static_cast<size_t>(row_ptr.back()));
+  ParallelFor(0, threads, threads, [&](int64_t wi) {
+    const AllPairsWorkspace& w = workspaces[static_cast<size_t>(wi)];
+    size_t pos = 0;
+    for (Index r : w.rows) {
+      const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+      std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
+                  out_cols.begin() + row_ptr[static_cast<size_t>(r)]);
+      std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
+                  out_vals.begin() + row_ptr[static_cast<size_t>(r)]);
+      pos += k;
+    }
+  });
+  if (stats != nullptr) {
+    AllPairsStats merged;
+    for (const AllPairsWorkspace& w : workspaces) {
+      merged.candidate_pairs += w.stats.candidate_pairs;
+      merged.output_pairs += w.stats.output_pairs;
+      merged.skipped_rows += w.stats.skipped_rows;
+    }
+    *stats = merged;
+  }
   // Correct by construction: rows emitted in order, `touched` sorted before
   // the output pass, every j < rows.
   CsrMatrix sim = CsrMatrix::FromPartsUnchecked(

@@ -24,6 +24,11 @@ struct AllPairsOptions {
   Scalar threshold = 0.1;
   /// Drop the diagonal (self-similarity), as the symmetrizations do.
   bool drop_diagonal = true;
+  /// Row-parallelism (the library-wide convention: 1 = the paper's serial
+  /// setup, 0 = one thread per hardware core). Output rows and the reported
+  /// AllPairsStats are bit-identical for every setting: rows are
+  /// independent, and the stats are sums of per-row integer counts.
+  int num_threads = 1;
 };
 
 /// \brief Computes the thresholded self-similarity S = M Mᵀ (entries >= t

@@ -4,6 +4,48 @@
 
 namespace dgc {
 
+namespace {
+
+/// Reference Bibliometric path (correctness oracle for the fused kernels):
+/// two full SpGEMMs against freshly materialized transposes, then separate
+/// Add and Pruned passes.
+Result<CsrMatrix> BibliometricReference(const CsrMatrix& a,
+                                        const SymmetrizationOptions& options,
+                                        const SpGemmOptions& product_options) {
+  DGC_ASSIGN_OR_RETURN(CsrMatrix coupling, SpGemmAAt(a, product_options));
+  DGC_ASSIGN_OR_RETURN(CsrMatrix cocitation, SpGemmAtA(a, product_options));
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(coupling, cocitation));
+  if (options.prune_threshold > 0.0) {
+    u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
+  }
+  return u;
+}
+
+/// Fused Bibliometric path (the default): AAᵀ and AᵀA are both symmetric,
+/// so only their upper triangles are computed (no scaling needed —
+/// Bibliometric's factors are A itself), against one shared transpose: the
+/// coupling product AAᵀ indexes into Aᵀ, and the co-citation product AᵀA is
+/// the AAt pattern on Aᵀ whose inverted index is A. The sum, final prune
+/// and mirror happen in one fused pass.
+Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
+                                    const SymmetrizationOptions& options,
+                                    const SpGemmOptions& product_options) {
+  const CsrMatrix at = a.Transpose(options.num_threads);
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix coupling_upper,
+      SpGemmAAtSymmetric(a, {}, {}, product_options, &at));
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix cocitation_upper,
+      SpGemmAAtSymmetric(at, {}, {}, product_options, &a));
+  SpGemmOptions sum_options;
+  sum_options.threshold = options.prune_threshold;
+  sum_options.drop_diagonal = true;
+  sum_options.num_threads = options.num_threads;
+  return SpGemmSymmetricSum(coupling_upper, cocitation_upper, sum_options);
+}
+
+}  // namespace
+
 Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
                                       const SymmetrizationOptions& options) {
   if (g.NumVertices() == 0) {
@@ -24,12 +66,10 @@ Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
 
-  DGC_ASSIGN_OR_RETURN(CsrMatrix coupling, SpGemmAAt(a, product_options));
-  DGC_ASSIGN_OR_RETURN(CsrMatrix cocitation, SpGemmAtA(a, product_options));
-  DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(coupling, cocitation));
-  if (options.prune_threshold > 0.0) {
-    u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
-  }
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix u, options.engine == SimilarityEngine::kFused
+                       ? BibliometricFused(a, options, product_options)
+                       : BibliometricReference(a, options, product_options));
   u.ValidateStructure("SymmetrizeBibliometric");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);

@@ -1,17 +1,19 @@
-#include "core/symmetrize.h"
-
 #include <algorithm>
 
+#include "core/symmetrize.h"
 #include "linalg/spgemm.h"
 #include "linalg/vector_ops.h"
 
 namespace dgc {
 
-Result<UGraph> SymmetrizeDegreeDiscounted(
+namespace {
+
+/// The reference Degree-discounted path, kept as the correctness oracle for
+/// the fused kernels: materialize the scaled factor copies, run two full
+/// SpGEMMs, then separate Add and Pruned passes (six full-size
+/// intermediates).
+Result<CsrMatrix> DegreeDiscountedReference(
     const Digraph& g, const SymmetrizationOptions& options) {
-  if (g.NumVertices() == 0) {
-    return Status::InvalidArgument("cannot symmetrize an empty graph");
-  }
   DGC_ASSIGN_OR_RETURN(
       SimilarityFactors factors,
       BuildSimilarityFactors(g, SymmetrizationMethod::kDegreeDiscounted,
@@ -29,6 +31,62 @@ Result<UGraph> SymmetrizeDegreeDiscounted(
   if (options.prune_threshold > 0.0) {
     u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
   }
+  return u;
+}
+
+/// The fused symmetry-exploiting path (the default): one shared transpose
+/// of A, upper-triangle products with the discounts applied on the fly, and
+/// a fused add + prune + mirror. B_d = So A Si Aᵀ So is the AAt pattern on
+/// A; C_d = Si Aᵀ So A Si is the same pattern on Aᵀ (whose inverted index
+/// is A itself), so the single transpose serves both products.
+Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
+                                        const SymmetrizationOptions& options) {
+  CsrMatrix a = g.adjacency();
+  if (options.add_self_loops) {
+    DGC_ASSIGN_OR_RETURN(a, a.PlusIdentity());
+  }
+  const CsrMatrix at = a.Transpose(options.num_threads);
+  const std::vector<Offset> out_deg = a.RowCounts();
+  const std::vector<Offset> in_deg = a.ColCounts();
+  const std::vector<Scalar> so = DiscountFactors(out_deg, options.out_discount);
+  const std::vector<Scalar> si = DiscountFactors(in_deg, options.in_discount);
+  const std::vector<Scalar> sqrt_so = Sqrt(so);
+  const std::vector<Scalar> sqrt_si = Sqrt(si);
+
+  SpGemmOptions product_options;
+  product_options.threshold = options.prune_threshold / 2.0;
+  product_options.drop_diagonal = true;
+  product_options.num_threads = options.num_threads;
+
+  // Upper triangles of B_d (out-link similarity, factor (a·so_i)·√si_k) and
+  // C_d (in-link similarity, factor (aᵀ·si_i)·√so_k) — the same per-entry
+  // multiplication order BuildSimilarityFactors bakes into M and N, so both
+  // triangles are bit-identical to the reference products.
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix bd_upper,
+      SpGemmAAtSymmetric(a, so, sqrt_si, product_options, &at));
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix cd_upper,
+      SpGemmAAtSymmetric(at, si, sqrt_so, product_options, &a));
+
+  SpGemmOptions sum_options;
+  sum_options.threshold = options.prune_threshold;
+  sum_options.drop_diagonal = true;
+  sum_options.num_threads = options.num_threads;
+  return SpGemmSymmetricSum(bd_upper, cd_upper, sum_options);
+}
+
+}  // namespace
+
+Result<UGraph> SymmetrizeDegreeDiscounted(
+    const Digraph& g, const SymmetrizationOptions& options) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot symmetrize an empty graph");
+  }
+  DGC_ASSIGN_OR_RETURN(CsrMatrix u,
+                       options.engine == SimilarityEngine::kFused
+                           ? DegreeDiscountedFused(g, options)
+                           : DegreeDiscountedReference(g, options));
   u.ValidateStructure("SymmetrizeDegreeDiscounted");
   return UGraph::FromSymmetricAdjacency(std::move(u),
                                         /*drop_self_loops=*/true);
@@ -62,18 +120,22 @@ Result<SimilarityFactors> BuildSimilarityFactors(
   CsrMatrix m = a;
   m.ScaleRows(so);
   m.ScaleCols(Sqrt(si));
-  // C_d = Si Aᵀ So A Si = Nᵀ N with N = sqrt(So) A Si.
+  // C_d = Si Aᵀ So A Si = Nᵀ N with N = sqrt(So) A Si. The column scaling
+  // is applied first so that every entry of N carries the multiplication
+  // order (a·si_j)·√so_k — the order the fused kernel evaluates on the fly
+  // (its "row" factor in Aᵀ coordinates is si) — keeping the reference and
+  // fused paths bit-identical.
   CsrMatrix n = std::move(a);
-  n.ScaleRows(Sqrt(so));
   n.ScaleCols(si);
+  n.ScaleRows(Sqrt(so));
   return SimilarityFactors{std::move(m), std::move(n)};
 }
 
-Scalar DegreeDiscountedSimilarity(const Digraph& g, Index i, Index j,
-                                  const DiscountSpec& out_discount,
+Scalar DegreeDiscountedSimilarity(const Digraph& g,
+                                  const CsrMatrix& a_transpose, Index i,
+                                  Index j, const DiscountSpec& out_discount,
                                   const DiscountSpec& in_discount) {
   const CsrMatrix& a = g.adjacency();
-  const CsrMatrix at = a.Transpose();
   const std::vector<Offset> out_deg = a.RowCounts();
   const std::vector<Offset> in_deg = a.ColCounts();
   const std::vector<Scalar> so = DiscountFactors(out_deg, out_discount);
@@ -105,10 +167,18 @@ Scalar DegreeDiscountedSimilarity(const Digraph& g, Index i, Index j,
   const Scalar bd = so[static_cast<size_t>(i)] * so[static_cast<size_t>(j)] *
                     intersect_sum(a.RowCols(i), a.RowValues(i), a.RowCols(j),
                                   a.RowValues(j), si);
-  const Scalar cd = si[static_cast<size_t>(i)] * si[static_cast<size_t>(j)] *
-                    intersect_sum(at.RowCols(i), at.RowValues(i),
-                                  at.RowCols(j), at.RowValues(j), so);
+  const Scalar cd =
+      si[static_cast<size_t>(i)] * si[static_cast<size_t>(j)] *
+      intersect_sum(a_transpose.RowCols(i), a_transpose.RowValues(i),
+                    a_transpose.RowCols(j), a_transpose.RowValues(j), so);
   return bd + cd;
+}
+
+Scalar DegreeDiscountedSimilarity(const Digraph& g, Index i, Index j,
+                                  const DiscountSpec& out_discount,
+                                  const DiscountSpec& in_discount) {
+  return DegreeDiscountedSimilarity(g, g.adjacency().Transpose(), i, j,
+                                    out_discount, in_discount);
 }
 
 }  // namespace dgc

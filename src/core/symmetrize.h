@@ -47,6 +47,21 @@ inline constexpr SymmetrizationMethod kAllSymmetrizations[] = {
     SymmetrizationMethod::kDegreeDiscounted,
 };
 
+/// Which kernel family computes the similarity products (Bibliometric and
+/// Degree-discounted only; the other methods have no similarity product).
+enum class SimilarityEngine {
+  /// Symmetric-aware path (the default): one shared transpose of the input,
+  /// upper-triangle products with the diagonal scalings applied on the fly
+  /// (SpGemmAAtSymmetric), and a fused add + prune + mirror
+  /// (SpGemmSymmetricSum). Roughly half the flops and one full-size
+  /// intermediate instead of six.
+  kFused,
+  /// The literal-formula path kept as the correctness oracle: scaled copies
+  /// of A, two full SpGEMMs, then separate Add and Pruned passes. Produces
+  /// bit-identical output to kFused at any thread count.
+  kReference,
+};
+
 /// Options shared by the symmetrizations.
 struct SymmetrizationOptions {
   /// Entries of the symmetrized matrix with value < prune_threshold are
@@ -73,6 +88,11 @@ struct SymmetrizationOptions {
   /// the paper's single-threaded setup, 0 uses one thread per hardware
   /// core. The symmetrized graph is bit-identical for every setting.
   int num_threads = 1;
+
+  /// Kernel family for the similarity products (Bibliometric and
+  /// Degree-discounted). kFused and kReference produce bit-identical
+  /// graphs; kReference exists as the test oracle and for perf comparison.
+  SimilarityEngine engine = SimilarityEngine::kFused;
 };
 
 /// U = A + Aᵀ. Reciprocal edge pairs sum their weights (Section 3.1).
@@ -119,7 +139,17 @@ Result<SimilarityFactors> BuildSimilarityFactors(
 
 /// \brief The degree-discounted similarity of a single node pair, computed
 /// directly from the definition (Section 3.4). O(dout(i)+dout(j)+din(i)+
-/// din(j)); used for spot queries and as a test oracle for the matrix path.
+/// din(j)) given the precomputed transpose; used for spot queries and as a
+/// test oracle for the matrix path. `a_transpose` must equal
+/// g.adjacency().Transpose() — batch callers compute it once instead of
+/// paying an O(nnz) transpose per query.
+Scalar DegreeDiscountedSimilarity(const Digraph& g,
+                                  const CsrMatrix& a_transpose, Index i,
+                                  Index j, const DiscountSpec& out_discount,
+                                  const DiscountSpec& in_discount);
+
+/// Convenience overload for one-off queries: materializes the transpose
+/// internally (O(nnz) per call — prefer the overload above in loops).
 Scalar DegreeDiscountedSimilarity(const Digraph& g, Index i, Index j,
                                   const DiscountSpec& out_discount,
                                   const DiscountSpec& in_discount);

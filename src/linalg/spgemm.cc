@@ -30,6 +30,20 @@ struct SpGemmWorkspace {
   }
 };
 
+/// Appends row `row`'s surviving accumulator entries (sorted by column) to
+/// w.cols / w.vals, applying the threshold and diagonal filters. Shared by
+/// the general and the upper-triangle kernels so filtering is bit-identical.
+void EmitRow(Index row, const SpGemmOptions& options, SpGemmWorkspace& w) {
+  std::sort(w.touched.begin(), w.touched.end());
+  for (Index c : w.touched) {
+    const Scalar v = w.accum[static_cast<size_t>(c)];
+    if (std::abs(v) < options.threshold) continue;
+    if (options.drop_diagonal && c == row) continue;
+    w.cols.push_back(c);
+    w.vals.push_back(v);
+  }
+}
+
 /// Computes one output row of C = A * B, appending the surviving entries to
 /// w.cols / w.vals (sorted by column). marker[c] == row marks column c as
 /// touched for the current row.
@@ -53,14 +67,91 @@ void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
       w.accum[static_cast<size_t>(c)] += av * b_vals[j];
     }
   }
-  std::sort(w.touched.begin(), w.touched.end());
-  for (Index c : w.touched) {
-    const Scalar v = w.accum[static_cast<size_t>(c)];
-    if (std::abs(v) < options.threshold) continue;
-    if (options.drop_diagonal && c == row) continue;
-    w.cols.push_back(c);
-    w.vals.push_back(v);
+  EmitRow(row, options, w);
+}
+
+/// Computes one upper-triangle row (candidates j >= row only) of the scaled
+/// symmetric product U = D_r A D_c² Aᵀ D_r. `at` is the inverted index
+/// (= Aᵀ). Per term the factors are evaluated as
+/// (a(i,k)·row_scale[i])·col_scale[k] — the exact multiplication order a
+/// ScaleRows-then-ScaleCols copy would have stored, and terms accumulate in
+/// the same ascending-k order as ComputeRow, so every surviving entry is
+/// bit-identical to the reference SpGemmAAt-on-a-scaled-copy path.
+void ComputeUpperRow(const CsrMatrix& a, const CsrMatrix& at,
+                     std::span<const Scalar> row_scale,
+                     std::span<const Scalar> col_scale, Index row,
+                     const SpGemmOptions& options, SpGemmWorkspace& w) {
+  w.touched.clear();
+  auto a_cols = a.RowCols(row);
+  auto a_vals = a.RowValues(row);
+  const bool has_row_scale = !row_scale.empty();
+  const bool has_col_scale = !col_scale.empty();
+  const Scalar ri =
+      has_row_scale ? row_scale[static_cast<size_t>(row)] : 1.0;
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const Index k = a_cols[i];
+    const Scalar ck =
+        has_col_scale ? col_scale[static_cast<size_t>(k)] : 1.0;
+    Scalar av = a_vals[i];
+    if (has_row_scale) av *= ri;
+    if (has_col_scale) av *= ck;
+    auto t_cols = at.RowCols(k);
+    auto t_vals = at.RowValues(k);
+    // Only candidates j >= row contribute to the upper triangle; the lower
+    // triangle is recovered by mirroring. Columns are sorted, so the first
+    // eligible candidate is found by binary search.
+    size_t q = static_cast<size_t>(
+        std::lower_bound(t_cols.begin(), t_cols.end(), row) - t_cols.begin());
+    for (; q < t_cols.size(); ++q) {
+      const Index j = t_cols[q];
+      Scalar bv = t_vals[q];
+      if (has_row_scale) bv *= row_scale[static_cast<size_t>(j)];
+      if (has_col_scale) bv *= ck;
+      if (w.marker[static_cast<size_t>(j)] != row) {
+        w.marker[static_cast<size_t>(j)] = row;
+        w.accum[static_cast<size_t>(j)] = 0.0;
+        w.touched.push_back(j);
+      }
+      w.accum[static_cast<size_t>(j)] += av * bv;
+    }
   }
+  EmitRow(row, options, w);
+}
+
+/// Two-pass assembly shared by the row-parallel kernels: pass 1 ran already
+/// (per-worker buffered rows + row_nnz), this prefix-sums the row pointers
+/// and copies every buffered row to its final offset in parallel.
+CsrMatrix AssembleRows(Index rows, Index cols, int threads,
+                       const std::vector<SpGemmWorkspace>& workspaces,
+                       const std::vector<Offset>& row_nnz,
+                       const char* context) {
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] + row_nnz[static_cast<size_t>(r)];
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  ParallelFor(0, threads, threads, [&](int64_t wi) {
+    const SpGemmWorkspace& w = workspaces[static_cast<size_t>(wi)];
+    size_t pos = 0;
+    for (Index r : w.rows) {
+      const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+      std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
+                  col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
+      std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
+                  values.begin() + row_ptr[static_cast<size_t>(r)]);
+      pos += k;
+    }
+  });
+  // Rows are sorted, deduplicated and in range by construction (EmitRow
+  // sorts `touched`; the accumulator cannot produce a column twice); the
+  // O(nnz) serial Validate() pass is debug-only so Release keeps the
+  // parallel speedup.
+  CsrMatrix c = CsrMatrix::FromPartsUnchecked(
+      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values));
+  c.ValidateStructure(context);
+  return c;
 }
 
 }  // namespace
@@ -95,45 +186,265 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
         }
       });
 
-  // Serial prefix sum of row pointers: deterministic for any thread count.
-  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
-  for (Index r = 0; r < rows; ++r) {
-    row_ptr[static_cast<size_t>(r) + 1] =
-        row_ptr[static_cast<size_t>(r)] + row_nnz[static_cast<size_t>(r)];
-  }
-
-  // Pass 2: each worker copies its buffered rows into the final CSR at the
-  // now-known offsets.
-  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
-  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
-  ParallelFor(0, threads, threads, [&](int64_t wi) {
-    const SpGemmWorkspace& w = workspaces[static_cast<size_t>(wi)];
-    size_t pos = 0;
-    for (Index r : w.rows) {
-      const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
-      std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
-                  col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
-      std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
-                  values.begin() + row_ptr[static_cast<size_t>(r)]);
-      pos += k;
-    }
-  });
-  // Rows are sorted, deduplicated and in range by construction (ComputeRow
-  // sorts `touched` and the accumulator cannot produce a column twice); the
-  // O(nnz) serial Validate() pass is debug-only so Release keeps the
-  // parallel speedup.
-  CsrMatrix c = CsrMatrix::FromPartsUnchecked(
-      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values));
-  c.ValidateStructure("SpGemm");
-  return c;
+  // Pass 2: prefix-sum row pointers (serial, deterministic for any thread
+  // count) and copy every buffered row to its final offset in parallel.
+  return AssembleRows(rows, cols, threads, workspaces, row_nnz, "SpGemm");
 }
 
 Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const SpGemmOptions& options) {
   return SpGemm(a, a.Transpose(options.num_threads), options);
 }
 
+Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const CsrMatrix& a_transpose,
+                            const SpGemmOptions& options) {
+  if (a_transpose.rows() != a.cols() || a_transpose.cols() != a.rows() ||
+      a_transpose.nnz() != a.nnz()) {
+    return Status::InvalidArgument("SpGemmAAt: a_transpose " +
+                                   a_transpose.DebugString() +
+                                   " is not the transpose of " +
+                                   a.DebugString());
+  }
+  return SpGemm(a, a_transpose, options);
+}
+
 Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a, const SpGemmOptions& options) {
   return SpGemm(a.Transpose(options.num_threads), a, options);
+}
+
+Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a, const CsrMatrix& a_transpose,
+                            const SpGemmOptions& options) {
+  if (a_transpose.rows() != a.cols() || a_transpose.cols() != a.rows() ||
+      a_transpose.nnz() != a.nnz()) {
+    return Status::InvalidArgument("SpGemmAtA: a_transpose " +
+                                   a_transpose.DebugString() +
+                                   " is not the transpose of " +
+                                   a.DebugString());
+  }
+  return SpGemm(a_transpose, a, options);
+}
+
+Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
+                                     std::span<const Scalar> row_scale,
+                                     std::span<const Scalar> col_scale,
+                                     const SpGemmOptions& options,
+                                     const CsrMatrix* a_transpose) {
+  const Index rows = a.rows();
+  if (!row_scale.empty() &&
+      static_cast<Index>(row_scale.size()) != rows) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetric: row_scale size " +
+        std::to_string(row_scale.size()) + " != rows of " + a.DebugString());
+  }
+  if (!col_scale.empty() &&
+      static_cast<Index>(col_scale.size()) != a.cols()) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetric: col_scale size " +
+        std::to_string(col_scale.size()) + " != cols of " + a.DebugString());
+  }
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
+  CsrMatrix local_transpose;
+  if (a_transpose == nullptr) {
+    local_transpose = a.Transpose(threads);
+    a_transpose = &local_transpose;
+  } else if (a_transpose->rows() != a.cols() ||
+             a_transpose->cols() != rows ||
+             a_transpose->nnz() != a.nnz()) {
+    return Status::InvalidArgument("SpGemmAAtSymmetric: a_transpose " +
+                                   a_transpose->DebugString() +
+                                   " is not the transpose of " +
+                                   a.DebugString());
+  }
+
+  std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(rows), 0);
+  ParallelForWorkers(
+      0, rows, threads, /*grain=*/0,
+      [&](int worker, int64_t lo, int64_t hi) {
+        SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
+        w.EnsureSize(rows);
+        for (int64_t r = lo; r < hi; ++r) {
+          const size_t before = w.cols.size();
+          ComputeUpperRow(a, *a_transpose, row_scale, col_scale,
+                          static_cast<Index>(r), options, w);
+          row_nnz[static_cast<size_t>(r)] =
+              static_cast<Offset>(w.cols.size() - before);
+          w.rows.push_back(static_cast<Index>(r));
+        }
+      });
+  return AssembleRows(rows, rows, threads, workspaces, row_nnz,
+                      "SpGemmAAtSymmetric");
+}
+
+Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
+                                     const CsrMatrix& upper_c,
+                                     const SpGemmOptions& options) {
+  if (upper_b.rows() != upper_c.rows() || upper_b.cols() != upper_c.cols()) {
+    return Status::InvalidArgument("SpGemmSymmetricSum: shape mismatch " +
+                                   upper_b.DebugString() + " vs " +
+                                   upper_c.DebugString());
+  }
+  if (upper_b.rows() != upper_b.cols()) {
+    return Status::InvalidArgument(
+        "SpGemmSymmetricSum: triangles must be square, got " +
+        upper_b.DebugString());
+  }
+  const Index n = upper_b.rows();
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(n, 1)));
+
+  // Pass 1: merge + prune each upper row into per-worker buffers. The
+  // two-pointer merge visits columns in the same order as CsrMatrix::Add,
+  // so shared entries sum with identical rounding.
+  std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(n), 0);
+  ParallelForWorkers(
+      0, n, threads, /*grain=*/0, [&](int worker, int64_t lo, int64_t hi) {
+        SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
+        for (int64_t r64 = lo; r64 < hi; ++r64) {
+          const Index r = static_cast<Index>(r64);
+          const size_t before = w.cols.size();
+          auto bc = upper_b.RowCols(r);
+          auto bv = upper_b.RowValues(r);
+          auto cc = upper_c.RowCols(r);
+          auto cv = upper_c.RowValues(r);
+          size_t i = 0, j = 0;
+          while (i < bc.size() || j < cc.size()) {
+            Index col;
+            Scalar v;
+            if (j >= cc.size() || (i < bc.size() && bc[i] < cc[j])) {
+              col = bc[i];
+              v = bv[i];
+              ++i;
+            } else if (i >= bc.size() || cc[j] < bc[i]) {
+              col = cc[j];
+              v = cv[j];
+              ++j;
+            } else {
+              col = bc[i];
+              v = bv[i] + cv[j];
+              ++i;
+              ++j;
+            }
+            if (options.threshold > 0.0 && std::abs(v) < options.threshold) {
+              continue;
+            }
+            if (options.drop_diagonal && col == r) continue;
+            w.cols.push_back(col);
+            w.vals.push_back(v);
+          }
+          row_nnz[static_cast<size_t>(r)] =
+              static_cast<Offset>(w.cols.size() - before);
+          w.rows.push_back(r);
+        }
+      });
+  const CsrMatrix merged = AssembleRows(n, n, threads, workspaces, row_nnz,
+                                        "SpGemmSymmetricSum(merge)");
+  return MirrorUpperTriangle(merged, options.num_threads);
+}
+
+Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
+                                      int num_threads) {
+  if (upper.rows() != upper.cols()) {
+    return Status::InvalidArgument(
+        "MirrorUpperTriangle: matrix must be square, got " +
+        upper.DebugString());
+  }
+  const Index n = upper.rows();
+  // Columns are sorted within each row, so checking the first entry of each
+  // row suffices to reject below-diagonal input (O(n), not O(nnz)).
+  for (Index r = 0; r < n; ++r) {
+    auto cols = upper.RowCols(r);
+    if (!cols.empty() && cols.front() < r) {
+      return Status::InvalidArgument(
+          "MirrorUpperTriangle: entry (" + std::to_string(r) + "," +
+          std::to_string(cols.front()) + ") is below the diagonal");
+    }
+  }
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(num_threads), std::max<Index>(n, 1)));
+
+  // Counting pass over static row blocks (the CsrMatrix::Transpose scheme):
+  // cursor[b][c] counts the strict-upper entries with column c in block b.
+  // Each mirrored entry's final position is independent of the block
+  // partition, so the result is bit-identical for every thread count.
+  const int blocks = threads;
+  auto block_begin = [n, blocks](int b) {
+    return static_cast<Index>(static_cast<int64_t>(n) * b / blocks);
+  };
+  std::vector<Offset> cursor(
+      static_cast<size_t>(blocks) * static_cast<size_t>(n), 0);
+  ParallelFor(0, blocks, threads, [&](int64_t b) {
+    Offset* counts = cursor.data() + b * static_cast<int64_t>(n);
+    for (Index r = block_begin(static_cast<int>(b));
+         r < block_begin(static_cast<int>(b) + 1); ++r) {
+      auto cols = upper.RowCols(r);
+      for (Index c : cols) {
+        if (c > r) ++counts[static_cast<size_t>(c)];
+      }
+    }
+  });
+  // strict[r] = total mirrored (strict-lower) entries landing in row r.
+  std::vector<Offset> strict(static_cast<size_t>(n), 0);
+  ParallelFor(0, n, threads, [&](int64_t c) {
+    Offset total = 0;
+    for (int b = 0; b < blocks; ++b) {
+      total += cursor[static_cast<size_t>(b) * static_cast<size_t>(n) +
+                      static_cast<size_t>(c)];
+    }
+    strict[static_cast<size_t>(c)] = total;
+  });
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index r = 0; r < n; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] = row_ptr[static_cast<size_t>(r)] +
+                                          strict[static_cast<size_t>(r)] +
+                                          upper.RowNnz(r);
+  }
+  // Mirrored entries fill the row prefix (their columns, the source rows,
+  // are all < r); the row's own upper entries follow. Turn per-block counts
+  // into exact starting cursors within each prefix.
+  ParallelFor(0, n, threads, [&](int64_t c) {
+    Offset run = row_ptr[static_cast<size_t>(c)];
+    for (int b = 0; b < blocks; ++b) {
+      Offset& slot = cursor[static_cast<size_t>(b) * static_cast<size_t>(n) +
+                            static_cast<size_t>(c)];
+      const Offset count = slot;
+      slot = run;
+      run += count;
+    }
+  });
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  ParallelFor(0, blocks, threads, [&](int64_t b) {
+    Offset* fill = cursor.data() + b * static_cast<int64_t>(n);
+    for (Index r = block_begin(static_cast<int>(b));
+         r < block_begin(static_cast<int>(b) + 1); ++r) {
+      auto cols = upper.RowCols(r);
+      auto vals = upper.RowValues(r);
+      for (size_t p = 0; p < cols.size(); ++p) {
+        const Index c = cols[p];
+        if (c <= r) continue;
+        const Offset dst = fill[static_cast<size_t>(c)]++;
+        col_idx[static_cast<size_t>(dst)] = r;
+        values[static_cast<size_t>(dst)] = vals[p];
+      }
+    }
+  });
+  ParallelForChunked(0, n, threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const size_t k = static_cast<size_t>(upper.RowNnz(static_cast<Index>(r)));
+      const Offset dst =
+          row_ptr[static_cast<size_t>(r)] + strict[static_cast<size_t>(r)];
+      auto cols = upper.RowCols(static_cast<Index>(r));
+      auto vals = upper.RowValues(static_cast<Index>(r));
+      std::copy_n(cols.begin(), k, col_idx.begin() + dst);
+      std::copy_n(vals.begin(), k, values.begin() + dst);
+    }
+  });
+  CsrMatrix full = CsrMatrix::FromPartsUnchecked(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  full.ValidateStructure("MirrorUpperTriangle");
+  return full;
 }
 
 Offset SpGemmFlops(const CsrMatrix& a, const CsrMatrix& b) {

@@ -1,7 +1,17 @@
 // Sparse general matrix-matrix multiplication (SpGEMM) with optional
 // on-the-fly magnitude pruning — the workhorse of the Bibliometric and
 // Degree-discounted symmetrizations (Sections 3.3-3.5 of the paper).
+//
+// Two families:
+//  * the general Gustavson kernel (SpGemm / SpGemmAAt / SpGemmAtA), which
+//    computes every output entry, and
+//  * the symmetry-exploiting kernels (SpGemmAAtSymmetric,
+//    SpGemmSymmetricSum, MirrorUpperTriangle), which compute only the upper
+//    triangle of the provably symmetric similarity products and mirror it —
+//    half the flops and half the intermediate memory of the general path.
 #pragma once
+
+#include <span>
 
 #include "linalg/csr_matrix.h"
 #include "util/result.h"
@@ -41,9 +51,64 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
 Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a,
                             const SpGemmOptions& options = {});
 
+/// As above with a precomputed transpose (`a_transpose` must equal
+/// a.Transpose()); callers that already hold Aᵀ avoid re-materializing it.
+Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const CsrMatrix& a_transpose,
+                            const SpGemmOptions& options = {});
+
 /// \brief C = Aᵀ * A (co-citation pattern, Small 1973).
 Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a,
                             const SpGemmOptions& options = {});
+
+/// As above with a precomputed transpose of `a`.
+Result<CsrMatrix> SpGemmAtA(const CsrMatrix& a, const CsrMatrix& a_transpose,
+                            const SpGemmOptions& options = {});
+
+/// \brief Upper triangle of the scaled symmetric product
+/// U = D_r A D_c² Aᵀ D_r, i.e. U(i,j) = Σ_k m(i,k)·m(j,k) for j ≥ i with
+///
+///     m(i,k) = (a(i,k) * row_scale[i]) * col_scale[k]
+///
+/// evaluated on the fly against the *original* CSR — no scaled copy of A is
+/// materialized. An empty span skips that scaling entirely (factor 1). The
+/// per-term multiplication order above is exactly the order produced by
+/// ScaleRows-then-ScaleCols on a copy, so the result is bit-identical to
+/// SpGemmAAt on the scaled copy, row by row, at any thread count.
+///
+/// The product is symmetric by construction, so only entries with j ≥ i are
+/// computed and stored (roughly half the flops and memory of SpGemmAAt);
+/// `options.threshold` / `options.drop_diagonal` apply to the emitted
+/// triangle. Use MirrorUpperTriangle for the full matrix, or
+/// SpGemmSymmetricSum to combine two triangles.
+///
+/// `a_transpose` is the inverted index used for candidate generation; pass
+/// the precomputed Aᵀ to share it across products (nullptr = build
+/// internally). For the AtA pattern (C = D_r Aᵀ D_c² A D_r), call with the
+/// roles swapped: SpGemmAAtSymmetric(at, ..., &a).
+Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
+                                     std::span<const Scalar> row_scale,
+                                     std::span<const Scalar> col_scale,
+                                     const SpGemmOptions& options = {},
+                                     const CsrMatrix* a_transpose = nullptr);
+
+/// \brief Fused U = mirror(prune(B + C)) for two upper-triangle matrices:
+/// merges the triangles entrywise, applies `options.threshold` (entries with
+/// |value| < threshold dropped; threshold <= 0 keeps everything) and
+/// `options.drop_diagonal` in the same pass, then mirrors the surviving
+/// triangle into a full symmetric CSR. This replaces the reference path's
+/// separate CsrMatrix::Add and CsrMatrix::Pruned materializations.
+Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
+                                     const CsrMatrix& upper_c,
+                                     const SpGemmOptions& options = {});
+
+/// \brief Expands an upper-triangle matrix (entries with col ≥ row only)
+/// into the full symmetric CSR in a parallel two-pass assembly: per-row
+/// counts of the mirrored strict-lower part are computed over static row
+/// blocks with exact per-block placement (the CsrMatrix::Transpose scheme),
+/// so the result is bit-identical for every thread count. InvalidArgument if
+/// `upper` is not square or has an entry below the diagonal.
+Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
+                                      int num_threads = 1);
 
 /// \brief Number of multiply-adds SpGemm(a, b) would perform (the FLOP
 /// count); useful for picking thresholds and for complexity experiments.

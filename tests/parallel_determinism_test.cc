@@ -11,6 +11,7 @@
 #include "cluster/mcl.h"
 #include "cluster/mlr_mcl.h"
 #include "cluster/pipeline.h"
+#include "core/all_pairs.h"
 #include "core/symmetrize.h"
 #include "gen/lfr.h"
 #include "gen/rmat.h"
@@ -136,6 +137,52 @@ TEST_P(ParallelDeterminismTest, MlrMclMatchesSerial) {
   auto parallel = MlrMcl(*u, options);
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->labels(), parallel->labels());
+}
+
+TEST_P(ParallelDeterminismTest, AllPairsSimilarityMatchesSerial) {
+  const Digraph g = GetParam().make();
+  auto factors = BuildSimilarityFactors(
+      g, SymmetrizationMethod::kDegreeDiscounted, {});
+  ASSERT_TRUE(factors.ok());
+  for (Scalar threshold : {0.02, 0.2}) {
+    AllPairsOptions options;
+    options.threshold = threshold;
+    options.num_threads = 1;
+    AllPairsStats serial_stats;
+    auto serial = AllPairsSimilarity(factors->m, options, &serial_stats);
+    ASSERT_TRUE(serial.ok());
+    for (int threads : {8, 0, 3}) {
+      options.num_threads = threads;
+      AllPairsStats stats;
+      auto parallel = AllPairsSimilarity(factors->m, options, &stats);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(*serial, *parallel) << "threads=" << threads;
+      EXPECT_EQ(serial_stats.candidate_pairs, stats.candidate_pairs);
+      EXPECT_EQ(serial_stats.output_pairs, stats.output_pairs);
+      EXPECT_EQ(serial_stats.skipped_rows, stats.skipped_rows);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, FusedSymmetricKernelsMatchSerial) {
+  const Digraph g = GetParam().make();
+  const CsrMatrix& a = g.adjacency();
+  SpGemmOptions options;
+  options.threshold = 0.01;
+  options.num_threads = 1;
+  auto upper_serial = SpGemmAAtSymmetric(a, {}, {}, options);
+  ASSERT_TRUE(upper_serial.ok());
+  auto mirror_serial = MirrorUpperTriangle(*upper_serial, 1);
+  ASSERT_TRUE(mirror_serial.ok());
+  for (int threads : {8, 0}) {
+    options.num_threads = threads;
+    auto upper = SpGemmAAtSymmetric(a, {}, {}, options);
+    ASSERT_TRUE(upper.ok());
+    EXPECT_EQ(*upper_serial, *upper) << "threads=" << threads;
+    auto mirror = MirrorUpperTriangle(*upper, threads);
+    ASSERT_TRUE(mirror.ok());
+    EXPECT_EQ(*mirror_serial, *mirror) << "threads=" << threads;
+  }
 }
 
 TEST_P(ParallelDeterminismTest, AllSymmetrizationsMatchSerial) {

@@ -171,11 +171,12 @@ TEST(DegreeDiscountedTest, MatrixMatchesPairOracle) {
   SymmetrizationOptions options;
   auto u = SymmetrizeDegreeDiscounted(g, options);
   ASSERT_TRUE(u.ok());
+  const CsrMatrix at = g.adjacency().Transpose();
   for (Index i = 0; i < 30; ++i) {
     for (Index j = 0; j < 30; ++j) {
       if (i == j) continue;
       const Scalar expected = DegreeDiscountedSimilarity(
-          g, i, j, options.out_discount, options.in_discount);
+          g, at, i, j, options.out_discount, options.in_discount);
       EXPECT_NEAR(u->adjacency().At(i, j), expected, 1e-9)
           << "pair (" << i << "," << j << ")";
     }
