@@ -26,6 +26,7 @@
 #include "util/logging.h"
 #include "linalg/power_iteration.h"
 #include "linalg/spgemm.h"
+#include "obs/metrics.h"
 
 // Stand-in dataset scale, settable via --scale= (file-scope so the custom
 // main below can write it before benchmark registration runs).
@@ -272,6 +273,40 @@ void BM_BibliometricReference(benchmark::State& state) {
   RunBibliometric(state, SimilarityEngine::kReference);
 }
 BENCHMARK(BM_BibliometricReference)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+// Observability overhead — the same Degree-discounted run with the null
+// sink (no --report=, the library default) vs a live MetricsRegistry.
+// Interleaved by Arg so both variants see the same machine state; the
+// acceptance criterion is no measurable regression for the null sink
+// relative to the pre-instrumentation baseline, and the live sink shows
+// the true cost of recording.
+
+void RunSinkOverhead(benchmark::State& state, bool live_sink) {
+  const Dataset& d = StandIn(state.range(0));
+  SymmetrizationOptions options;
+  options.prune_threshold = 0.05;
+  for (auto _ : state) {
+    MetricsRegistry registry;
+    options.metrics = live_sink ? &registry : nullptr;
+    auto u = SymmetrizeDegreeDiscounted(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name);
+}
+
+void BM_DegreeDiscountedNullSink(benchmark::State& state) {
+  RunSinkOverhead(state, /*live_sink=*/false);
+}
+BENCHMARK(BM_DegreeDiscountedNullSink)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DegreeDiscountedLiveSink(benchmark::State& state) {
+  RunSinkOverhead(state, /*live_sink=*/true);
+}
+BENCHMARK(BM_DegreeDiscountedLiveSink)
     ->DenseRange(0, 3)
     ->Unit(benchmark::kMillisecond);
 

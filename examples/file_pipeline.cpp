@@ -3,15 +3,19 @@
 // write the cluster labels — the workflow a practitioner would run on
 // their own data.
 //
-//   $ ./file_pipeline --input=graph.txt --method=dd --algorithm=metis 
+//   $ ./file_pipeline --input=graph.txt --method=dd --algorithm=metis
 //         --clusters=64 --output=labels.txt [--metis-out=sym.graph]
 //         [--threshold=auto|<value>] [--target-degree=100]
+//         [--threads=1] [--report=run_report.json]
 #include <cstdio>
 #include <string>
 
 #include "cluster/pipeline.h"
 #include "core/threshold_select.h"
+#include "eval/record.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -28,7 +32,8 @@ int main(int argc, char** argv) {
                  "usage: file_pipeline --input=<edge-list> [--method=dd] "
                  "[--algorithm=metis|graclus|mlrmcl] [--clusters=64] "
                  "[--threshold=auto] [--target-degree=100] "
-                 "[--output=labels.txt] [--metis-out=sym.graph]\n");
+                 "[--output=labels.txt] [--metis-out=sym.graph] "
+                 "[--threads=1] [--report=run_report.json]\n");
     return 2;
   }
 
@@ -91,6 +96,13 @@ int main(int argc, char** argv) {
         opts->GetDouble("threshold", 0.0);
   }
 
+  pipeline.num_threads = static_cast<int>(opts->GetInt("threads", 1));
+  // With --report= every stage records into the registry; without it the
+  // null sink keeps the run instrumentation-free.
+  const std::string report_path = opts->GetString("report", "");
+  MetricsRegistry registry;
+  if (!report_path.empty()) pipeline.metrics = &registry;
+
   WallTimer timer;
   auto result = SymmetrizeAndCluster(*graph, pipeline);
   if (!result.ok()) {
@@ -124,6 +136,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote cluster labels to %s\n", output.c_str());
+  }
+  if (!report_path.empty()) {
+    RecordClusteringMetrics(result->symmetrized, result->clustering,
+                            &registry);
+    auto status = WriteRunReport(registry, report_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run report to %s\n", report_path.c_str());
   }
   return 0;
 }

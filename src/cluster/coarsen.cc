@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -84,6 +85,10 @@ Result<GraphLevel> ContractGraph(const CsrMatrix& adj,
 
 Result<Hierarchy> BuildHierarchy(const UGraph& g,
                                  const CoarsenOptions& options) {
+  StageSpan span(options.metrics, "coarsen");
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_nnz", g.adjacency().nnz());
+  span.Metric("target_vertices", options.target_vertices);
   Hierarchy hierarchy;
   GraphLevel finest;
   finest.adj = g.adjacency();
@@ -94,19 +99,29 @@ Result<Hierarchy> BuildHierarchy(const UGraph& g,
     GraphLevel& current = hierarchy.levels.back();
     const Index n = current.adj.rows();
     if (n <= options.target_vertices) break;
+    StageSpan level_span(options.metrics, "coarsen.level");
+    level_span.Metric("level", level);
+    level_span.Metric("fine_vertices", n);
     auto [to_coarser, num_coarse] =
         HeavyEdgeMatching(current.adj, options.seed + static_cast<uint64_t>(
                                                           level));
     if (static_cast<double>(num_coarse) >
         options.min_shrink * static_cast<double>(n)) {
+      level_span.Metric("stalled", int64_t{1});
       break;  // matching stalled
     }
     DGC_ASSIGN_OR_RETURN(GraphLevel coarse,
                          ContractGraph(current.adj, current.node_weight,
                                        to_coarser, num_coarse));
+    level_span.Metric("coarse_vertices", num_coarse);
+    level_span.Metric("coarse_nnz", coarse.adj.nnz());
+    level_span.Metric("shrink", static_cast<double>(num_coarse) /
+                                    static_cast<double>(n));
     current.to_coarser = std::move(to_coarser);
     hierarchy.levels.push_back(std::move(coarse));
   }
+  span.Metric("levels", hierarchy.NumLevels());
+  span.Metric("coarsest_vertices", hierarchy.coarsest().adj.rows());
   return hierarchy;
 }
 

@@ -12,6 +12,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 /// One level of the coarsening hierarchy. Level 0 is the input graph.
 /// Coarse adjacency keeps collapsed intra-supernode edges as *diagonal*
 /// entries so that normalized-cut degrees stay exact across levels.
@@ -40,6 +42,11 @@ struct CoarsenOptions {
   /// (matching has stalled, e.g. on star graphs).
   double min_shrink = 0.9;
   uint64_t seed = 11;
+
+  /// Optional observability sink (obs/metrics.h). When non-null
+  /// BuildHierarchy records one span per coarsening level (vertices, nnz,
+  /// shrink factor); when null — the default — no instrumentation runs.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Builds the hierarchy by repeated heavy-edge matching: vertices are

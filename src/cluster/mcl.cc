@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -217,14 +218,31 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
   const Index n = m.rows();
   const int threads = static_cast<int>(std::min<int64_t>(
       ResolveNumThreads(options.num_threads), std::max<Index>(n, 1)));
+  StageSpan span(options.metrics, "rmcl");
+  if (span.live()) {
+    span.Metric("n", n);
+    span.Metric("input_nnz", m.nnz());
+    span.Metric("inflation", options.inflation);
+    span.Metric("prune_threshold", options.prune_threshold);
+    span.Metric("max_iterations", iterations);
+  }
   std::vector<RmclWorkspace> workspaces(static_cast<size_t>(threads));
   std::vector<Offset> row_nnz(static_cast<size_t>(n), 0);
   std::vector<Scalar> row_diff(static_cast<size_t>(n), 0.0);
+  // Per-worker expanded-nnz shards (pre-prune row sizes). Row contributions
+  // are deterministic and integer addition commutes, so the per-iteration
+  // total is bit-identical across thread counts.
+  std::vector<int64_t> expanded(static_cast<size_t>(threads), 0);
+  bool converged = false;
+  int iterations_run = 0;
 
   for (int iter = 0; iter < iterations; ++iter) {
+    StageSpan iter_span(options.metrics, "rmcl.iteration");
+    iter_span.Metric("iteration", iter);
     const CsrMatrix& right = options.regularized ? mg : m;
     const int64_t stamp_base = static_cast<int64_t>(iter) * n;
     for (auto& w : workspaces) w.ClearBuffers();
+    if (span.live()) expanded.assign(expanded.size(), 0);
     // Pass 1: expand, inflate and prune each row into per-worker buffers.
     // Every quantity written (row_nnz, row_diff, the row itself) depends
     // only on the row, so dynamic chunk assignment cannot change results.
@@ -254,6 +272,10 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
                 }
                 w.accum[static_cast<size_t>(c)] += mv * rvals[j];
               }
+            }
+            if (options.metrics != nullptr) {
+              expanded[static_cast<size_t>(worker)] +=
+                  static_cast<int64_t>(w.touched.size());
             }
             w.row_cols.assign(w.touched.begin(), w.touched.end());
             w.row_vals.resize(w.touched.size());
@@ -328,9 +350,25 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
                                       std::move(new_cols),
                                       std::move(new_vals));
     m.ValidateStructure("RmclIterate");
-    if (total_diff / static_cast<Scalar>(n) < options.convergence_tol) {
+    ++iterations_run;
+    const Scalar residual = total_diff / static_cast<Scalar>(n);
+    if (iter_span.live()) {
+      int64_t expanded_nnz = 0;
+      for (const int64_t e : expanded) expanded_nnz += e;
+      iter_span.Metric("expanded_nnz", expanded_nnz);
+      iter_span.Metric("nnz", m.nnz());
+      iter_span.Metric("residual", residual);
+      iter_span.PerfMetric("workers", threads);
+    }
+    if (residual < options.convergence_tol) {
+      converged = true;
       break;
     }
+  }
+  if (span.live()) {
+    span.Metric("iterations_run", iterations_run);
+    span.Metric("converged", static_cast<int64_t>(converged));
+    span.Metric("output_nnz", m.nnz());
   }
   return m;
 }

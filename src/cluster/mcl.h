@@ -19,6 +19,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 struct RmclOptions {
   /// Inflation exponent r; larger r => more, smaller clusters.
   double inflation = 2.0;
@@ -41,6 +43,11 @@ struct RmclOptions {
   /// thread per hardware core. The flow matrix is bit-identical for every
   /// setting.
   int num_threads = 1;
+
+  /// Optional observability sink (obs/metrics.h). When non-null RmclIterate
+  /// records one span per iteration (flow nnz, expanded nnz, convergence
+  /// residual); when null — the default — no instrumentation runs at all.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Row-stochastic flow matrix M_G of g: adjacency plus scaled self-loops,

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -85,9 +86,20 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot cluster an empty graph");
   }
+  StageSpan span(options.metrics, "mlr_mcl");
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_nnz", g.adjacency().nnz());
+  // The sink is propagated like `seed`: a pipeline-level registry overrides
+  // whatever the nested structs carry, so the whole run lands in one tree.
+  RmclOptions rmcl = options.rmcl;
   CoarsenOptions coarsen = options.coarsen;
   coarsen.seed = options.seed;
+  if (options.metrics != nullptr) {
+    rmcl.metrics = options.metrics;
+    coarsen.metrics = options.metrics;
+  }
   DGC_ASSIGN_OR_RETURN(Hierarchy hierarchy, BuildHierarchy(g, coarsen));
+  span.Metric("levels", hierarchy.NumLevels());
 
   // Flow matrices of every level (M_G per level, self-loops already on the
   // diagonal of coarse levels from contraction).
@@ -95,34 +107,48 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
   flow_graphs.reserve(static_cast<size_t>(hierarchy.NumLevels()));
   for (const GraphLevel& level : hierarchy.levels) {
     flow_graphs.push_back(BuildFlowMatrixFromAdjacency(
-        level.adj, options.rmcl.self_loop_scale, options.rmcl.num_threads));
+        level.adj, rmcl.self_loop_scale, rmcl.num_threads));
   }
 
   // Converge on the coarsest level starting from M = M_G.
   const int last = hierarchy.NumLevels() - 1;
-  DGC_ASSIGN_OR_RETURN(
-      CsrMatrix flow,
-      RmclIterate(flow_graphs[static_cast<size_t>(last)],
-                  flow_graphs[static_cast<size_t>(last)], options.rmcl,
-                  options.coarsest_iterations));
+  CsrMatrix flow;
+  {
+    StageSpan coarsest_span(options.metrics, "coarsest_solve");
+    coarsest_span.Metric("level", last);
+    coarsest_span.Metric(
+        "n", flow_graphs[static_cast<size_t>(last)].rows());
+    DGC_ASSIGN_OR_RETURN(
+        flow, RmclIterate(flow_graphs[static_cast<size_t>(last)],
+                          flow_graphs[static_cast<size_t>(last)], rmcl,
+                          options.coarsest_iterations));
+  }
 
   // Project and refine through the finer levels.
   for (int level = last - 1; level >= 0; --level) {
+    StageSpan level_span(options.metrics, "refine_level");
+    level_span.Metric("level", level);
     const GraphLevel& fine = hierarchy.levels[static_cast<size_t>(level)];
-    DGC_ASSIGN_OR_RETURN(flow,
-                         ProjectFlow(flow, fine.to_coarser, fine.adj.rows(),
-                                     options.rmcl.num_threads));
+    level_span.Metric("n", fine.adj.rows());
+    {
+      StageSpan project_span(options.metrics, "project_flow");
+      DGC_ASSIGN_OR_RETURN(
+          flow, ProjectFlow(flow, fine.to_coarser, fine.adj.rows(),
+                            rmcl.num_threads));
+      project_span.Metric("nnz", flow.nnz());
+    }
     int iterations = options.iterations_per_level;
     if (level == 0) iterations += options.finest_extra_iterations;
     DGC_ASSIGN_OR_RETURN(
         flow, RmclIterate(std::move(flow),
-                          flow_graphs[static_cast<size_t>(level)],
-                          options.rmcl, iterations));
+                          flow_graphs[static_cast<size_t>(level)], rmcl,
+                          iterations));
   }
   Clustering clustering = FlowToClustering(flow);
   if (options.min_cluster_size > 1) {
     MergeSmallClusters(g, options.min_cluster_size, &clustering);
   }
+  span.Metric("num_clusters", clustering.NumClusters());
   return clustering;
 }
 

@@ -33,6 +33,13 @@ struct MlrMclOptions {
   /// mechanism.
   Index min_cluster_size = 0;
   uint64_t seed = 23;
+
+  /// Optional observability sink (obs/metrics.h), propagated into the
+  /// coarsening and R-MCL stages (overriding rmcl.metrics/coarsen.metrics,
+  /// the way `seed` is propagated). When non-null MlrMcl records spans for
+  /// coarsening, the coarsest solve and each refinement level; when null —
+  /// the default — no instrumentation runs at all.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Clusters g with MLR-MCL. The number of output clusters is

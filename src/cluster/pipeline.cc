@@ -1,5 +1,6 @@
 #include "cluster/pipeline.h"
 
+#include "obs/span.h"
 #include "util/timer.h"
 
 namespace dgc {
@@ -18,36 +19,63 @@ std::string_view ClusterAlgorithmName(ClusterAlgorithm algorithm) {
 
 namespace {
 
-/// Applies the pipeline-wide num_threads override to the per-stage options
-/// (no-op at the default of 1, so explicit per-stage settings survive).
-PipelineOptions ResolveThreadOverrides(const PipelineOptions& options) {
+/// Applies the pipeline-wide num_threads and metrics overrides to the
+/// per-stage options (num_threads is a no-op at the default of 1, so
+/// explicit per-stage settings survive; a non-null pipeline metrics sink
+/// always wins, so one registry collects the whole run).
+PipelineOptions ResolveOverrides(const PipelineOptions& options) {
   PipelineOptions resolved = options;
   if (options.num_threads != 1) {
     resolved.symmetrization.num_threads = options.num_threads;
     resolved.mlr_mcl.rmcl.num_threads = options.num_threads;
   }
+  if (options.metrics != nullptr) {
+    resolved.symmetrization.metrics = options.metrics;
+    resolved.mlr_mcl.metrics = options.metrics;
+  }
   return resolved;
+}
+
+Result<Clustering> ClusterResolved(const UGraph& g,
+                                   const PipelineOptions& resolved) {
+  StageSpan span(resolved.metrics, "cluster");
+  span.Metric("algorithm", ClusterAlgorithmName(resolved.algorithm));
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_nnz", g.adjacency().nnz());
+  Result<Clustering> clustering = [&]() -> Result<Clustering> {
+    switch (resolved.algorithm) {
+      case ClusterAlgorithm::kMlrMcl:
+        return MlrMcl(g, resolved.mlr_mcl);
+      case ClusterAlgorithm::kMetis:
+        return MetisPartition(g, resolved.metis);
+      case ClusterAlgorithm::kGraclus:
+        return GraclusCluster(g, resolved.graclus);
+    }
+    return Status::InvalidArgument("unknown clustering algorithm");
+  }();
+  if (clustering.ok()) {
+    span.Metric("num_clusters", clustering->NumClusters());
+  }
+  return clustering;
 }
 
 }  // namespace
 
 Result<Clustering> ClusterUGraph(const UGraph& g,
                                  const PipelineOptions& options) {
-  const PipelineOptions resolved = ResolveThreadOverrides(options);
-  switch (resolved.algorithm) {
-    case ClusterAlgorithm::kMlrMcl:
-      return MlrMcl(g, resolved.mlr_mcl);
-    case ClusterAlgorithm::kMetis:
-      return MetisPartition(g, resolved.metis);
-    case ClusterAlgorithm::kGraclus:
-      return GraclusCluster(g, resolved.graclus);
-  }
-  return Status::InvalidArgument("unknown clustering algorithm");
+  return ClusterResolved(g, ResolveOverrides(options));
 }
 
 Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
                                             const PipelineOptions& options) {
-  const PipelineOptions resolved = ResolveThreadOverrides(options);
+  const PipelineOptions resolved = ResolveOverrides(options);
+  StageSpan pipeline_span(resolved.metrics, "pipeline");
+  pipeline_span.Metric("method", SymmetrizationMethodName(resolved.method));
+  pipeline_span.Metric("algorithm",
+                       ClusterAlgorithmName(resolved.algorithm));
+  pipeline_span.Metric("input_vertices", g.NumVertices());
+  pipeline_span.Metric("input_arcs", g.NumEdges());
+
   PipelineResult result;
   WallTimer timer;
   DGC_ASSIGN_OR_RETURN(
@@ -57,9 +85,10 @@ Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
 
   timer.Restart();
   DGC_ASSIGN_OR_RETURN(result.clustering,
-                       ClusterUGraph(result.symmetrized, resolved));
+                       ClusterResolved(result.symmetrized, resolved));
   result.cluster_seconds = timer.ElapsedSeconds();
   result.num_clusters = result.clustering.NumClusters();
+  pipeline_span.Metric("num_clusters", result.num_clusters);
   return result;
 }
 

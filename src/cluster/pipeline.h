@@ -17,6 +17,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 /// Stage-2 clustering algorithm selector.
 enum class ClusterAlgorithm {
   kMlrMcl,
@@ -41,6 +43,15 @@ struct PipelineOptions {
   /// single-threaded timing semantics. Clustering results are
   /// bit-identical for every setting.
   int num_threads = 1;
+
+  /// Optional observability sink (obs/metrics.h). When non-null the
+  /// pipeline records a span tree covering both stages — symmetrization
+  /// nnz/prune counters, kernel spans, per-iteration MLR-MCL stats — which
+  /// obs/report.h can serialize to JSON. The pointer is propagated to every
+  /// per-stage options struct (overriding their own `metrics` fields, like
+  /// num_threads). Null — the default — disables all instrumentation at
+  /// zero cost.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct PipelineResult {

@@ -1,13 +1,23 @@
 #include "core/symmetrize.h"
+#include "obs/span.h"
 
 namespace dgc {
 
-Result<UGraph> SymmetrizeAPlusAT(const Digraph& g) {
+Result<UGraph> SymmetrizeAPlusAT(const Digraph& g,
+                                 const SymmetrizationOptions& options) {
+  StageSpan span(options.metrics, "symmetrize");
+  span.Metric("method", SymmetrizationMethodName(SymmetrizationMethod::kAPlusAT));
   const CsrMatrix& a = g.adjacency();
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_arcs", a.nnz());
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(a, a.Transpose()));
   u.ValidateStructure("SymmetrizeAPlusAT");
-  return UGraph::FromSymmetricAdjacency(std::move(u),
-                                        /*drop_self_loops=*/true);
+  DGC_ASSIGN_OR_RETURN(
+      UGraph ug, UGraph::FromSymmetricAdjacency(std::move(u),
+                                                /*drop_self_loops=*/true));
+  span.Metric("output_nnz", ug.adjacency().nnz());
+  span.Metric("output_edges", ug.NumEdges());
+  return ug;
 }
 
 }  // namespace dgc

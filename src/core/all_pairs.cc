@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace dgc {
@@ -113,6 +114,12 @@ Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
   const Index rows = m.rows();
   const int threads = static_cast<int>(std::min<int64_t>(
       ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
+  StageSpan span(options.metrics, "all_pairs");
+  if (span.live()) {
+    span.Metric("rows", rows);
+    span.Metric("input_nnz", m.nnz());
+    span.Metric("threshold", options.threshold);
+  }
 
   // Inverted index = Mᵀ (rows of mt are the columns of m).
   const CsrMatrix mt = m.Transpose(threads);
@@ -171,14 +178,21 @@ Result<CsrMatrix> AllPairsSimilarity(const CsrMatrix& m,
       pos += k;
     }
   });
-  if (stats != nullptr) {
+  if (stats != nullptr || span.live()) {
     AllPairsStats merged;
     for (const AllPairsWorkspace& w : workspaces) {
       merged.candidate_pairs += w.stats.candidate_pairs;
       merged.output_pairs += w.stats.output_pairs;
       merged.skipped_rows += w.stats.skipped_rows;
     }
-    *stats = merged;
+    if (stats != nullptr) *stats = merged;
+    if (span.live()) {
+      span.Metric("candidate_pairs", merged.candidate_pairs);
+      span.Metric("output_pairs", merged.output_pairs);
+      span.Metric("skipped_rows", merged.skipped_rows);
+      span.Metric("output_nnz", row_ptr.back());
+      span.PerfMetric("workers", threads);
+    }
   }
   // Correct by construction: rows emitted in order, `touched` sorted before
   // the output pass, every j < rows.

@@ -19,6 +19,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 struct AllPairsOptions {
   /// Similarity threshold t > 0; pairs strictly below t are dropped.
   Scalar threshold = 0.1;
@@ -29,6 +31,11 @@ struct AllPairsOptions {
   /// AllPairsStats are bit-identical for every setting: rows are
   /// independent, and the stats are sums of per-row integer counts.
   int num_threads = 1;
+
+  /// Optional observability sink (obs/metrics.h). When non-null the search
+  /// records a span carrying the AllPairsStats counters; when null — the
+  /// default — no instrumentation runs at all.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Computes the thresholded self-similarity S = M Mᵀ (entries >= t

@@ -1,6 +1,7 @@
 #include "core/symmetrize.h"
 
 #include "linalg/spgemm.h"
+#include "obs/span.h"
 
 namespace dgc {
 
@@ -16,7 +17,10 @@ Result<CsrMatrix> BibliometricReference(const CsrMatrix& a,
   DGC_ASSIGN_OR_RETURN(CsrMatrix cocitation, SpGemmAtA(a, product_options));
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(coupling, cocitation));
   if (options.prune_threshold > 0.0) {
+    StageSpan prune_span(options.metrics, "prune");
+    const Offset before = u.nnz();
     u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
+    prune_span.Metric("pruned_entries", before - u.nnz());
   }
   return u;
 }
@@ -30,7 +34,12 @@ Result<CsrMatrix> BibliometricReference(const CsrMatrix& a,
 Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
                                     const SymmetrizationOptions& options,
                                     const SpGemmOptions& product_options) {
-  const CsrMatrix at = a.Transpose(options.num_threads);
+  CsrMatrix at;
+  {
+    StageSpan transpose_span(options.metrics, "transpose");
+    at = a.Transpose(options.num_threads);
+    transpose_span.Metric("nnz", at.nnz());
+  }
   DGC_ASSIGN_OR_RETURN(
       CsrMatrix coupling_upper,
       SpGemmAAtSymmetric(a, {}, {}, product_options, &at));
@@ -41,6 +50,7 @@ Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
   sum_options.threshold = options.prune_threshold;
   sum_options.drop_diagonal = true;
   sum_options.num_threads = options.num_threads;
+  sum_options.metrics = options.metrics;
   return SpGemmSymmetricSum(coupling_upper, cocitation_upper, sum_options);
 }
 
@@ -51,6 +61,15 @@ Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot symmetrize an empty graph");
   }
+  StageSpan span(options.metrics, "symmetrize");
+  span.Metric("method",
+              SymmetrizationMethodName(SymmetrizationMethod::kBibliometric));
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_arcs", g.NumEdges());
+  span.Metric("prune_threshold", options.prune_threshold);
+  span.Metric("engine", options.engine == SimilarityEngine::kFused
+                            ? "fused"
+                            : "reference");
   CsrMatrix a = g.adjacency();
   if (options.add_self_loops) {
     DGC_ASSIGN_OR_RETURN(a, a.PlusIdentity());
@@ -65,14 +84,19 @@ Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
   product_options.threshold = options.prune_threshold / 2.0;
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
+  product_options.metrics = options.metrics;
 
   DGC_ASSIGN_OR_RETURN(
       CsrMatrix u, options.engine == SimilarityEngine::kFused
                        ? BibliometricFused(a, options, product_options)
                        : BibliometricReference(a, options, product_options));
   u.ValidateStructure("SymmetrizeBibliometric");
-  return UGraph::FromSymmetricAdjacency(std::move(u),
-                                        /*drop_self_loops=*/true);
+  DGC_ASSIGN_OR_RETURN(
+      UGraph ug, UGraph::FromSymmetricAdjacency(std::move(u),
+                                                /*drop_self_loops=*/true));
+  span.Metric("output_nnz", ug.adjacency().nnz());
+  span.Metric("output_edges", ug.NumEdges());
+  return ug;
 }
 
 }  // namespace dgc

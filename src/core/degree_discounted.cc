@@ -3,6 +3,7 @@
 #include "core/symmetrize.h"
 #include "linalg/spgemm.h"
 #include "linalg/vector_ops.h"
+#include "obs/span.h"
 
 namespace dgc {
 
@@ -23,13 +24,17 @@ Result<CsrMatrix> DegreeDiscountedReference(
   product_options.threshold = options.prune_threshold / 2.0;
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
+  product_options.metrics = options.metrics;
 
   DGC_ASSIGN_OR_RETURN(CsrMatrix bd, SpGemmAAt(factors.m, product_options));
   DGC_ASSIGN_OR_RETURN(CsrMatrix cd, SpGemmAtA(factors.n, product_options));
 
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(bd, cd));
   if (options.prune_threshold > 0.0) {
+    StageSpan prune_span(options.metrics, "prune");
+    const Offset before = u.nnz();
     u = u.Pruned(options.prune_threshold, /*drop_diagonal=*/true);
+    prune_span.Metric("pruned_entries", before - u.nnz());
   }
   return u;
 }
@@ -45,7 +50,12 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   if (options.add_self_loops) {
     DGC_ASSIGN_OR_RETURN(a, a.PlusIdentity());
   }
-  const CsrMatrix at = a.Transpose(options.num_threads);
+  CsrMatrix at;
+  {
+    StageSpan transpose_span(options.metrics, "transpose");
+    at = a.Transpose(options.num_threads);
+    transpose_span.Metric("nnz", at.nnz());
+  }
   const std::vector<Offset> out_deg = a.RowCounts();
   const std::vector<Offset> in_deg = a.ColCounts();
   const std::vector<Scalar> so = DiscountFactors(out_deg, options.out_discount);
@@ -57,6 +67,7 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   product_options.threshold = options.prune_threshold / 2.0;
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
+  product_options.metrics = options.metrics;
 
   // Upper triangles of B_d (out-link similarity, factor (a·so_i)·√si_k) and
   // C_d (in-link similarity, factor (aᵀ·si_i)·√so_k) — the same per-entry
@@ -73,6 +84,7 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   sum_options.threshold = options.prune_threshold;
   sum_options.drop_diagonal = true;
   sum_options.num_threads = options.num_threads;
+  sum_options.metrics = options.metrics;
   return SpGemmSymmetricSum(bd_upper, cd_upper, sum_options);
 }
 
@@ -83,13 +95,26 @@ Result<UGraph> SymmetrizeDegreeDiscounted(
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot symmetrize an empty graph");
   }
+  StageSpan span(options.metrics, "symmetrize");
+  span.Metric("method", SymmetrizationMethodName(
+                            SymmetrizationMethod::kDegreeDiscounted));
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_arcs", g.NumEdges());
+  span.Metric("prune_threshold", options.prune_threshold);
+  span.Metric("engine", options.engine == SimilarityEngine::kFused
+                            ? "fused"
+                            : "reference");
   DGC_ASSIGN_OR_RETURN(CsrMatrix u,
                        options.engine == SimilarityEngine::kFused
                            ? DegreeDiscountedFused(g, options)
                            : DegreeDiscountedReference(g, options));
   u.ValidateStructure("SymmetrizeDegreeDiscounted");
-  return UGraph::FromSymmetricAdjacency(std::move(u),
-                                        /*drop_self_loops=*/true);
+  DGC_ASSIGN_OR_RETURN(
+      UGraph ug, UGraph::FromSymmetricAdjacency(std::move(u),
+                                                /*drop_self_loops=*/true));
+  span.Metric("output_nnz", ug.adjacency().nnz());
+  span.Metric("output_edges", ug.NumEdges());
+  return ug;
 }
 
 Result<SimilarityFactors> BuildSimilarityFactors(

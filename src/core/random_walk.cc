@@ -1,6 +1,7 @@
 #include "core/symmetrize.h"
 
 #include "linalg/power_iteration.h"
+#include "obs/span.h"
 
 namespace dgc {
 
@@ -9,8 +10,15 @@ Result<UGraph> SymmetrizeRandomWalk(const Digraph& g,
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot symmetrize an empty graph");
   }
+  StageSpan span(options.metrics, "symmetrize");
+  span.Metric("method",
+              SymmetrizationMethodName(SymmetrizationMethod::kRandomWalk));
+  span.Metric("input_vertices", g.NumVertices());
+  span.Metric("input_arcs", g.NumEdges());
   DGC_ASSIGN_OR_RETURN(PageRankResult pr,
                        PageRank(g.adjacency(), options.pagerank));
+  span.Metric("pagerank_iterations", pr.iterations);
+  span.Metric("pagerank_converged", static_cast<int64_t>(pr.converged));
   // M = Pi * P: row i of the transition matrix scaled by pi(i).
   CsrMatrix m = RowStochastic(g.adjacency());
   m.ScaleRows(pr.pi);
@@ -18,8 +26,12 @@ Result<UGraph> SymmetrizeRandomWalk(const Digraph& g,
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(m, m.Transpose()));
   for (Scalar& v : u.mutable_values()) v *= 0.5;
   u.ValidateStructure("SymmetrizeRandomWalk");
-  return UGraph::FromSymmetricAdjacency(std::move(u),
-                                        /*drop_self_loops=*/true);
+  DGC_ASSIGN_OR_RETURN(
+      UGraph ug, UGraph::FromSymmetricAdjacency(std::move(u),
+                                                /*drop_self_loops=*/true));
+  span.Metric("output_nnz", ug.adjacency().nnz());
+  span.Metric("output_edges", ug.NumEdges());
+  return ug;
 }
 
 }  // namespace dgc

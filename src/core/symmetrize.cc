@@ -47,7 +47,7 @@ Result<UGraph> Symmetrize(const Digraph& g, SymmetrizationMethod method,
                           const SymmetrizationOptions& options) {
   switch (method) {
     case SymmetrizationMethod::kAPlusAT:
-      return SymmetrizeAPlusAT(g);
+      return SymmetrizeAPlusAT(g, options);
     case SymmetrizationMethod::kRandomWalk:
       return SymmetrizeRandomWalk(g, options);
     case SymmetrizationMethod::kBibliometric:

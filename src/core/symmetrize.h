@@ -23,6 +23,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 /// Identifies a symmetrization method.
 enum class SymmetrizationMethod {
   kAPlusAT,
@@ -93,10 +95,19 @@ struct SymmetrizationOptions {
   /// Degree-discounted). kFused and kReference produce bit-identical
   /// graphs; kReference exists as the test oracle and for perf comparison.
   SimilarityEngine engine = SimilarityEngine::kFused;
+
+  /// Optional observability sink (obs/metrics.h). When non-null each
+  /// symmetrization records a stage span with input/output nnz, the prune
+  /// threshold, pruned-entry counts and the engine used; when null — the
+  /// default — no instrumentation runs at all.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// U = A + Aᵀ. Reciprocal edge pairs sum their weights (Section 3.1).
-Result<UGraph> SymmetrizeAPlusAT(const Digraph& g);
+/// Options are accepted for the shared `metrics` sink; the method itself
+/// has no tuning knobs (it keeps the input edge set by construction).
+Result<UGraph> SymmetrizeAPlusAT(const Digraph& g,
+                                 const SymmetrizationOptions& options = {});
 
 /// U = (ΠP + PᵀΠ)/2 with P the row-stochastic walk matrix and Π = diag(π)
 /// its stationary distribution (Section 3.2). Undirected Ncut on U equals

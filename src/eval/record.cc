@@ -1,0 +1,25 @@
+#include "eval/record.h"
+
+#include "eval/modularity.h"
+#include "eval/ncut.h"
+#include "obs/metrics.h"
+
+namespace dgc {
+
+void RecordClusteringMetrics(const UGraph& g, const Clustering& clustering,
+                             MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->SetGauge("eval.modularity", Modularity(g, clustering));
+  registry->SetGauge("eval.avg_ncut", NormalizedCut(g, clustering));
+  registry->SetGauge("eval.num_clusters",
+                     static_cast<double>(clustering.NumClusters()));
+  // Sizes span orders of magnitude; 16 exponential buckets cover
+  // [1, 2^16) with one overflow bucket beyond.
+  Histogram sizes = Histogram::Exponential(1.0, 2.0, 16);
+  for (const Index size : clustering.ClusterSizes()) {
+    sizes.Observe(static_cast<double>(size));
+  }
+  registry->MergeHistogram("eval.cluster_size", sizes);
+}
+
+}  // namespace dgc

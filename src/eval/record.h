@@ -1,0 +1,23 @@
+// Records clustering quality metrics into a MetricsRegistry so that
+// end-of-run evaluation shows up in the same RunReport as the pipeline
+// stages: modularity and average Ncut as gauges, the number of clusters as
+// a counter-style gauge, and the cluster-size distribution as an
+// exponential-bucket histogram. Every recorded quantity is a deterministic
+// function of the graph and the clustering, so reports stay bit-identical
+// across thread counts.
+#pragma once
+
+#include "graph/clustering.h"
+#include "graph/ugraph.h"
+
+namespace dgc {
+
+class MetricsRegistry;
+
+/// Records `eval.modularity`, `eval.avg_ncut`, `eval.num_clusters` gauges
+/// and the `eval.cluster_size` histogram for `clustering` on `g`. A null
+/// registry is a no-op (the library-wide null-sink convention).
+void RecordClusteringMetrics(const UGraph& g, const Clustering& clustering,
+                             MetricsRegistry* registry);
+
+}  // namespace dgc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +22,10 @@ struct SpGemmWorkspace {
   std::vector<Index> rows;   ///< output rows buffered by this worker
   std::vector<Index> cols;   ///< their column indices, concatenated
   std::vector<Scalar> vals;  ///< their values, concatenated
+  /// Entries dropped by the threshold filter. Each row's count is
+  /// deterministic and the shards merge by addition, so the total is
+  /// bit-identical for every thread count (the AllPairsStats pattern).
+  int64_t dropped = 0;
 
   void EnsureSize(Index n) {
     if (static_cast<Index>(marker.size()) < n) {
@@ -37,7 +42,10 @@ void EmitRow(Index row, const SpGemmOptions& options, SpGemmWorkspace& w) {
   std::sort(w.touched.begin(), w.touched.end());
   for (Index c : w.touched) {
     const Scalar v = w.accum[static_cast<size_t>(c)];
-    if (std::abs(v) < options.threshold) continue;
+    if (std::abs(v) < options.threshold) {
+      ++w.dropped;
+      continue;
+    }
     if (options.drop_diagonal && c == row) continue;
     w.cols.push_back(c);
     w.vals.push_back(v);
@@ -154,6 +162,27 @@ CsrMatrix AssembleRows(Index rows, Index cols, int threads,
   return c;
 }
 
+/// Attaches the shared post-pass-1 instrumentation: deterministic
+/// pruned-entry total plus the perf-class worker load picture. No-op on a
+/// dead span.
+void RecordPassStats(StageSpan& span,
+                     const std::vector<SpGemmWorkspace>& workspaces,
+                     int threads) {
+  if (!span.live()) return;
+  int64_t dropped = 0;
+  size_t rows_min = static_cast<size_t>(-1);
+  size_t rows_max = 0;
+  for (const SpGemmWorkspace& w : workspaces) {
+    dropped += w.dropped;
+    rows_min = std::min(rows_min, w.rows.size());
+    rows_max = std::max(rows_max, w.rows.size());
+  }
+  span.Metric("pruned_entries", dropped);
+  span.PerfMetric("workers", threads);
+  span.PerfMetric("rows_per_worker_min", static_cast<int64_t>(rows_min));
+  span.PerfMetric("rows_per_worker_max", static_cast<int64_t>(rows_max));
+}
+
 }  // namespace
 
 Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
@@ -167,6 +196,14 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
   const Index cols = b.cols();
   const int threads = static_cast<int>(std::min<int64_t>(
       ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
+  StageSpan span(options.metrics, "spgemm");
+  if (span.live()) {
+    span.Metric("rows", rows);
+    span.Metric("cols", cols);
+    span.Metric("threshold", options.threshold);
+    // O(nnz(A)) estimate — computed only when a sink is attached.
+    span.Metric("flops", SpGemmFlops(a, b));
+  }
 
   // Pass 1: compute every output row into per-worker buffers, recording the
   // per-row nnz. Dynamic chunking keeps hub rows from imbalancing workers.
@@ -188,7 +225,11 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
 
   // Pass 2: prefix-sum row pointers (serial, deterministic for any thread
   // count) and copy every buffered row to its final offset in parallel.
-  return AssembleRows(rows, cols, threads, workspaces, row_nnz, "SpGemm");
+  RecordPassStats(span, workspaces, threads);
+  CsrMatrix c = AssembleRows(rows, cols, threads, workspaces, row_nnz,
+                             "SpGemm");
+  span.Metric("output_nnz", c.nnz());
+  return c;
 }
 
 Result<CsrMatrix> SpGemmAAt(const CsrMatrix& a, const SpGemmOptions& options) {
@@ -255,6 +296,14 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
                                    " is not the transpose of " +
                                    a.DebugString());
   }
+  StageSpan span(options.metrics, "spgemm.aat_symmetric");
+  if (span.live()) {
+    span.Metric("rows", rows);
+    span.Metric("threshold", options.threshold);
+    // Full-product multiply-add count; the upper-triangle kernel performs
+    // roughly half of it. O(nnz(A)) — computed only when a sink is attached.
+    span.Metric("flops_full_product", SpGemmFlops(a, *a_transpose));
+  }
 
   std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
   std::vector<Offset> row_nnz(static_cast<size_t>(rows), 0);
@@ -272,8 +321,11 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
           w.rows.push_back(static_cast<Index>(r));
         }
       });
-  return AssembleRows(rows, rows, threads, workspaces, row_nnz,
-                      "SpGemmAAtSymmetric");
+  RecordPassStats(span, workspaces, threads);
+  CsrMatrix upper = AssembleRows(rows, rows, threads, workspaces, row_nnz,
+                                 "SpGemmAAtSymmetric");
+  span.Metric("output_nnz", upper.nnz());
+  return upper;
 }
 
 Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
@@ -292,6 +344,12 @@ Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
   const Index n = upper_b.rows();
   const int threads = static_cast<int>(std::min<int64_t>(
       ResolveNumThreads(options.num_threads), std::max<Index>(n, 1)));
+  StageSpan span(options.metrics, "spgemm.symmetric_sum");
+  if (span.live()) {
+    span.Metric("input_nnz_b", upper_b.nnz());
+    span.Metric("input_nnz_c", upper_c.nnz());
+    span.Metric("threshold", options.threshold);
+  }
 
   // Pass 1: merge + prune each upper row into per-worker buffers. The
   // two-pointer merge visits columns in the same order as CsrMatrix::Add,
@@ -327,6 +385,7 @@ Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
               ++j;
             }
             if (options.threshold > 0.0 && std::abs(v) < options.threshold) {
+              ++w.dropped;
               continue;
             }
             if (options.drop_diagonal && col == r) continue;
@@ -338,9 +397,12 @@ Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
           w.rows.push_back(r);
         }
       });
+  RecordPassStats(span, workspaces, threads);
   const CsrMatrix merged = AssembleRows(n, n, threads, workspaces, row_nnz,
                                         "SpGemmSymmetricSum(merge)");
-  return MirrorUpperTriangle(merged, options.num_threads);
+  Result<CsrMatrix> full = MirrorUpperTriangle(merged, options.num_threads);
+  if (full.ok()) span.Metric("output_nnz", full->nnz());
+  return full;
 }
 
 Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,

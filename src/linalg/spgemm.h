@@ -18,6 +18,8 @@
 
 namespace dgc {
 
+class MetricsRegistry;
+
 /// Options controlling SpGEMM output filtering.
 struct SpGemmOptions {
   /// Entries with |value| < threshold are dropped from the product as each
@@ -32,6 +34,11 @@ struct SpGemmOptions {
   /// paper's single-threaded setup; 0 uses one thread per hardware core.
   /// The product is bit-identical for every setting.
   int num_threads = 1;
+
+  /// Optional observability sink (obs/metrics.h). When non-null each kernel
+  /// records a stage span (output nnz, pruned-entry counts, flops estimate);
+  /// when null — the default — no instrumentation runs at all.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief C = A * B using Gustavson's algorithm with a dense accumulator.

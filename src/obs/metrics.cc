@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  DGC_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end(),
+                           [](double a, double b) { return a <= b; }))
+      << "Histogram bounds must be strictly increasing";
+}
+
+Histogram Histogram::Exponential(double start, double factor, int count) {
+  DGC_CHECK_GT(start, 0.0);
+  DGC_CHECK_GT(factor, 1.0);
+  DGC_CHECK_GT(count, 0);
+  std::vector<double> bounds(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[static_cast<size_t>(i)] = bound;
+    bound *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  ++counts_[bucket];
+  ++total_count_;
+  sum_ += value;
+}
+
+Status Histogram::Merge(const Histogram& other) {
+  if (other.upper_bounds_ != upper_bounds_) {
+    return Status::InvalidArgument(
+        "Histogram::Merge: bucket bounds differ (" +
+        std::to_string(upper_bounds_.size()) + " vs " +
+        std::to_string(other.upper_bounds_.size()) + " bounds)");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+  return Status::OK();
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::MergeHistogram(std::string_view name,
+                                     const Histogram& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), shard);
+    return;
+  }
+  const Status merged = it->second.Merge(shard);
+  DGC_DCHECK(merged.ok()) << "MergeHistogram(" << std::string(name)
+                          << "): " << merged;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, Histogram> MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+std::vector<SpanNode> MetricsRegistry::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+int MetricsRegistry::OpenSpan(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int node = static_cast<int>(spans_.size());
+  SpanNode span;
+  span.name = std::string(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  spans_.push_back(std::move(span));
+  if (!open_stack_.empty()) {
+    spans_[static_cast<size_t>(open_stack_.back())].children.push_back(node);
+  }
+  open_stack_.push_back(node);
+  return node;
+}
+
+void MetricsRegistry::CloseSpan(int node, double wall_seconds,
+                                double cpu_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DGC_CHECK(!open_stack_.empty() && open_stack_.back() == node)
+      << "CloseSpan(" << node << "): spans must close innermost-first";
+  open_stack_.pop_back();
+  SpanNode& span = spans_[static_cast<size_t>(node)];
+  span.wall_seconds = wall_seconds;
+  span.cpu_seconds = cpu_seconds;
+}
+
+void MetricsRegistry::SpanMetric(int node, std::string_view key,
+                                 SpanValue value, bool perf) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DGC_CHECK_GE(node, 0);
+  DGC_CHECK_LT(static_cast<size_t>(node), spans_.size());
+  auto& list = perf ? spans_[static_cast<size_t>(node)].perf
+                    : spans_[static_cast<size_t>(node)].metrics;
+  for (auto& [k, v] : list) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  list.emplace_back(std::string(key), std::move(value));
+}
+
+}  // namespace dgc

@@ -1,0 +1,299 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+
+namespace {
+
+/// Minimal JSON emitter with deterministic formatting: shortest
+/// round-trip doubles via std::to_chars, two-space indentation, keys in
+/// the order the caller provides them.
+class JsonWriter {
+ public:
+  std::string Take() && { return std::move(out_); }
+
+  void String(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  void Int(int64_t v) { out_ += std::to_string(v); }
+
+  void Double(double v) {
+    // JSON has no NaN/Inf; clamp to null (never produced by the library's
+    // metrics, but a report writer must not emit invalid JSON).
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+    DGC_CHECK(result.ec == std::errc());
+    out_.append(buf, result.ptr);
+    // Keep doubles distinguishable from integers (to_chars prints 1.0 as
+    // "1"): append a fraction when no '.', 'e' or "nan-ish" marker exists.
+    const std::string_view written(buf,
+                                   static_cast<size_t>(result.ptr - buf));
+    if (written.find_first_of(".eE") == std::string_view::npos) {
+      out_ += ".0";
+    }
+  }
+
+  void Value(const SpanValue& v) {
+    if (std::holds_alternative<int64_t>(v)) {
+      Int(std::get<int64_t>(v));
+    } else if (std::holds_alternative<double>(v)) {
+      Double(std::get<double>(v));
+    } else {
+      String(std::get<std::string>(v));
+    }
+  }
+
+  void Raw(std::string_view s) { out_ += s; }
+
+  void Newline(int indent) {
+    out_.push_back('\n');
+    out_.append(static_cast<size_t>(indent) * 2, ' ');
+  }
+
+ private:
+  std::string out_;
+};
+
+/// Emits {"k": v, ...} with keys sorted lexicographically.
+void EmitSortedObject(
+    JsonWriter& w, std::vector<std::pair<std::string, SpanValue>> entries,
+    int indent, bool redact) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (entries.empty()) {
+    w.Raw("{}");
+    return;
+  }
+  w.Raw("{");
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    if (!first) w.Raw(",");
+    first = false;
+    w.Newline(indent + 1);
+    w.String(key);
+    w.Raw(": ");
+    if (redact) {
+      // Preserve the value's type so redaction never changes the schema.
+      if (std::holds_alternative<int64_t>(value)) {
+        w.Int(0);
+      } else if (std::holds_alternative<double>(value)) {
+        w.Double(0.0);
+      } else {
+        w.Value(value);
+      }
+    } else {
+      w.Value(value);
+    }
+  }
+  w.Newline(indent);
+  w.Raw("}");
+}
+
+void EmitSpan(JsonWriter& w, const std::vector<SpanNode>& spans, int node,
+              int indent, const RunReportOptions& options) {
+  const SpanNode& span = spans[static_cast<size_t>(node)];
+  w.Raw("{");
+  w.Newline(indent + 1);
+  w.Raw("\"name\": ");
+  w.String(span.name);
+  w.Raw(",");
+  w.Newline(indent + 1);
+  w.Raw("\"wall_seconds\": ");
+  w.Double(options.redact_timings ? 0.0 : span.wall_seconds);
+  w.Raw(",");
+  w.Newline(indent + 1);
+  w.Raw("\"cpu_seconds\": ");
+  w.Double(options.redact_timings ? 0.0 : span.cpu_seconds);
+  w.Raw(",");
+  w.Newline(indent + 1);
+  w.Raw("\"metrics\": ");
+  EmitSortedObject(w, span.metrics, indent + 1, /*redact=*/false);
+  w.Raw(",");
+  w.Newline(indent + 1);
+  w.Raw("\"perf\": ");
+  EmitSortedObject(w, span.perf, indent + 1, options.redact_timings);
+  w.Raw(",");
+  w.Newline(indent + 1);
+  w.Raw("\"children\": ");
+  if (span.children.empty()) {
+    w.Raw("[]");
+  } else {
+    w.Raw("[");
+    bool first = true;
+    for (const int child : span.children) {
+      if (!first) w.Raw(",");
+      first = false;
+      w.Newline(indent + 2);
+      EmitSpan(w, spans, child, indent + 2, options);
+    }
+    w.Newline(indent + 1);
+    w.Raw("]");
+  }
+  w.Newline(indent);
+  w.Raw("}");
+}
+
+}  // namespace
+
+std::string RunReportToJson(const MetricsRegistry& registry,
+                            const RunReportOptions& options) {
+  const std::vector<SpanNode> spans = registry.Spans();
+  const auto counters = registry.Counters();
+  const auto gauges = registry.Gauges();
+  const auto histograms = registry.Histograms();
+
+  JsonWriter w;
+  w.Raw("{");
+  w.Newline(1);
+  w.Raw("\"schema\": ");
+  w.String(kRunReportSchema);
+  w.Raw(",");
+  w.Newline(1);
+
+  w.Raw("\"spans\": ");
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == -1) roots.push_back(static_cast<int>(i));
+  }
+  if (roots.empty()) {
+    w.Raw("[]");
+  } else {
+    w.Raw("[");
+    bool first = true;
+    for (const int root : roots) {
+      if (!first) w.Raw(",");
+      first = false;
+      w.Newline(2);
+      EmitSpan(w, spans, root, 2, options);
+    }
+    w.Newline(1);
+    w.Raw("]");
+  }
+  w.Raw(",");
+  w.Newline(1);
+
+  w.Raw("\"counters\": ");
+  {
+    std::vector<std::pair<std::string, SpanValue>> entries;
+    entries.reserve(counters.size());
+    for (const auto& [k, v] : counters) entries.emplace_back(k, v);
+    EmitSortedObject(w, std::move(entries), 1, /*redact=*/false);
+  }
+  w.Raw(",");
+  w.Newline(1);
+
+  w.Raw("\"gauges\": ");
+  {
+    std::vector<std::pair<std::string, SpanValue>> entries;
+    entries.reserve(gauges.size());
+    for (const auto& [k, v] : gauges) entries.emplace_back(k, v);
+    EmitSortedObject(w, std::move(entries), 1, /*redact=*/false);
+  }
+  w.Raw(",");
+  w.Newline(1);
+
+  w.Raw("\"histograms\": ");
+  if (histograms.empty()) {
+    w.Raw("{}");
+  } else {
+    w.Raw("{");
+    bool first = true;
+    for (const auto& [name, h] : histograms) {
+      if (!first) w.Raw(",");
+      first = false;
+      w.Newline(2);
+      w.String(name);
+      w.Raw(": {");
+      w.Newline(3);
+      w.Raw("\"upper_bounds\": [");
+      for (size_t i = 0; i < h.upper_bounds().size(); ++i) {
+        if (i > 0) w.Raw(", ");
+        w.Double(h.upper_bounds()[i]);
+      }
+      w.Raw("],");
+      w.Newline(3);
+      w.Raw("\"counts\": [");
+      for (size_t i = 0; i < h.bucket_counts().size(); ++i) {
+        if (i > 0) w.Raw(", ");
+        w.Int(h.bucket_counts()[i]);
+      }
+      w.Raw("],");
+      w.Newline(3);
+      w.Raw("\"total_count\": ");
+      w.Int(h.total_count());
+      w.Raw(",");
+      w.Newline(3);
+      w.Raw("\"sum\": ");
+      w.Double(h.sum());
+      w.Newline(2);
+      w.Raw("}");
+    }
+    w.Newline(1);
+    w.Raw("}");
+  }
+  w.Newline(0);
+  w.Raw("}\n");
+  return std::move(w).Take();
+}
+
+Status WriteRunReport(const MetricsRegistry& registry, const std::string& path,
+                      const RunReportOptions& options) {
+  const std::string json = RunReportToJson(registry, options);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("WriteRunReport: cannot open '" + path +
+                            "' for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_result = std::fclose(f);
+  if (written != json.size() || close_result != 0) {
+    return Status::Internal("WriteRunReport: short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace dgc

@@ -1,0 +1,50 @@
+// RunReport: serializes a MetricsRegistry (span tree + counters + gauges +
+// histograms) to schema-versioned JSON with stable key order, so pipeline
+// runs produce machine-readable, diffable artifacts.
+//
+// Layout (schema dgc.run_report.v1):
+//
+//   {
+//     "schema": "dgc.run_report.v1",
+//     "spans": [ { "name": ..., "wall_seconds": ..., "cpu_seconds": ...,
+//                  "metrics": {...}, "perf": {...}, "children": [...] } ],
+//     "counters": {...}, "gauges": {...},
+//     "histograms": { name: { "upper_bounds": [...], "counts": [...],
+//                             "total_count": ..., "sum": ... } }
+//   }
+//
+// Key order is stable: object keys inside metrics/counters/gauges/
+// histograms are sorted lexicographically, span object keys are emitted in
+// a fixed order, and spans appear in creation order — two registries with
+// the same recorded content serialize to byte-identical strings. With
+// `redact_timings` the wall/cpu times and every "perf" value are written as
+// 0, which makes reports from runs at different thread counts
+// byte-comparable (the determinism tests rely on this).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dgc {
+
+/// Schema identifier written into every report.
+inline constexpr std::string_view kRunReportSchema = "dgc.run_report.v1";
+
+struct RunReportOptions {
+  /// Serialize wall/cpu seconds and perf metrics as 0 so that reports are
+  /// byte-comparable across thread counts and machines.
+  bool redact_timings = false;
+};
+
+/// Serializes `registry` to pretty-printed JSON (trailing newline
+/// included).
+std::string RunReportToJson(const MetricsRegistry& registry,
+                            const RunReportOptions& options = {});
+
+/// Writes RunReportToJson(registry) to `path` (created or truncated).
+Status WriteRunReport(const MetricsRegistry& registry, const std::string& path,
+                      const RunReportOptions& options = {});
+
+}  // namespace dgc

@@ -1,13 +1,18 @@
-// Wall-clock timing helpers used by the experiment harnesses.
+// Wall-clock and CPU-time stopwatches used by the experiment harnesses and
+// the observability layer (obs/span.h builds StageSpan on both).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace dgc {
 
 /// \brief Monotonic wall-clock stopwatch.
 ///
 /// Starts running on construction; Elapsed*() may be called repeatedly.
+/// The clock source is required to be monotonic (steady): elapsed readings
+/// can never go backwards when the system clock is adjusted, which matters
+/// because these timings feed the per-stage numbers in RunReport JSON.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
@@ -25,7 +30,45 @@ class WallTimer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Regression guard: elapsed time must come from a monotonic source, never
+  // from system_clock (which steps under NTP adjustment / manual changes).
+  static_assert(Clock::is_steady,
+                "WallTimer must be backed by a monotonic (steady) clock");
   Clock::time_point start_;
+};
+
+/// \brief Process CPU-time stopwatch: total CPU seconds consumed by every
+/// thread of the process since construction or the last Restart().
+///
+/// During a parallel stage this grows up to `threads`× faster than wall
+/// time, so span wall/CPU pairs expose parallel work distribution even on
+/// noisy machines. Backed by CLOCK_PROCESS_CPUTIME_ID where available and
+/// std::clock() otherwise (both monotonic by definition — CPU time only
+/// accumulates).
+class ProcessCpuTimer {
+ public:
+  ProcessCpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds consumed since construction or the last Restart().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    std::timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+  double start_;
 };
 
 }  // namespace dgc

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the markdown docs point at real files.
+
+Scans the repo's markdown (README.md & friends plus docs/*.md) for
+`[text](target)` links, resolves relative targets against the linking
+file, and fails listing every dangling one. External links (http/https/
+mailto) and pure in-page anchors (#...) are skipped — CI has no network
+and anchor checking would duplicate the renderer's logic.
+
+Usage: check_links.py [--root DIR] [FILE.md ...]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown
+# images ![alt](target) match too via the same tail.
+LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+DEFAULT_DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                "CHANGES.md", "PAPER.md", "PAPERS.md", "ISSUE.md"]
+
+
+def check_file(path, root):
+    dangling = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                dangling.append(f"{path.relative_to(root)}:{lineno}: "
+                                f"dangling link -> {match.group(1)}")
+    return dangling
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2])
+    parser.add_argument("files", nargs="*", type=pathlib.Path)
+    args = parser.parse_args()
+
+    docs = args.files or [
+        p for p in
+        ([args.root / d for d in DEFAULT_DOCS] +
+         sorted((args.root / "docs").glob("*.md")))
+        if p.is_file()
+    ]
+    dangling = []
+    for doc in docs:
+        dangling.extend(check_file(doc, args.root))
+    if dangling:
+        print("\n".join(dangling), file=sys.stderr)
+        return 1
+    print(f"{len(docs)} markdown files: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

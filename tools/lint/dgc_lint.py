@@ -48,8 +48,8 @@ import sys
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
 PROJECT_INCLUDE_DIRS = (
-    "util", "linalg", "graph", "gen", "core", "cluster", "eval", "bench",
-    "tools",
+    "util", "obs", "linalg", "graph", "gen", "core", "cluster", "eval",
+    "bench", "tools",
 )
 # How many lines after a FromPartsUnchecked call the paired validation may
 # appear on (calls span lines; the hook follows the full statement).
