@@ -7,6 +7,12 @@
 //         --clusters=64 --output=labels.txt [--metis-out=sym.graph]
 //         [--threshold=auto|<value>] [--target-degree=100]
 //         [--threads=1] [--report=run_report.json]
+//         [--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]
+//
+// --max-edges bounds the input scan (rejecting oversized files at the
+// parse stage); --deadline-ms / --max-memory-mb arm a ResourceBudget for
+// the symmetrize+cluster stages. A budget-exceeded run exits non-zero but
+// still writes the partial run report when --report= is given.
 #include <cstdio>
 #include <string>
 
@@ -33,11 +39,15 @@ int main(int argc, char** argv) {
                  "[--algorithm=metis|graclus|mlrmcl] [--clusters=64] "
                  "[--threshold=auto] [--target-degree=100] "
                  "[--output=labels.txt] [--metis-out=sym.graph] "
-                 "[--threads=1] [--report=run_report.json]\n");
+                 "[--threads=1] [--report=run_report.json] "
+                 "[--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]\n");
     return 2;
   }
 
-  auto graph = ReadEdgeList(input);
+  IoLimits limits;
+  const int64_t max_edges = opts->GetInt("max-edges", 0);
+  if (max_edges > 0) limits.max_edges = max_edges;
+  auto graph = ReadEdgeList(input, /*num_vertices=*/0, limits);
   if (!graph.ok()) {
     std::fprintf(stderr, "reading %s: %s\n", input.c_str(),
                  graph.status().ToString().c_str());
@@ -97,6 +107,9 @@ int main(int argc, char** argv) {
   }
 
   pipeline.num_threads = static_cast<int>(opts->GetInt("threads", 1));
+  pipeline.budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  pipeline.budget.max_memory_bytes =
+      opts->GetInt("max-memory-mb", 0) * (int64_t{1} << 20);
   // With --report= every stage records into the registry; without it the
   // null sink keeps the run instrumentation-free.
   const std::string report_path = opts->GetString("report", "");
@@ -108,6 +121,18 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "pipeline: %s\n",
                  result.status().ToString().c_str());
+    // A budget abort still leaves the partial span tree in the registry;
+    // write it out so the report shows how far the run got.
+    if (!report_path.empty() &&
+        (result.status().IsDeadlineExceeded() ||
+         result.status().IsResourceExhausted())) {
+      auto status = WriteRunReport(registry, report_path);
+      if (status.ok()) {
+        std::printf("wrote partial run report to %s\n", report_path.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      }
+    }
     return 1;
   }
   std::printf(

@@ -237,6 +237,9 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
   int iterations_run = 0;
 
   for (int iter = 0; iter < iterations; ++iter) {
+    if (options.cancel != nullptr && options.cancel->Expired()) {
+      return options.cancel->status();
+    }
     StageSpan iter_span(options.metrics, "rmcl.iteration");
     iter_span.Metric("iteration", iter);
     const CsrMatrix& right = options.regularized ? mg : m;
@@ -249,6 +252,10 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
     ParallelForWorkers(
         0, n, threads, /*grain=*/0,
         [&](int worker, int64_t lo, int64_t hi) {
+          // Chunk-granularity cancellation: a tripped deadline/memory budget
+          // makes every remaining chunk a no-op, so the loop drains within
+          // one chunk's worth of work per worker.
+          if (options.cancel != nullptr && options.cancel->Expired()) return;
           RmclWorkspace& w = workspaces[static_cast<size_t>(worker)];
           w.EnsureSize(n);
           for (int64_t r64 = lo; r64 < hi; ++r64) {
@@ -315,6 +322,11 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
             w.vals.insert(w.vals.end(), w.row_vals.begin(), w.row_vals.end());
           }
         });
+    // A cancelled pass 1 leaves partially-built buffers; abandon them
+    // rather than assembling a half-computed flow matrix.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return options.cancel->status();
+    }
     // Serial prefix sum: deterministic row pointers for any thread count.
     std::vector<Offset> new_row_ptr(static_cast<size_t>(n) + 1, 0);
     for (Index r = 0; r < n; ++r) {

@@ -15,6 +15,7 @@
 #include "graph/clustering.h"
 #include "graph/ugraph.h"
 #include "linalg/csr_matrix.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace dgc {
@@ -48,6 +49,14 @@ struct RmclOptions {
   /// records one span per iteration (flow nnz, expanded nnz, convergence
   /// residual); when null — the default — no instrumentation runs at all.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative cancellation (util/budget.h). When non-null the
+  /// expand/inflate/prune loop polls the token at chunk granularity inside
+  /// each iteration and at every iteration boundary; a tripped token aborts
+  /// with its status (kDeadlineExceeded / kResourceExhausted). Null — the
+  /// default — adds no per-chunk work. Completed runs are bit-identical
+  /// with or without a token.
+  CancelToken* cancel = nullptr;
 };
 
 /// Row-stochastic flow matrix M_G of g: adjacency plus scaled self-loops,

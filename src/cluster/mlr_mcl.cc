@@ -98,6 +98,7 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
     rmcl.metrics = options.metrics;
     coarsen.metrics = options.metrics;
   }
+  if (options.cancel != nullptr) rmcl.cancel = options.cancel;
   DGC_ASSIGN_OR_RETURN(Hierarchy hierarchy, BuildHierarchy(g, coarsen));
   span.Metric("levels", hierarchy.NumLevels());
 
@@ -106,6 +107,9 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
   std::vector<CsrMatrix> flow_graphs;
   flow_graphs.reserve(static_cast<size_t>(hierarchy.NumLevels()));
   for (const GraphLevel& level : hierarchy.levels) {
+    if (rmcl.cancel != nullptr && rmcl.cancel->Expired()) {
+      return rmcl.cancel->status();
+    }
     flow_graphs.push_back(BuildFlowMatrixFromAdjacency(
         level.adj, rmcl.self_loop_scale, rmcl.num_threads));
   }
@@ -126,6 +130,9 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
 
   // Project and refine through the finer levels.
   for (int level = last - 1; level >= 0; --level) {
+    if (rmcl.cancel != nullptr && rmcl.cancel->Expired()) {
+      return rmcl.cancel->status();
+    }
     StageSpan level_span(options.metrics, "refine_level");
     level_span.Metric("level", level);
     const GraphLevel& fine = hierarchy.levels[static_cast<size_t>(level)];

@@ -40,6 +40,13 @@ struct MlrMclOptions {
   /// coarsening, the coarsest solve and each refinement level; when null —
   /// the default — no instrumentation runs at all.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative cancellation (util/budget.h), propagated into the
+  /// R-MCL stage (overriding rmcl.cancel, like `metrics`) and polled
+  /// between coarsening, projection and refinement stages; a tripped
+  /// deadline/memory budget aborts with the token's status. Null — the
+  /// default — adds no overhead.
+  CancelToken* cancel = nullptr;
 };
 
 /// \brief Clusters g with MLR-MCL. The number of output clusters is

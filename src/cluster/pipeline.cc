@@ -33,7 +33,29 @@ PipelineOptions ResolveOverrides(const PipelineOptions& options) {
     resolved.symmetrization.metrics = options.metrics;
     resolved.mlr_mcl.metrics = options.metrics;
   }
+  if (resolved.cancel != nullptr) {
+    resolved.symmetrization.cancel = resolved.cancel;
+    resolved.mlr_mcl.cancel = resolved.cancel;
+  }
   return resolved;
+}
+
+/// Picks the token governing this run: the caller's token when provided
+/// (used as-is), else `local` armed with the pipeline budget when one is
+/// set, else none. `local` must outlive the run.
+CancelToken* ResolveCancel(const PipelineOptions& options,
+                           CancelToken* local) {
+  if (options.cancel != nullptr) return options.cancel;
+  if (options.budget.unlimited()) return nullptr;
+  local->Arm(options.budget);
+  return local;
+}
+
+/// Stamps the terminal status onto the stage span so a budget-aborted run's
+/// partial span tree records why it ended.
+void RecordStatus(StageSpan& span, const Status& status) {
+  if (!span.live()) return;
+  span.Metric("status", StatusCodeToString(status.code()));
 }
 
 Result<Clustering> ClusterResolved(const UGraph& g,
@@ -63,12 +85,22 @@ Result<Clustering> ClusterResolved(const UGraph& g,
 
 Result<Clustering> ClusterUGraph(const UGraph& g,
                                  const PipelineOptions& options) {
-  return ClusterResolved(g, ResolveOverrides(options));
+  CancelToken local_token;
+  PipelineOptions armed = options;
+  armed.cancel = ResolveCancel(options, &local_token);
+  return ClusterResolved(g, ResolveOverrides(armed));
 }
 
 Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
                                             const PipelineOptions& options) {
-  const PipelineOptions resolved = ResolveOverrides(options);
+  // Budget governance: arm a run-local token unless the caller supplied
+  // one. The token pointer rides the same override path as metrics, so
+  // every stage down to the SpGEMM row loops polls the same trip state.
+  CancelToken local_token;
+  PipelineOptions armed = options;
+  armed.cancel = ResolveCancel(options, &local_token);
+  const PipelineOptions resolved = ResolveOverrides(armed);
+
   StageSpan pipeline_span(resolved.metrics, "pipeline");
   pipeline_span.Metric("method", SymmetrizationMethodName(resolved.method));
   pipeline_span.Metric("algorithm",
@@ -78,17 +110,30 @@ Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
 
   PipelineResult result;
   WallTimer timer;
-  DGC_ASSIGN_OR_RETURN(
-      result.symmetrized,
-      Symmetrize(g, resolved.method, resolved.symmetrization));
+  Result<UGraph> symmetrized =
+      Symmetrize(g, resolved.method, resolved.symmetrization);
+  if (!symmetrized.ok()) {
+    // The spans already recorded under `metrics` stay in the registry: a
+    // deadline/memory abort still yields the partial span tree in the run
+    // report, with the terminal status stamped on the pipeline span.
+    RecordStatus(pipeline_span, symmetrized.status());
+    return symmetrized.status();
+  }
+  result.symmetrized = std::move(*symmetrized);
   result.symmetrize_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
-  DGC_ASSIGN_OR_RETURN(result.clustering,
-                       ClusterResolved(result.symmetrized, resolved));
+  Result<Clustering> clustering = ClusterResolved(result.symmetrized,
+                                                  resolved);
+  if (!clustering.ok()) {
+    RecordStatus(pipeline_span, clustering.status());
+    return clustering.status();
+  }
+  result.clustering = std::move(*clustering);
   result.cluster_seconds = timer.ElapsedSeconds();
   result.num_clusters = result.clustering.NumClusters();
   pipeline_span.Metric("num_clusters", result.num_clusters);
+  RecordStatus(pipeline_span, Status::OK());
   return result;
 }
 

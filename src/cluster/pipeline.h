@@ -13,6 +13,7 @@
 #include "graph/clustering.h"
 #include "graph/digraph.h"
 #include "graph/ugraph.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace dgc {
@@ -52,6 +53,22 @@ struct PipelineOptions {
   /// num_threads). Null — the default — disables all instrumentation at
   /// zero cost.
   MetricsRegistry* metrics = nullptr;
+
+  /// Resource limits for the whole run (util/budget.h). When any limit is
+  /// set and `cancel` is null, the pipeline arms an internal CancelToken
+  /// with this budget at entry and threads it through both stages; an
+  /// exceeded budget aborts within one ParallelFor chunk and the pipeline
+  /// returns Status(kDeadlineExceeded / kResourceExhausted). When `metrics`
+  /// is attached, the spans recorded up to the abort remain in the registry,
+  /// so the run report still shows where time went (the partial span tree).
+  /// An unlimited budget — the default — adds zero overhead.
+  ResourceBudget budget;
+
+  /// Optional caller-owned cancellation token. When non-null it is used
+  /// as-is (the caller is responsible for arming it; `budget` is ignored)
+  /// and propagated to every stage, which allows one token to govern
+  /// several pipeline runs or to be tripped externally via Cancel().
+  CancelToken* cancel = nullptr;
 };
 
 struct PipelineResult {

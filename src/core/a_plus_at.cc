@@ -10,6 +10,9 @@ Result<UGraph> SymmetrizeAPlusAT(const Digraph& g,
   const CsrMatrix& a = g.adjacency();
   span.Metric("input_vertices", g.NumVertices());
   span.Metric("input_arcs", a.nnz());
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    return options.cancel->status();
+  }
   DGC_ASSIGN_OR_RETURN(CsrMatrix u, CsrMatrix::Add(a, a.Transpose()));
   u.ValidateStructure("SymmetrizeAPlusAT");
   DGC_ASSIGN_OR_RETURN(

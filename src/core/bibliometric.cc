@@ -51,6 +51,7 @@ Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
   sum_options.drop_diagonal = true;
   sum_options.num_threads = options.num_threads;
   sum_options.metrics = options.metrics;
+  sum_options.cancel = options.cancel;
   return SpGemmSymmetricSum(coupling_upper, cocitation_upper, sum_options);
 }
 
@@ -85,6 +86,7 @@ Result<UGraph> SymmetrizeBibliometric(const Digraph& g,
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
   product_options.metrics = options.metrics;
+  product_options.cancel = options.cancel;
 
   DGC_ASSIGN_OR_RETURN(
       CsrMatrix u, options.engine == SimilarityEngine::kFused

@@ -25,6 +25,7 @@ Result<CsrMatrix> DegreeDiscountedReference(
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
   product_options.metrics = options.metrics;
+  product_options.cancel = options.cancel;
 
   DGC_ASSIGN_OR_RETURN(CsrMatrix bd, SpGemmAAt(factors.m, product_options));
   DGC_ASSIGN_OR_RETURN(CsrMatrix cd, SpGemmAtA(factors.n, product_options));
@@ -68,6 +69,7 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   product_options.drop_diagonal = true;
   product_options.num_threads = options.num_threads;
   product_options.metrics = options.metrics;
+  product_options.cancel = options.cancel;
 
   // Upper triangles of B_d (out-link similarity, factor (a·so_i)·√si_k) and
   // C_d (in-link similarity, factor (aᵀ·si_i)·√so_k) — the same per-entry
@@ -85,6 +87,7 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   sum_options.drop_diagonal = true;
   sum_options.num_threads = options.num_threads;
   sum_options.metrics = options.metrics;
+  sum_options.cancel = options.cancel;
   return SpGemmSymmetricSum(bd_upper, cd_upper, sum_options);
 }
 

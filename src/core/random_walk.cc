@@ -15,10 +15,16 @@ Result<UGraph> SymmetrizeRandomWalk(const Digraph& g,
               SymmetrizationMethodName(SymmetrizationMethod::kRandomWalk));
   span.Metric("input_vertices", g.NumVertices());
   span.Metric("input_arcs", g.NumEdges());
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    return options.cancel->status();
+  }
   DGC_ASSIGN_OR_RETURN(PageRankResult pr,
                        PageRank(g.adjacency(), options.pagerank));
   span.Metric("pagerank_iterations", pr.iterations);
   span.Metric("pagerank_converged", static_cast<int64_t>(pr.converged));
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    return options.cancel->status();
+  }
   // M = Pi * P: row i of the transition matrix scaled by pi(i).
   CsrMatrix m = RowStochastic(g.adjacency());
   m.ScaleRows(pr.pi);

@@ -19,6 +19,7 @@
 #include "graph/digraph.h"
 #include "graph/ugraph.h"
 #include "linalg/power_iteration.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace dgc {
@@ -101,6 +102,14 @@ struct SymmetrizationOptions {
   /// threshold, pruned-entry counts and the engine used; when null — the
   /// default — no instrumentation runs at all.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative cancellation (util/budget.h), propagated into
+  /// every similarity-product kernel so a tripped deadline/memory budget
+  /// aborts the symmetrization within one ParallelFor chunk with the
+  /// token's status. Null — the default — adds no overhead. Cancellation is
+  /// all-or-nothing: completed runs are bit-identical with or without a
+  /// token.
+  CancelToken* cancel = nullptr;
 };
 
 /// U = A + Aᵀ. Reciprocal edge pairs sum their weights (Section 3.1).

@@ -44,6 +44,10 @@ Result<ThresholdSelection> SelectPruneThreshold(
     return Status::InvalidArgument(
         "sample_size and target_avg_degree must be positive");
   }
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument(
+        "cannot select a prune threshold for an empty graph");
+  }
   DGC_ASSIGN_OR_RETURN(SimilarityFactors factors,
                        BuildSimilarityFactors(g, method, sym_options));
   const Index n = g.NumVertices();
@@ -61,6 +65,10 @@ Result<ThresholdSelection> SelectPruneThreshold(
   std::vector<Index> touched;
   std::vector<Scalar> sampled_values;
   for (uint64_t su : sample) {
+    if (select_options.cancel != nullptr &&
+        select_options.cancel->Expired()) {
+      return select_options.cancel->status();
+    }
     const Index u = static_cast<Index>(su);
     touched.clear();
     // Row u of U = M Mᵀ + Nᵀ N; both terms share the accumulator.

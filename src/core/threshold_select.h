@@ -9,6 +9,7 @@
 
 #include "core/symmetrize.h"
 #include "graph/digraph.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace dgc {
@@ -19,6 +20,11 @@ struct ThresholdSelectOptions {
   /// Number of nodes whose similarity rows are computed.
   Index sample_size = 200;
   uint64_t seed = 7;
+
+  /// Optional cooperative cancellation (util/budget.h), polled once per
+  /// sampled similarity row; a tripped budget aborts with the token's
+  /// status. Null — the default — adds no overhead.
+  CancelToken* cancel = nullptr;
 };
 
 /// Outcome of threshold selection.

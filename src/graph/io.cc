@@ -1,57 +1,263 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
-#include <sstream>
+#include <string_view>
+#include <system_error>
+#include <tuple>
+#include <vector>
 
 namespace dgc {
 
 namespace {
 
-bool IsCommentOrBlank(const std::string& line) {
+// ---------------------------------------------------------------------------
+// Streaming line reader and token scanner.
+//
+// The readers below never trust stream-extraction (`>>`) or strto* behavior:
+// every token is cut out of a bounded line buffer and parsed with
+// std::from_chars, so overflow, trailing junk, and locale effects are all
+// explicit, and every diagnostic carries path:line:column.
+// ---------------------------------------------------------------------------
+
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+bool IsCommentOrBlank(std::string_view line) {
   for (char c : line) {
-    if (c == ' ' || c == '\t' || c == '\r') continue;
+    if (IsSpaceChar(c)) continue;
     return c == '#' || c == '%';
   }
   return true;  // blank
 }
 
+enum class LineRead { kLine, kEof, kTooLong };
+
+// Reads one '\n'-terminated line into *out, refusing to buffer more than
+// max_bytes of it (the remainder of an over-long line is left unread — the
+// caller errors out immediately). Returns kEof only when no bytes remain.
+LineRead ReadLineBounded(std::istream& in, int64_t max_bytes,
+                         std::string* out) {
+  out->clear();
+  char buf[4096];
+  for (;;) {
+    in.get(buf, sizeof(buf), '\n');
+    const std::streamsize got = in.gcount();
+    if (got > 0) out->append(buf, static_cast<size_t>(got));
+    if (static_cast<int64_t>(out->size()) > max_bytes) return LineRead::kTooLong;
+    if (in.eof()) return out->empty() ? LineRead::kEof : LineRead::kLine;
+    // get() sets failbit when it stores zero characters, which happens on an
+    // empty line (next char is the delimiter). Clear and fall through to
+    // consume the delimiter.
+    if (in.fail()) in.clear();
+    const int next = in.peek();
+    if (next == '\n') {
+      in.get();
+      return LineRead::kLine;
+    }
+    if (next == std::char_traits<char>::eof()) {
+      return out->empty() ? LineRead::kEof : LineRead::kLine;
+    }
+    // Buffer filled mid-line: keep reading the same line.
+  }
+}
+
+// Whitespace-separated token walker with 1-based column positions.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view line) : line_(line) {}
+
+  // Extracts the next token; false when the line is exhausted.
+  bool Next(std::string_view* token, int64_t* column) {
+    SkipSpace();
+    if (pos_ >= line_.size()) return false;
+    const size_t start = pos_;
+    while (pos_ < line_.size() && !IsSpaceChar(line_[pos_])) ++pos_;
+    *token = line_.substr(start, pos_ - start);
+    *column = static_cast<int64_t>(start) + 1;
+    return true;
+  }
+
+  // True when only whitespace remains.
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  // 1-based column of the current scan position.
+  int64_t column() {
+    SkipSpace();
+    return static_cast<int64_t>(pos_) + 1;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() && IsSpaceChar(line_[pos_])) ++pos_;
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+std::string Where(const std::string& path, int64_t line, int64_t col) {
+  return path + ":" + std::to_string(line) + ":" + std::to_string(col) + ": ";
+}
+
+// Tokens are echoed into diagnostics; hostile input may contain arbitrary
+// bytes, so clip to a short printable preview.
+std::string TokenPreview(std::string_view token) {
+  std::string out;
+  const size_t n = std::min<size_t>(token.size(), 24);
+  out.reserve(n + 3);
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(token[i]);
+    out.push_back(c >= 0x20 && c < 0x7f ? static_cast<char>(c) : '?');
+  }
+  if (token.size() > n) out += "...";
+  return out;
+}
+
+Status ParseInt64(const std::string& path, int64_t line_no, int64_t col,
+                  std::string_view token, const char* what, int64_t* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(Where(path, line_no, col) + std::string(what) +
+                              " '" + TokenPreview(token) +
+                              "' overflows a 64-bit integer");
+  }
+  if (ec != std::errc() || ptr != last) {
+    return Status::IOError(Where(path, line_no, col) + "malformed " +
+                           std::string(what) + " '" + TokenPreview(token) +
+                           "'");
+  }
+  return Status::OK();
+}
+
+Status ParseWeight(const std::string& path, int64_t line_no, int64_t col,
+                   std::string_view token, const char* what, double* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec == std::errc::result_out_of_range) {
+    // from_chars reports underflow/overflow; treat both as non-representable.
+    return Status::OutOfRange(Where(path, line_no, col) + std::string(what) +
+                              " '" + TokenPreview(token) +
+                              "' is out of double range");
+  }
+  if (ec != std::errc() || ptr != last) {
+    return Status::IOError(Where(path, line_no, col) + "malformed " +
+                           std::string(what) + " '" + TokenPreview(token) +
+                           "'");
+  }
+  if (!std::isfinite(*out)) {
+    return Status::IOError(Where(path, line_no, col) + "non-finite " +
+                           std::string(what) + " '" + TokenPreview(token) +
+                           "'");
+  }
+  return Status::OK();
+}
+
+Status LineTooLong(const std::string& path, int64_t line_no,
+                   const IoLimits& limits) {
+  return Status::OutOfRange(
+      Where(path, line_no, limits.max_line_bytes + 1) +
+      "line exceeds IoLimits.max_line_bytes = " +
+      std::to_string(limits.max_line_bytes));
+}
+
+// Largest vertex/category id representable regardless of caller limits:
+// counts (max id + 1) must still fit in Index.
+constexpr int64_t kIndexCap = std::numeric_limits<Index>::max();
+
 }  // namespace
 
-Result<Digraph> ReadEdgeList(const std::string& path, Index num_vertices) {
-  std::ifstream in(path);
+Result<Digraph> ReadEdgeList(const std::string& path, Index num_vertices,
+                             const IoLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  const int64_t vertex_cap = std::min(limits.max_vertices, kIndexCap);
+  if (num_vertices > 0 && static_cast<int64_t>(num_vertices) > vertex_cap) {
+    return Status::OutOfRange(
+        path + ": declared num_vertices " + std::to_string(num_vertices) +
+        " exceeds IoLimits.max_vertices = " + std::to_string(vertex_cap));
+  }
+  // Ids must stay below the declared size when one is given, and below the
+  // vertex cap always — checked per token, before any cast to Index.
+  const int64_t id_cap =
+      num_vertices > 0 ? static_cast<int64_t>(num_vertices) : vertex_cap;
+
   std::vector<Edge> edges;
   Index max_id = -1;
   std::string line;
   int64_t line_no = 0;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
     ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
     if (IsCommentOrBlank(line)) continue;
-    std::istringstream ss(line);
-    int64_t src, dst;
+
+    TokenCursor cursor{std::string_view(line)};
+    std::string_view token;
+    int64_t col = 0;
+    int64_t ids[2] = {0, 0};
+    for (int k = 0; k < 2; ++k) {
+      if (!cursor.Next(&token, &col)) {
+        return Status::IOError(Where(path, line_no, cursor.column()) +
+                               "expected 'src dst [weight]': missing " +
+                               (k == 0 ? "source" : "destination") +
+                               " vertex id");
+      }
+      DGC_RETURN_IF_ERROR(ParseInt64(path, line_no, col, token,
+                                     k == 0 ? "source vertex id"
+                                            : "destination vertex id",
+                                     &ids[k]));
+      if (ids[k] < 0) {
+        return Status::OutOfRange(Where(path, line_no, col) +
+                                  "negative vertex id " +
+                                  std::to_string(ids[k]));
+      }
+      if (ids[k] >= id_cap) {
+        return Status::OutOfRange(
+            Where(path, line_no, col) + "vertex id " + std::to_string(ids[k]) +
+            " >= " +
+            (num_vertices > 0 ? "declared num_vertices "
+                              : "IoLimits.max_vertices ") +
+            std::to_string(id_cap));
+      }
+    }
     double w = 1.0;
-    if (!(ss >> src >> dst)) {
-      return Status::IOError(path + ":" + std::to_string(line_no) +
-                             ": expected 'src dst [weight]'");
+    if (cursor.Next(&token, &col)) {
+      DGC_RETURN_IF_ERROR(
+          ParseWeight(path, line_no, col, token, "edge weight", &w));
+      if (w < 0.0) {
+        return Status::IOError(Where(path, line_no, col) +
+                               "negative edge weight '" + TokenPreview(token) +
+                               "'");
+      }
+      if (!cursor.AtEnd()) {
+        return Status::IOError(Where(path, line_no, cursor.column()) +
+                               "unexpected trailing content after "
+                               "'src dst weight'");
+      }
     }
-    ss >> w;
-    if (src < 0 || dst < 0) {
-      return Status::IOError(path + ":" + std::to_string(line_no) +
-                             ": negative vertex id");
+    if (static_cast<int64_t>(edges.size()) >= limits.max_edges) {
+      return Status::OutOfRange(Where(path, line_no, 1) +
+                                "edge count exceeds IoLimits.max_edges = " +
+                                std::to_string(limits.max_edges));
     }
-    edges.push_back(Edge{static_cast<Index>(src), static_cast<Index>(dst),
-                         static_cast<Scalar>(w)});
-    max_id = std::max<Index>(max_id,
-                             static_cast<Index>(std::max(src, dst)));
+    edges.push_back(Edge{static_cast<Index>(ids[0]),
+                         static_cast<Index>(ids[1]), static_cast<Scalar>(w)});
+    max_id = std::max<Index>(
+        max_id, static_cast<Index>(std::max(ids[0], ids[1])));
   }
   const Index n = num_vertices > 0 ? num_vertices : max_id + 1;
-  if (max_id >= n) {
-    return Status::OutOfRange("vertex id " + std::to_string(max_id) +
-                              " >= declared num_vertices " +
-                              std::to_string(n));
-  }
   return Digraph::FromEdges(n, edges);
 }
 
@@ -73,51 +279,175 @@ Status WriteEdgeList(const Digraph& g, const std::string& path) {
   return Status::OK();
 }
 
-Result<UGraph> ReadMetisGraph(const std::string& path) {
-  std::ifstream in(path);
+Result<UGraph> ReadMetisGraph(const std::string& path,
+                              const IoLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::string line;
-  // Header.
-  int64_t n = 0, m = 0;
-  std::string fmt = "0";
-  while (std::getline(in, line)) {
-    if (IsCommentOrBlank(line)) continue;
-    std::istringstream ss(line);
-    if (!(ss >> n >> m)) {
-      return Status::IOError(path + ": malformed METIS header");
+  int64_t line_no = 0;
+
+  // --- Header: "n m [fmt]" on the first non-comment, non-blank line. ---
+  int64_t n = 0;
+  int64_t m = 0;
+  bool has_edge_weights = false;
+  bool saw_header = false;
+  while (!saw_header) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) {
+      return Status::IOError(path + ": missing METIS header 'n m [fmt]'");
     }
-    ss >> fmt;
-    break;
-  }
-  const bool has_edge_weights = fmt.size() >= 1 && fmt.back() == '1';
-  std::vector<std::tuple<Index, Index, Scalar>> edges;
-  edges.reserve(static_cast<size_t>(m));
-  Index u = 0;
-  while (u < n && std::getline(in, line)) {
-    if (!line.empty() && (line[0] == '%' || line[0] == '#')) continue;
-    std::istringstream ss(line);
-    int64_t v;
-    while (ss >> v) {
-      double w = 1.0;
-      if (has_edge_weights && !(ss >> w)) {
-        return Status::IOError(path + ": missing edge weight for vertex " +
-                               std::to_string(u + 1));
+    ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
+    if (IsCommentOrBlank(line)) continue;
+    saw_header = true;
+
+    TokenCursor cursor{std::string_view(line)};
+    std::string_view token;
+    int64_t col = 0;
+    if (!cursor.Next(&token, &col)) {
+      return Status::IOError(Where(path, line_no, 1) +
+                             "malformed METIS header");
+    }
+    DGC_RETURN_IF_ERROR(
+        ParseInt64(path, line_no, col, token, "vertex count", &n));
+    if (n < 0) {
+      return Status::IOError(Where(path, line_no, col) +
+                             "negative METIS vertex count");
+    }
+    const int64_t vertex_cap = std::min(limits.max_vertices, kIndexCap);
+    if (n > vertex_cap) {
+      return Status::OutOfRange(Where(path, line_no, col) + "vertex count " +
+                                std::to_string(n) +
+                                " exceeds IoLimits.max_vertices = " +
+                                std::to_string(vertex_cap));
+    }
+    if (!cursor.Next(&token, &col)) {
+      return Status::IOError(Where(path, line_no, cursor.column()) +
+                             "METIS header missing edge count");
+    }
+    DGC_RETURN_IF_ERROR(
+        ParseInt64(path, line_no, col, token, "edge count", &m));
+    if (m < 0) {
+      return Status::IOError(Where(path, line_no, col) +
+                             "negative METIS edge count");
+    }
+    if (m > limits.max_edges) {
+      return Status::OutOfRange(Where(path, line_no, col) + "edge count " +
+                                std::to_string(m) +
+                                " exceeds IoLimits.max_edges = " +
+                                std::to_string(limits.max_edges));
+    }
+    if (cursor.Next(&token, &col)) {
+      // fmt: up to three binary digits; only the edge-weight bit (last) is
+      // supported. Anything else (vertex weights/sizes, ncon fields) is an
+      // explicit error rather than a silently misread file.
+      if (token.empty() || token.size() > 3 ||
+          token.find_first_not_of("01") != std::string_view::npos) {
+        return Status::IOError(Where(path, line_no, col) +
+                               "malformed METIS fmt field '" +
+                               TokenPreview(token) + "'");
       }
+      if (token.size() >= 2 &&
+          token.substr(0, token.size() - 1).find('1') !=
+              std::string_view::npos) {
+        return Status::IOError(Where(path, line_no, col) + "METIS fmt '" +
+                               TokenPreview(token) +
+                               "' requests vertex weights/sizes, which are "
+                               "not supported");
+      }
+      has_edge_weights = token.back() == '1';
+      if (!cursor.AtEnd()) {
+        return Status::IOError(
+            Where(path, line_no, cursor.column()) +
+            "unexpected trailing content in METIS header (multi-constraint "
+            "ncon is not supported)");
+      }
+    }
+  }
+
+  // --- Body: exactly n adjacency lines totalling 2m endpoint entries. ---
+  std::vector<std::tuple<Index, Index, Scalar>> edges;
+  edges.reserve(static_cast<size_t>(std::min<int64_t>(m, 1 << 20)));
+  const int64_t max_entries = 2 * m;
+  int64_t total_entries = 0;
+  int64_t u = 0;
+  while (u < n) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
+    // Comment lines may appear between adjacency lines; blank lines are
+    // adjacency lines (a vertex with no neighbors).
+    if (!line.empty() && (line[0] == '%' || line[0] == '#')) continue;
+
+    TokenCursor cursor{std::string_view(line)};
+    std::string_view token;
+    int64_t col = 0;
+    while (cursor.Next(&token, &col)) {
+      int64_t v = 0;
+      DGC_RETURN_IF_ERROR(
+          ParseInt64(path, line_no, col, token, "neighbor id", &v));
       if (v < 1 || v > n) {
-        return Status::OutOfRange(path + ": neighbor id " +
+        return Status::OutOfRange(Where(path, line_no, col) + "neighbor id " +
                                   std::to_string(v) + " out of [1," +
                                   std::to_string(n) + "]");
       }
+      if (v == u + 1) {
+        return Status::IOError(Where(path, line_no, col) + "vertex " +
+                               std::to_string(u + 1) +
+                               " lists itself as a neighbor (METIS forbids "
+                               "self-loops)");
+      }
+      double w = 1.0;
+      if (has_edge_weights) {
+        if (!cursor.Next(&token, &col)) {
+          return Status::IOError(Where(path, line_no, cursor.column()) +
+                                 "missing edge weight for neighbor " +
+                                 std::to_string(v) + " of vertex " +
+                                 std::to_string(u + 1));
+        }
+        DGC_RETURN_IF_ERROR(
+            ParseWeight(path, line_no, col, token, "edge weight", &w));
+        if (w <= 0.0) {
+          return Status::IOError(Where(path, line_no, col) +
+                                 "non-positive METIS edge weight '" +
+                                 TokenPreview(token) + "'");
+        }
+      }
+      if (++total_entries > max_entries) {
+        return Status::IOError(
+            Where(path, line_no, col) + "adjacency body exceeds the 2*m = " +
+            std::to_string(max_entries) + " endpoint entries declared in the "
+            "header");
+      }
       const Index nb = static_cast<Index>(v - 1);
       if (u < nb) {  // store each undirected edge once
-        edges.emplace_back(u, nb, static_cast<Scalar>(w));
+        edges.emplace_back(static_cast<Index>(u), nb, static_cast<Scalar>(w));
       }
     }
     ++u;
   }
   if (u != n) {
-    return Status::IOError(path + ": expected " + std::to_string(n) +
-                           " adjacency lines, got " + std::to_string(u));
+    return Status::IOError(path + ": truncated METIS body: expected " +
+                           std::to_string(n) + " adjacency lines, got " +
+                           std::to_string(u));
+  }
+  if (total_entries != max_entries) {
+    return Status::IOError(
+        path + ": METIS header declares " + std::to_string(m) + " edges (" +
+        std::to_string(max_entries) + " endpoint entries) but the body has " +
+        std::to_string(total_entries));
+  }
+  // Anything after the body other than comments/blank lines is an error.
+  for (;;) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
+    if (IsCommentOrBlank(line)) continue;
+    return Status::IOError(Where(path, line_no, 1) +
+                           "unexpected content after the last adjacency "
+                           "line");
   }
   return UGraph::FromEdges(static_cast<Index>(n), edges);
 }
@@ -132,8 +462,17 @@ Status WriteMetisGraph(const UGraph& g, const std::string& path,
     auto cols = a.RowCols(u);
     auto vals = a.RowValues(u);
     for (size_t i = 0; i < cols.size(); ++i) {
-      const int64_t w = std::max<int64_t>(
-          1, static_cast<int64_t>(std::llround(vals[i] * weight_scale)));
+      const double scaled = vals[i] * weight_scale;
+      const int64_t w = std::llround(scaled);
+      if (!std::isfinite(scaled) || w < 1) {
+        return Status::InvalidArgument(
+            path + ": edge (" + std::to_string(u) + "," +
+            std::to_string(cols[i]) + ") weight " + std::to_string(vals[i]) +
+            " rounds to " + std::to_string(w) + " under weight_scale " +
+            std::to_string(weight_scale) +
+            "; METIS requires positive integer weights — increase "
+            "weight_scale");
+      }
       out << (cols[i] + 1) << ' ' << w;
       out << (i + 1 < cols.size() ? ' ' : '\n');
     }
@@ -144,36 +483,65 @@ Status WriteMetisGraph(const UGraph& g, const std::string& path,
 }
 
 Result<GroundTruth> ReadGroundTruth(const std::string& path,
-                                    Index num_vertices) {
-  std::ifstream in(path);
+                                    Index num_vertices,
+                                    const IoLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  const int64_t category_cap = std::min(limits.max_categories, kIndexCap);
   GroundTruth truth;
   std::string line;
   int64_t line_no = 0;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
     ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
     if (IsCommentOrBlank(line)) continue;
-    std::istringstream ss(line);
-    int64_t vertex;
-    if (!(ss >> vertex)) {
-      return Status::IOError(path + ":" + std::to_string(line_no) +
-                             ": expected 'vertex cat...'");
+
+    TokenCursor cursor{std::string_view(line)};
+    std::string_view token;
+    int64_t col = 0;
+    if (!cursor.Next(&token, &col)) {
+      return Status::IOError(Where(path, line_no, 1) +
+                             "expected 'vertex cat1 [cat2 ...]'");
     }
-    if (vertex < 0 || vertex >= num_vertices) {
-      return Status::OutOfRange(path + ":" + std::to_string(line_no) +
-                                ": vertex id out of range");
+    int64_t vertex = 0;
+    DGC_RETURN_IF_ERROR(
+        ParseInt64(path, line_no, col, token, "vertex id", &vertex));
+    if (vertex < 0 || vertex >= static_cast<int64_t>(num_vertices)) {
+      return Status::OutOfRange(Where(path, line_no, col) + "vertex id " +
+                                std::to_string(vertex) + " out of [0," +
+                                std::to_string(num_vertices) + ")");
     }
-    int64_t cat;
-    while (ss >> cat) {
+    bool any_category = false;
+    while (cursor.Next(&token, &col)) {
+      int64_t cat = 0;
+      DGC_RETURN_IF_ERROR(
+          ParseInt64(path, line_no, col, token, "category id", &cat));
       if (cat < 0) {
-        return Status::OutOfRange(path + ":" + std::to_string(line_no) +
-                                  ": negative category id");
+        return Status::OutOfRange(Where(path, line_no, col) +
+                                  "negative category id " +
+                                  std::to_string(cat));
+      }
+      if (cat >= category_cap) {
+        // Bounded *before* the table is resized: a huge category id must not
+        // translate into a huge allocation.
+        return Status::OutOfRange(Where(path, line_no, col) + "category id " +
+                                  std::to_string(cat) +
+                                  " >= IoLimits.max_categories = " +
+                                  std::to_string(category_cap));
       }
       if (truth.categories.size() <= static_cast<size_t>(cat)) {
         truth.categories.resize(static_cast<size_t>(cat) + 1);
       }
       truth.categories[static_cast<size_t>(cat)].push_back(
           static_cast<Index>(vertex));
+      any_category = true;
+    }
+    if (!any_category) {
+      return Status::IOError(Where(path, line_no, cursor.column()) +
+                             "vertex " + std::to_string(vertex) +
+                             " lists no category ids");
     }
   }
   for (auto& members : truth.categories) {
@@ -208,15 +576,46 @@ Status WriteGroundTruth(const GroundTruth& truth, const std::string& path) {
   return Status::OK();
 }
 
-Result<Clustering> ReadClustering(const std::string& path) {
-  std::ifstream in(path);
+Result<Clustering> ReadClustering(const std::string& path,
+                                  const IoLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::vector<Index> labels;
   std::string line;
-  while (std::getline(in, line)) {
+  int64_t line_no = 0;
+  for (;;) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    ++line_no;
+    if (read == LineRead::kTooLong) return LineTooLong(path, line_no, limits);
     if (IsCommentOrBlank(line)) continue;
-    labels.push_back(static_cast<Index>(std::strtol(line.c_str(), nullptr,
-                                                    10)));
+
+    TokenCursor cursor{std::string_view(line)};
+    std::string_view token;
+    int64_t col = 0;
+    cursor.Next(&token, &col);  // non-blank line: at least one token
+    int64_t label = 0;
+    DGC_RETURN_IF_ERROR(
+        ParseInt64(path, line_no, col, token, "cluster label", &label));
+    if (label < -1 || label >= kIndexCap) {
+      return Status::OutOfRange(Where(path, line_no, col) +
+                                "cluster label " + std::to_string(label) +
+                                " out of [-1," + std::to_string(kIndexCap) +
+                                ")");
+    }
+    if (!cursor.AtEnd()) {
+      return Status::IOError(Where(path, line_no, cursor.column()) +
+                             "unexpected trailing content after cluster "
+                             "label");
+    }
+    if (static_cast<int64_t>(labels.size()) >=
+        std::min(limits.max_vertices, kIndexCap)) {
+      return Status::OutOfRange(
+          Where(path, line_no, 1) + "label count exceeds "
+          "IoLimits.max_vertices = " +
+          std::to_string(std::min(limits.max_vertices, kIndexCap)));
+    }
+    labels.push_back(static_cast<Index>(label));
   }
   return Clustering(std::move(labels));
 }

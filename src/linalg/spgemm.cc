@@ -162,6 +162,25 @@ CsrMatrix AssembleRows(Index rows, Index cols, int threads,
   return c;
 }
 
+/// Chunk-granularity poll used inside the row-parallel loop bodies and at
+/// stage boundaries. Null token: no work at all.
+bool Cancelled(CancelToken* cancel) {
+  return cancel != nullptr && cancel->Expired();
+}
+
+/// Bytes buffered by pass 1 across all workers plus the final CSR arrays —
+/// the dominant transient working set of the two-pass assembly.
+int64_t AssemblyBytes(Index rows,
+                      const std::vector<SpGemmWorkspace>& workspaces) {
+  int64_t entries = 0;
+  for (const SpGemmWorkspace& w : workspaces) {
+    entries += static_cast<int64_t>(w.cols.size());
+  }
+  return 2 * entries *
+             static_cast<int64_t>(sizeof(Index) + sizeof(Scalar)) +
+         (static_cast<int64_t>(rows) + 1) * static_cast<int64_t>(sizeof(Offset));
+}
+
 /// Attaches the shared post-pass-1 instrumentation: deterministic
 /// pruned-entry total plus the perf-class worker load picture. No-op on a
 /// dead span.
@@ -205,6 +224,15 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
     span.Metric("flops", SpGemmFlops(a, b));
   }
 
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  // Dense accumulators are the fixed per-worker working set; charge them
+  // before they are allocated.
+  MemoryCharge accum_charge(
+      options.cancel,
+      static_cast<int64_t>(threads) * cols *
+          static_cast<int64_t>(sizeof(Scalar) + sizeof(Index)));
+  if (accum_charge.exceeded()) return options.cancel->status();
+
   // Pass 1: compute every output row into per-worker buffers, recording the
   // per-row nnz. Dynamic chunking keeps hub rows from imbalancing workers.
   std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
@@ -212,6 +240,7 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
   ParallelForWorkers(
       0, rows, threads, /*grain=*/0,
       [&](int worker, int64_t lo, int64_t hi) {
+        if (Cancelled(options.cancel)) return;  // skip the chunk, not a row
         SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
         w.EnsureSize(cols);
         for (int64_t r = lo; r < hi; ++r) {
@@ -222,6 +251,10 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
           w.rows.push_back(static_cast<Index>(r));
         }
       });
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge assembly_charge(options.cancel,
+                               AssemblyBytes(rows, workspaces));
+  if (assembly_charge.exceeded()) return options.cancel->status();
 
   // Pass 2: prefix-sum row pointers (serial, deterministic for any thread
   // count) and copy every buffered row to its final offset in parallel.
@@ -286,6 +319,7 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
       ResolveNumThreads(options.num_threads), std::max<Index>(rows, 1)));
   CsrMatrix local_transpose;
   if (a_transpose == nullptr) {
+    if (Cancelled(options.cancel)) return options.cancel->status();
     local_transpose = a.Transpose(threads);
     a_transpose = &local_transpose;
   } else if (a_transpose->rows() != a.cols() ||
@@ -305,11 +339,19 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
     span.Metric("flops_full_product", SpGemmFlops(a, *a_transpose));
   }
 
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge accum_charge(
+      options.cancel,
+      static_cast<int64_t>(threads) * rows *
+          static_cast<int64_t>(sizeof(Scalar) + sizeof(Index)));
+  if (accum_charge.exceeded()) return options.cancel->status();
+
   std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
   std::vector<Offset> row_nnz(static_cast<size_t>(rows), 0);
   ParallelForWorkers(
       0, rows, threads, /*grain=*/0,
       [&](int worker, int64_t lo, int64_t hi) {
+        if (Cancelled(options.cancel)) return;
         SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
         w.EnsureSize(rows);
         for (int64_t r = lo; r < hi; ++r) {
@@ -321,6 +363,10 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
           w.rows.push_back(static_cast<Index>(r));
         }
       });
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge assembly_charge(options.cancel,
+                               AssemblyBytes(rows, workspaces));
+  if (assembly_charge.exceeded()) return options.cancel->status();
   RecordPassStats(span, workspaces, threads);
   CsrMatrix upper = AssembleRows(rows, rows, threads, workspaces, row_nnz,
                                  "SpGemmAAtSymmetric");
@@ -354,10 +400,12 @@ Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
   // Pass 1: merge + prune each upper row into per-worker buffers. The
   // two-pointer merge visits columns in the same order as CsrMatrix::Add,
   // so shared entries sum with identical rounding.
+  if (Cancelled(options.cancel)) return options.cancel->status();
   std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
   std::vector<Offset> row_nnz(static_cast<size_t>(n), 0);
   ParallelForWorkers(
       0, n, threads, /*grain=*/0, [&](int worker, int64_t lo, int64_t hi) {
+        if (Cancelled(options.cancel)) return;
         SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
         for (int64_t r64 = lo; r64 < hi; ++r64) {
           const Index r = static_cast<Index>(r64);
@@ -397,9 +445,19 @@ Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
           w.rows.push_back(r);
         }
       });
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge assembly_charge(options.cancel, AssemblyBytes(n, workspaces));
+  if (assembly_charge.exceeded()) return options.cancel->status();
   RecordPassStats(span, workspaces, threads);
   const CsrMatrix merged = AssembleRows(n, n, threads, workspaces, row_nnz,
                                         "SpGemmSymmetricSum(merge)");
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  // The mirrored full matrix roughly doubles the triangle's footprint.
+  MemoryCharge mirror_charge(
+      options.cancel,
+      2 * merged.nnz() *
+          static_cast<int64_t>(sizeof(Index) + sizeof(Scalar)));
+  if (mirror_charge.exceeded()) return options.cancel->status();
   Result<CsrMatrix> full = MirrorUpperTriangle(merged, options.num_threads);
   if (full.ok()) span.Metric("output_nnz", full->nnz());
   return full;

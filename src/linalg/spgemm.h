@@ -14,6 +14,7 @@
 #include <span>
 
 #include "linalg/csr_matrix.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace dgc {
@@ -39,6 +40,15 @@ struct SpGemmOptions {
   /// records a stage span (output nnz, pruned-entry counts, flops estimate);
   /// when null — the default — no instrumentation runs at all.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional cooperative cancellation (util/budget.h). When non-null the
+  /// row loops poll the token at chunk granularity and the kernel charges
+  /// its dominant working sets against the token's memory ledger; a tripped
+  /// token aborts the product with the token's status (kDeadlineExceeded /
+  /// kResourceExhausted). Null — the default — adds no per-chunk work.
+  /// Cancellation is all-or-nothing: a completed product is bit-identical
+  /// whether or not a token was attached.
+  CancelToken* cancel = nullptr;
 };
 
 /// \brief C = A * B using Gustavson's algorithm with a dense accumulator.

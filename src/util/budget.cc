@@ -1,0 +1,63 @@
+#include "util/budget.h"
+
+#include <string>
+
+namespace dgc {
+
+void CancelToken::Arm(const ResourceBudget& budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget;
+  clock_.Restart();
+  status_ = Status::OK();
+  charged_bytes_.store(0, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_release);
+}
+
+bool CancelToken::Expired() {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  // Deadline poll: budget_.deadline_ms is only written under mu_ by Arm(),
+  // which callers are required to sequence before handing the token to
+  // workers, so reading it here without the lock is race-free in practice.
+  if (budget_.deadline_ms > 0 &&
+      clock_.ElapsedMillis() >= static_cast<double>(budget_.deadline_ms)) {
+    Trip(Status::DeadlineExceeded(
+        "wall-clock deadline of " + std::to_string(budget_.deadline_ms) +
+        " ms exceeded"));
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::Cancel(Status reason) { Trip(std::move(reason)); }
+
+bool CancelToken::ChargeMemory(int64_t bytes) {
+  const int64_t now =
+      charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_.max_memory_bytes > 0 && now > budget_.max_memory_bytes) {
+    Trip(Status::ResourceExhausted(
+        "estimated working set of " + std::to_string(now) +
+        " bytes exceeds memory budget of " +
+        std::to_string(budget_.max_memory_bytes) + " bytes"));
+  }
+  return cancelled_.load(std::memory_order_acquire);
+}
+
+void CancelToken::ReleaseMemory(int64_t bytes) {
+  charged_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status CancelToken::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void CancelToken::Trip(Status reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First trip wins: keep the original reason so e.g. a deadline observed
+  // while unwinding from a memory trip does not overwrite the root cause.
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  status_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+}  // namespace dgc

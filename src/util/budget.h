@@ -1,0 +1,130 @@
+// Cooperative resource governance: a ResourceBudget (soft memory estimate +
+// wall-clock deadline) observed through a CancelToken that long-running
+// kernels poll at chunk granularity.
+//
+// Design contract (see docs/ROBUSTNESS.md for the full taxonomy):
+//  - Cancellation is cooperative and all-or-nothing: a stage that observes a
+//    tripped token abandons its work and returns Status(kDeadlineExceeded /
+//    kResourceExhausted). Callers never receive partial numerical results,
+//    so runs that stay inside budget are bit-identical to unbudgeted runs at
+//    any thread count.
+//  - The memory ledger is a *soft estimate*: kernels charge their dominant
+//    working sets (CSR arrays, per-worker buffers) before allocating and
+//    release on scope exit via MemoryCharge. It is an admission-control
+//    heuristic, not an allocator hook — the exact trip point may vary with
+//    thread count, but results never do (either the whole stage runs, or the
+//    whole run reports kResourceExhausted).
+//  - Once tripped, a token stays tripped (latched) and every subsequent
+//    Expired()/cancelled() poll returns true, so cancellation propagates
+//    outward through the stage tree within one ParallelFor chunk.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dgc {
+
+/// \brief Limits a run may not exceed. Zero means "unlimited" for each field.
+struct ResourceBudget {
+  /// Wall-clock deadline in milliseconds, measured from CancelToken::Arm().
+  /// 0 = no deadline.
+  int64_t deadline_ms = 0;
+  /// Soft cap on the estimated peak working-set bytes charged by kernels.
+  /// 0 = no memory cap.
+  int64_t max_memory_bytes = 0;
+
+  bool unlimited() const { return deadline_ms <= 0 && max_memory_bytes <= 0; }
+};
+
+/// \brief Shared cancellation state polled cooperatively by kernels.
+///
+/// A token is armed once with a budget (starting the deadline clock), then a
+/// pointer to it is threaded through options structs into parallel loop
+/// bodies. Polling is cheap: `cancelled()` is one relaxed atomic load, and
+/// `Expired()` adds a steady_clock read only while the token is still live.
+/// All methods are thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Installs `budget` and restarts the deadline clock. Resets any previous
+  /// trip state; a default-constructed (unlimited) budget makes the token
+  /// inert.
+  void Arm(const ResourceBudget& budget);
+
+  /// True once the token has tripped (deadline, memory, or manual Cancel).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Polls the deadline and returns the latched trip state. This is the call
+  /// kernels make at chunk boundaries: one atomic load on the fast path,
+  /// plus a monotonic clock read while still live under a deadline.
+  bool Expired();
+
+  /// Manually trips the token with an explicit reason.
+  void Cancel(Status reason);
+
+  /// Adds `bytes` to the soft memory ledger; trips the token with
+  /// kResourceExhausted if the budget's cap is exceeded. Returns the trip
+  /// state so callers can bail out before allocating.
+  bool ChargeMemory(int64_t bytes);
+
+  /// Removes `bytes` from the ledger (working set freed). Never un-trips.
+  void ReleaseMemory(int64_t bytes);
+
+  /// Current ledger value in bytes (soft estimate of live working sets).
+  int64_t charged_bytes() const {
+    return charged_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// The trip reason: kDeadlineExceeded, kResourceExhausted, or whatever was
+  /// passed to Cancel(). OK while the token has not tripped.
+  Status status() const;
+
+ private:
+  void Trip(Status reason);
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> charged_bytes_{0};
+  ResourceBudget budget_;
+  WallTimer clock_;
+  mutable std::mutex mu_;  // guards status_ (and budget_/clock_ during Arm)
+  Status status_;
+};
+
+/// \brief RAII guard for a kernel working-set charge against a CancelToken.
+///
+/// Charges on construction, releases the same amount on destruction. A null
+/// token makes the guard a no-op, so kernels can charge unconditionally:
+///
+///   MemoryCharge charge(cancel, bytes);
+///   if (charge.exceeded()) return cancel->status();
+class MemoryCharge {
+ public:
+  MemoryCharge(CancelToken* token, int64_t bytes)
+      : token_(token), bytes_(bytes) {
+    if (token_ != nullptr) exceeded_ = token_->ChargeMemory(bytes_);
+  }
+  ~MemoryCharge() {
+    if (token_ != nullptr) token_->ReleaseMemory(bytes_);
+  }
+
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  /// True if this charge (or an earlier trip) put the token over budget.
+  bool exceeded() const { return exceeded_; }
+
+ private:
+  CancelToken* token_;
+  int64_t bytes_;
+  bool exceeded_ = false;
+};
+
+}  // namespace dgc

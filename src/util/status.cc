@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotConverged";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

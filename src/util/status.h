@@ -21,6 +21,8 @@ enum class StatusCode : uint8_t {
   kIOError = 5,
   kNotConverged = 6,
   kInternal = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -64,6 +66,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +88,12 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsNotConverged() const { return code_ == StatusCode::kNotConverged; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

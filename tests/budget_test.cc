@@ -1,0 +1,137 @@
+// Tests for util/budget.h: ResourceBudget semantics, CancelToken latching,
+// memory ledger accounting, and the MemoryCharge RAII guard.
+#include "util/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dgc {
+namespace {
+
+TEST(ResourceBudgetTest, DefaultIsUnlimited) {
+  ResourceBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  budget.deadline_ms = 5;
+  EXPECT_FALSE(budget.unlimited());
+  budget.deadline_ms = 0;
+  budget.max_memory_bytes = 1;
+  EXPECT_FALSE(budget.unlimited());
+}
+
+TEST(CancelTokenTest, UnarmedTokenNeverTrips) {
+  CancelToken token;
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.ChargeMemory(int64_t{1} << 40));
+  token.ReleaseMemory(int64_t{1} << 40);
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST(CancelTokenTest, UnlimitedBudgetIsInert) {
+  CancelToken token;
+  token.Arm(ResourceBudget{});
+  EXPECT_FALSE(token.Expired());
+  EXPECT_FALSE(token.ChargeMemory(int64_t{1} << 40));
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST(CancelTokenTest, DeadlineTripsAndLatches) {
+  CancelToken token;
+  token.Arm(ResourceBudget{.deadline_ms = 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.Expired());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.status().IsDeadlineExceeded());
+  // Latched: still tripped on every subsequent poll.
+  EXPECT_TRUE(token.Expired());
+  EXPECT_TRUE(token.status().IsDeadlineExceeded());
+}
+
+TEST(CancelTokenTest, MemoryBudgetTripsWithResourceExhausted) {
+  CancelToken token;
+  token.Arm(ResourceBudget{.max_memory_bytes = 1000});
+  EXPECT_FALSE(token.ChargeMemory(600));
+  EXPECT_EQ(token.charged_bytes(), 600);
+  EXPECT_TRUE(token.ChargeMemory(600));  // 1200 > 1000: trips
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.status().IsResourceExhausted());
+  // Releasing memory never un-trips the token.
+  token.ReleaseMemory(1200);
+  EXPECT_EQ(token.charged_bytes(), 0);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, FirstTripReasonWins) {
+  CancelToken token;
+  token.Arm(ResourceBudget{.deadline_ms = 1, .max_memory_bytes = 10});
+  EXPECT_TRUE(token.ChargeMemory(100));
+  EXPECT_TRUE(token.status().IsResourceExhausted());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.Expired());
+  // The later deadline observation must not overwrite the memory reason.
+  EXPECT_TRUE(token.status().IsResourceExhausted());
+}
+
+TEST(CancelTokenTest, ManualCancelCarriesReason) {
+  CancelToken token;
+  token.Arm(ResourceBudget{});
+  token.Cancel(Status::DeadlineExceeded("caller-imposed stop"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.status().message(), "caller-imposed stop");
+}
+
+TEST(CancelTokenTest, RearmResetsTripStateAndLedger) {
+  CancelToken token;
+  token.Arm(ResourceBudget{.max_memory_bytes = 10});
+  EXPECT_TRUE(token.ChargeMemory(100));
+  EXPECT_TRUE(token.cancelled());
+  token.Arm(ResourceBudget{.max_memory_bytes = 1000});
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.charged_bytes(), 0);
+  EXPECT_TRUE(token.status().ok());
+  EXPECT_FALSE(token.ChargeMemory(100));
+}
+
+TEST(CancelTokenTest, ConcurrentChargesAreAccounted) {
+  CancelToken token;
+  token.Arm(ResourceBudget{});
+  ParallelFor(0, 64, /*num_threads=*/4,
+              [&](int64_t) { token.ChargeMemory(10); });
+  EXPECT_EQ(token.charged_bytes(), 640);
+  ParallelFor(0, 64, /*num_threads=*/4,
+              [&](int64_t) { token.ReleaseMemory(10); });
+  EXPECT_EQ(token.charged_bytes(), 0);
+}
+
+TEST(MemoryChargeTest, NullTokenIsNoop) {
+  MemoryCharge charge(nullptr, int64_t{1} << 40);
+  EXPECT_FALSE(charge.exceeded());
+}
+
+TEST(MemoryChargeTest, ChargesOnConstructionReleasesOnDestruction) {
+  CancelToken token;
+  token.Arm(ResourceBudget{.max_memory_bytes = 1000});
+  {
+    MemoryCharge charge(&token, 400);
+    EXPECT_FALSE(charge.exceeded());
+    EXPECT_EQ(token.charged_bytes(), 400);
+    {
+      MemoryCharge inner(&token, 800);
+      EXPECT_TRUE(inner.exceeded());
+      EXPECT_EQ(token.charged_bytes(), 1200);
+    }
+    EXPECT_EQ(token.charged_bytes(), 400);
+  }
+  EXPECT_EQ(token.charged_bytes(), 0);
+  EXPECT_TRUE(token.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace dgc

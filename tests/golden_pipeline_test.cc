@@ -1,0 +1,153 @@
+// Golden end-to-end pipeline outputs: the cluster assignments and the
+// redacted run report for all four symmetrizations x MLR-MCL on a small
+// committed fixture are pinned byte-for-byte under tests/golden/. Any
+// change to parsing, kernel arithmetic, iteration order, report schema or
+// determinism shows up as a golden diff — deliberate changes regenerate
+// with:
+//
+//   DGC_UPDATE_GOLDEN=1 ./golden_pipeline_test
+//
+// and commit the rewritten files. Each configuration is additionally run
+// at 1, 8 and hardware threads and must match the same golden, which
+// pins the thread-count-invariance contract to a concrete artifact.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/pipeline.h"
+#include "eval/record.h"
+#include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace dgc {
+namespace {
+
+const char kFixture[] = DGC_TEST_DATA_DIR "/data/planted_252.txt";
+const char kGoldenDir[] = DGC_TEST_DATA_DIR "/golden";
+
+bool UpdateGolden() { return std::getenv("DGC_UPDATE_GOLDEN") != nullptr; }
+
+std::string LabelsToString(const Clustering& clustering) {
+  std::ostringstream out;
+  for (Index label : clustering.labels()) out << label << '\n';
+  return out.str();
+}
+
+Result<std::string> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Compares `actual` against the committed golden (or rewrites it under
+/// DGC_UPDATE_GOLDEN). Byte-for-byte: goldens are the determinism contract.
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(kGoldenDir) + "/" + name;
+  if (UpdateGolden()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  auto expected = ReadAll(path);
+  ASSERT_TRUE(expected.ok())
+      << expected.status().ToString()
+      << " (run with DGC_UPDATE_GOLDEN=1 to create goldens)";
+  EXPECT_EQ(actual, *expected)
+      << "golden mismatch for " << name
+      << " (regenerate with DGC_UPDATE_GOLDEN=1 if the change is intended)";
+}
+
+std::string MethodSlug(SymmetrizationMethod method) {
+  switch (method) {
+    case SymmetrizationMethod::kAPlusAT:
+      return "a_plus_at";
+    case SymmetrizationMethod::kRandomWalk:
+      return "random_walk";
+    case SymmetrizationMethod::kBibliometric:
+      return "bibliometric";
+    case SymmetrizationMethod::kDegreeDiscounted:
+      return "degree_discounted";
+  }
+  return "unknown";
+}
+
+struct PipelineRun {
+  std::string labels;
+  std::string report;
+};
+
+PipelineRun RunPipeline(const Digraph& g, SymmetrizationMethod method,
+                        int threads) {
+  MetricsRegistry registry;
+  PipelineOptions options;
+  options.method = method;
+  options.algorithm = ClusterAlgorithm::kMlrMcl;
+  options.symmetrization.prune_threshold = 0.001;
+  options.mlr_mcl.rmcl.max_iterations = 12;
+  options.num_threads = threads;
+  options.metrics = &registry;
+  auto result = SymmetrizeAndCluster(g, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  PipelineRun run;
+  if (result.ok()) {
+    run.labels = LabelsToString(result->clustering);
+    RecordClusteringMetrics(result->symmetrized, result->clustering,
+                            &registry);
+  }
+  run.report =
+      RunReportToJson(registry, RunReportOptions{/*redact_timings=*/true});
+  return run;
+}
+
+class GoldenPipelineTest
+    : public ::testing::TestWithParam<SymmetrizationMethod> {};
+
+TEST_P(GoldenPipelineTest, LabelsAndReportMatchGoldenAtEveryThreadCount) {
+  const SymmetrizationMethod method = GetParam();
+  auto graph = ReadEdgeList(kFixture);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+  const PipelineRun serial = RunPipeline(*graph, method, /*threads=*/1);
+  const std::string slug = MethodSlug(method);
+  CheckGolden(slug + ".labels.txt", serial.labels);
+  CheckGolden(slug + ".report.json", serial.report);
+
+  // The same goldens must hold at 8 threads and at hardware concurrency:
+  // pinned artifacts make a thread-dependent divergence unmissable.
+  for (int threads : {8, 0}) {
+    const PipelineRun run = RunPipeline(*graph, method, threads);
+    EXPECT_EQ(run.labels, serial.labels) << "threads=" << threads;
+    EXPECT_EQ(run.report, serial.report) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, GoldenPipelineTest,
+    ::testing::Values(SymmetrizationMethod::kAPlusAT,
+                      SymmetrizationMethod::kRandomWalk,
+                      SymmetrizationMethod::kBibliometric,
+                      SymmetrizationMethod::kDegreeDiscounted),
+    [](const ::testing::TestParamInfo<SymmetrizationMethod>& info) {
+      switch (info.param) {
+        case SymmetrizationMethod::kAPlusAT:
+          return "APlusAT";
+        case SymmetrizationMethod::kRandomWalk:
+          return "RandomWalk";
+        case SymmetrizationMethod::kBibliometric:
+          return "Bibliometric";
+        case SymmetrizationMethod::kDegreeDiscounted:
+          return "DegreeDiscounted";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace dgc

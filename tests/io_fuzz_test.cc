@@ -1,0 +1,267 @@
+// Deterministic fuzzing of the four streaming readers in graph/io.cc.
+//
+// Each reader is fed thousands of seeded mutants — truncations, splices of
+// two valid inputs, byte flips, sign flips, huge ids, non-UTF8 bytes, CRLF
+// rewrites, and pathological 10k-column lines — under tight IoLimits. The
+// contract under test: every input either parses into a valid graph or
+// fails with a clean Status whose message carries the offending path (and
+// therefore the file:line:column prefix every parse diagnostic starts
+// with); no input may crash, hang, or trip a sanitizer. The suite runs in
+// the ASan/UBSan CI jobs, which is where the "no UB" half of the contract
+// is actually enforced.
+//
+// The mutant count per reader defaults to 5000 and can be dialed with the
+// DGC_FUZZ_MUTANTS environment variable (the CI smoke step uses a smaller
+// count; a long local soak can use a larger one). Everything is seeded:
+// the same build and count always exercise the same corpus.
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+int MutantCount() {
+  const char* env = std::getenv("DGC_FUZZ_MUTANTS");
+  if (env == nullptr) return 5000;
+  const int count = std::atoi(env);
+  return count > 0 ? count : 5000;
+}
+
+/// Limits tight enough that no mutant can force a large allocation or a
+/// long scan, yet loose enough that the unmutated seeds parse cleanly.
+IoLimits FuzzLimits() {
+  IoLimits limits;
+  limits.max_vertices = 2000;
+  limits.max_edges = 20000;
+  limits.max_line_bytes = 4096;
+  limits.max_categories = 200;
+  return limits;
+}
+
+class IoFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dgc_io_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Applies one randomly chosen mutation to `input`. Mutations are chosen to
+/// cover the failure modes a hand-written parser historically gets wrong:
+/// mid-token truncation, structural splices, sign and digit corruption,
+/// values far outside Index range, bytes outside ASCII, alternative line
+/// endings, and lines with thousands of columns.
+std::string Mutate(const std::string& input, const std::string& other,
+                   Rng& rng) {
+  std::string s = input;
+  switch (rng.UniformU64(9)) {
+    case 0: {  // Truncate at an arbitrary byte (often mid-token).
+      if (!s.empty()) s.resize(static_cast<size_t>(rng.UniformU64(s.size())));
+      break;
+    }
+    case 1: {  // Splice: head of one corpus entry onto the tail of another.
+      const size_t cut_a =
+          s.empty() ? 0 : static_cast<size_t>(rng.UniformU64(s.size() + 1));
+      const size_t cut_b =
+          other.empty()
+              ? 0
+              : static_cast<size_t>(rng.UniformU64(other.size() + 1));
+      s = s.substr(0, cut_a) + other.substr(cut_b);
+      break;
+    }
+    case 2: {  // Flip 1-8 random bytes to random values (incl. >= 0x80).
+      if (s.empty()) break;
+      const int flips = static_cast<int>(rng.UniformU64(8)) + 1;
+      for (int i = 0; i < flips; ++i) {
+        s[static_cast<size_t>(rng.UniformU64(s.size()))] =
+            static_cast<char>(rng.UniformU64(256));
+      }
+      break;
+    }
+    case 3: {  // Insert a '-' somewhere (sign-flips ids and counts).
+      s.insert(static_cast<size_t>(rng.UniformU64(s.size() + 1)), 1, '-');
+      break;
+    }
+    case 4: {  // Insert a number far outside Index range.
+      static const char* kHuge[] = {"4294967296", "9223372036854775807",
+                                    "-9223372036854775808",
+                                    "99999999999999999999", "1e308", "-1"};
+      s.insert(static_cast<size_t>(rng.UniformU64(s.size() + 1)),
+               kHuge[rng.UniformU64(6)]);
+      break;
+    }
+    case 5: {  // Rewrite "\n" as "\r\n" (or sprinkle bare "\r").
+      std::string out;
+      out.reserve(s.size() + s.size() / 8);
+      for (char c : s) {
+        if (c == '\n' && rng.Bernoulli(0.7)) out.push_back('\r');
+        out.push_back(c);
+      }
+      s = std::move(out);
+      break;
+    }
+    case 6: {  // Append a line with thousands of columns.
+      std::string wide;
+      const int columns = 10000;
+      for (int i = 0; i < columns; ++i) {
+        wide += std::to_string(i % 7);
+        wide.push_back(' ');
+      }
+      s += wide + "\n";
+      break;
+    }
+    case 7: {  // Duplicate a random chunk (repeats headers/edges).
+      if (s.empty()) break;
+      const size_t from = static_cast<size_t>(rng.UniformU64(s.size()));
+      const size_t len = static_cast<size_t>(
+          rng.UniformU64(std::min<uint64_t>(s.size() - from, 64)) + 1);
+      s.insert(static_cast<size_t>(rng.UniformU64(s.size() + 1)),
+               s.substr(from, len));
+      break;
+    }
+    default: {  // Inject garbage tokens: NaNs, hex, words, NULs.
+      static const char* kTokens[] = {"nan",  "inf",  "0x1f", "abc",
+                                      "1.5.", "+3",   "2e",   "\t\t",
+                                      "\v\f", "~!@#", "%",    " "};
+      const int inserts = static_cast<int>(rng.UniformU64(4)) + 1;
+      for (int i = 0; i < inserts; ++i) {
+        s.insert(static_cast<size_t>(rng.UniformU64(s.size() + 1)),
+                 kTokens[rng.UniformU64(12)]);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+/// Every status a reader returns for a fuzzed file must carry the path —
+/// the anchor of the file:line:column diagnostic contract. (Crash/UB
+/// detection is the sanitizers' job; this assertion keeps the error
+/// messages actionable.)
+void ExpectCleanStatus(const Status& status, const std::string& path,
+                       int mutant) {
+  if (status.ok()) return;
+  EXPECT_NE(status.message().find(path), std::string::npos)
+      << "mutant " << mutant << ": diagnostic lost the path: "
+      << status.ToString();
+}
+
+TEST_F(IoFuzzTest, EdgeListSurvivesMutants) {
+  const std::vector<std::string> corpus = {
+      "# weighted digraph\n0 1 0.5\n1 2 1.0\n2 0 2.5\n",
+      "0 1\n1 0\n3 4\n4 3\n2 2\n",
+      "# comment\n\n10 11 1e-3\n11 12 0.125\n\n12 10 3\n",
+  };
+  const std::string path = Path("edges.txt");
+  const IoLimits limits = FuzzLimits();
+  Rng rng(20260807);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, Mutate(base, other, rng));
+    auto g = ReadEdgeList(path, /*num_vertices=*/0, limits);
+    ExpectCleanStatus(g.status(), path, i);
+  }
+}
+
+TEST_F(IoFuzzTest, MetisGraphSurvivesMutants) {
+  const std::vector<std::string> corpus = {
+      "3 3\n2 3\n1 3\n1 2\n",
+      "% comment\n4 4 001\n2 1 3 1\n1 1 4 2\n1 1 4 2\n2 2 3 2\n",
+      "5 0\n\n\n\n\n\n",
+  };
+  const std::string path = Path("graph.metis");
+  const IoLimits limits = FuzzLimits();
+  Rng rng(421);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, Mutate(base, other, rng));
+    auto g = ReadMetisGraph(path, limits);
+    ExpectCleanStatus(g.status(), path, i);
+  }
+}
+
+TEST_F(IoFuzzTest, GroundTruthSurvivesMutants) {
+  const std::vector<std::string> corpus = {
+      "0 0\n1 0 1\n2 1\n3 1\n",
+      "# vertex categories\n0 5\n1 5\n2 5\n3 0 1 2 3 4\n",
+      "7 199\n",
+  };
+  const std::string path = Path("truth.txt");
+  const IoLimits limits = FuzzLimits();
+  Rng rng(99991);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, Mutate(base, other, rng));
+    auto truth = ReadGroundTruth(path, /*num_vertices=*/8, limits);
+    ExpectCleanStatus(truth.status(), path, i);
+  }
+}
+
+TEST_F(IoFuzzTest, ClusteringSurvivesMutants) {
+  const std::vector<std::string> corpus = {
+      "0\n0\n1\n1\n2\n",
+      "# labels\n-1\n3\n3\n-1\n0\n",
+      "5\n5\n5\n5\n5\n5\n5\n5\n",
+  };
+  const std::string path = Path("labels.txt");
+  const IoLimits limits = FuzzLimits();
+  Rng rng(777);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, Mutate(base, other, rng));
+    auto clustering = ReadClustering(path, limits);
+    ExpectCleanStatus(clustering.status(), path, i);
+  }
+}
+
+/// The unmutated seeds must parse: otherwise the fuzz loops above would be
+/// exercising only the error paths and silently lose the accept-side
+/// coverage.
+TEST_F(IoFuzzTest, SeedCorpusParses) {
+  const IoLimits limits = FuzzLimits();
+  WriteFile(Path("s_edges.txt"), "0 1 0.5\n1 2 1.0\n2 0 2.5\n");
+  EXPECT_TRUE(ReadEdgeList(Path("s_edges.txt"), 0, limits).ok());
+  WriteFile(Path("s_graph.metis"), "3 3\n2 3\n1 3\n1 2\n");
+  EXPECT_TRUE(ReadMetisGraph(Path("s_graph.metis"), limits).ok());
+  WriteFile(Path("s_graph2.metis"),
+            "% comment\n4 4 001\n2 1 3 1\n1 1 4 2\n1 1 4 2\n2 2 3 2\n");
+  EXPECT_TRUE(ReadMetisGraph(Path("s_graph2.metis"), limits).ok());
+  WriteFile(Path("s_truth.txt"), "0 0\n1 0 1\n2 1\n3 1\n");
+  EXPECT_TRUE(ReadGroundTruth(Path("s_truth.txt"), 8, limits).ok());
+  WriteFile(Path("s_labels.txt"), "0\n0\n1\n1\n2\n");
+  EXPECT_TRUE(ReadClustering(Path("s_labels.txt"), limits).ok());
+}
+
+}  // namespace
+}  // namespace dgc

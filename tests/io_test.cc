@@ -104,6 +104,147 @@ TEST_F(IoTest, GroundTruthRejectsOutOfRangeVertex) {
   EXPECT_FALSE(ReadGroundTruth(Path("gt_bad.txt"), 5).ok());
 }
 
+// Regression: ids at or beyond a declared num_vertices must be rejected
+// during the scan with a file:line:column diagnostic — never clamped or used
+// to index out of bounds.
+TEST_F(IoTest, EdgeListRejectsIdAtDeclaredBound) {
+  WriteFile("bound.txt", "0 1\n1 5\n");
+  auto result = ReadEdgeList(Path("bound.txt"), 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+  EXPECT_NE(result.status().message().find("bound.txt:2:3"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("declared num_vertices"),
+            std::string::npos);
+}
+
+// Regression: an id that overflows int64 (or Index) must be a clean error,
+// not an implementation-defined narrowing cast.
+TEST_F(IoTest, EdgeListRejectsOverflowingIds) {
+  WriteFile("huge.txt", "0 99999999999999999999999999\n");
+  auto result = ReadEdgeList(Path("huge.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+
+  WriteFile("huge32.txt", "0 4294967296\n");  // > Index (int32) max
+  auto r32 = ReadEdgeList(Path("huge32.txt"));
+  ASSERT_FALSE(r32.ok());
+  EXPECT_TRUE(r32.status().IsOutOfRange());
+}
+
+TEST_F(IoTest, EdgeListRejectsBadWeights) {
+  WriteFile("nan.txt", "0 1 nan\n");
+  EXPECT_FALSE(ReadEdgeList(Path("nan.txt")).ok());
+  WriteFile("inf.txt", "0 1 inf\n");
+  EXPECT_FALSE(ReadEdgeList(Path("inf.txt")).ok());
+  WriteFile("neg.txt", "0 1 -2.5\n");
+  EXPECT_FALSE(ReadEdgeList(Path("neg.txt")).ok());
+  WriteFile("junk.txt", "0 1 1.5x\n");
+  EXPECT_FALSE(ReadEdgeList(Path("junk.txt")).ok());
+  WriteFile("trail.txt", "0 1 1.5 7\n");
+  EXPECT_FALSE(ReadEdgeList(Path("trail.txt")).ok());
+}
+
+TEST_F(IoTest, EdgeListHonorsCrlfAndComments) {
+  WriteFile("crlf.txt", "# header\r\n0 1 2.0\r\n% also comment\r\n1 2\r\n");
+  auto g = ReadEdgeList(Path("crlf.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3);
+  EXPECT_EQ(g->NumEdges(), 2);
+  EXPECT_DOUBLE_EQ(g->adjacency().At(0, 1), 2.0);
+}
+
+TEST_F(IoTest, EdgeListEnforcesIoLimits) {
+  WriteFile("lim.txt", "0 1\n1 2\n2 3\n");
+  IoLimits limits;
+  limits.max_edges = 2;
+  auto capped = ReadEdgeList(Path("lim.txt"), 0, limits);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_TRUE(capped.status().IsOutOfRange());
+
+  IoLimits vlimits;
+  vlimits.max_vertices = 3;
+  auto vcapped = ReadEdgeList(Path("lim.txt"), 0, vlimits);
+  ASSERT_FALSE(vcapped.ok());
+  EXPECT_TRUE(vcapped.status().IsOutOfRange());
+
+  IoLimits line_limits;
+  line_limits.max_line_bytes = 2;
+  auto lcapped = ReadEdgeList(Path("lim.txt"), 0, line_limits);
+  EXPECT_FALSE(lcapped.ok());
+}
+
+// Regression: a weight that rounds to zero under the chosen scale must be
+// reported, not silently clamped to 1 (which would misrepresent the graph).
+TEST_F(IoTest, MetisWriteRejectsWeightRoundingToZero) {
+  auto g = UGraph::FromEdges(2, {{0, 1, 0.25}});
+  ASSERT_TRUE(g.ok());
+  auto status = WriteMetisGraph(*g, Path("zero.metis"), 1.0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("weight_scale"), std::string::npos);
+  EXPECT_NE(status.message().find("(0,1)"), std::string::npos);
+}
+
+TEST_F(IoTest, MetisRejectsHeaderBodyMismatch) {
+  // Header claims 2 edges but the body only lists one (both endpoints).
+  WriteFile("short.metis", "3 2 001\n2 5\n1 5\n\n");
+  auto result = ReadMetisGraph(Path("short.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("endpoint"), std::string::npos);
+
+  // Truncated body: fewer adjacency lines than the header's n.
+  WriteFile("trunc.metis", "3 1 001\n2 5\n");
+  EXPECT_FALSE(ReadMetisGraph(Path("trunc.metis")).ok());
+}
+
+TEST_F(IoTest, MetisRejectsUnsupportedFmt) {
+  WriteFile("vw.metis", "2 1 011\n2 1 1\n1 1 1\n");
+  auto result = ReadMetisGraph(Path("vw.metis"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not supported"),
+            std::string::npos);
+}
+
+TEST_F(IoTest, MetisRejectsSelfLoopInBody) {
+  WriteFile("self.metis", "2 1 \n1\n1\n");
+  EXPECT_FALSE(ReadMetisGraph(Path("self.metis")).ok());
+}
+
+// Regression: a huge category id used to drive an unbounded resize (OOM on
+// hostile input); it must now be rejected against IoLimits.max_categories.
+TEST_F(IoTest, GroundTruthBoundsCategoryIds) {
+  WriteFile("gt_huge.txt", "0 99999999999999999999\n");
+  auto overflow = ReadGroundTruth(Path("gt_huge.txt"), 5);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsOutOfRange());
+
+  WriteFile("gt_big.txt", "0 1000000\n");
+  IoLimits limits;
+  limits.max_categories = 100;
+  auto capped = ReadGroundTruth(Path("gt_big.txt"), 5, limits);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_TRUE(capped.status().IsOutOfRange());
+  EXPECT_NE(capped.status().message().find("max_categories"),
+            std::string::npos);
+}
+
+TEST_F(IoTest, ClusteringRejectsGarbageLabels) {
+  WriteFile("c_bad.txt", "0\nxyz\n");
+  auto result = ReadClustering(Path("c_bad.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("c_bad.txt:2:1"),
+            std::string::npos)
+      << result.status().message();
+
+  WriteFile("c_neg.txt", "0\n-5\n");
+  EXPECT_FALSE(ReadClustering(Path("c_neg.txt")).ok());
+
+  WriteFile("c_trail.txt", "0 junk\n");
+  EXPECT_FALSE(ReadClustering(Path("c_trail.txt")).ok());
+}
+
 TEST_F(IoTest, ClusteringRoundTrip) {
   Clustering c(std::vector<Index>{0, 1, -1, 1});
   ASSERT_TRUE(WriteClustering(c, Path("c.txt")).ok());

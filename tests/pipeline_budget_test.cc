@@ -1,0 +1,126 @@
+// Resource governance at the pipeline level: an exceeded budget must abort
+// with the right status code, leave the partial span tree in the metrics
+// registry (stamped with the terminal status), and — crucially — a budget
+// that is never hit must not perturb results by a single bit.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/pipeline.h"
+#include "gen/rmat.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "util/budget.h"
+#include "util/logging.h"
+
+namespace dgc {
+namespace {
+
+Digraph TestGraph() {
+  RmatOptions gen;
+  gen.scale = 10;
+  gen.edge_factor = 6.0;
+  auto dataset = GenerateRmat(gen);
+  DGC_CHECK(dataset.ok());
+  return std::move(dataset->graph);
+}
+
+PipelineOptions BaseOptions() {
+  PipelineOptions options;
+  options.method = SymmetrizationMethod::kDegreeDiscounted;
+  options.algorithm = ClusterAlgorithm::kMlrMcl;
+  options.symmetrization.prune_threshold = 0.01;
+  options.mlr_mcl.rmcl.max_iterations = 8;
+  return options;
+}
+
+TEST(PipelineBudgetTest, MemoryBudgetAbortsWithResourceExhausted) {
+  const Digraph g = TestGraph();
+  MetricsRegistry registry;
+  PipelineOptions options = BaseOptions();
+  options.metrics = &registry;
+  options.budget.max_memory_bytes = 1;  // First kernel charge trips.
+  auto result = SymmetrizeAndCluster(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted())
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("memory budget"),
+            std::string::npos)
+      << result.status().ToString();
+  // The partial span tree survives the abort and records why the run ended.
+  const std::string report =
+      RunReportToJson(registry, RunReportOptions{/*redact_timings=*/true});
+  EXPECT_NE(report.find("\"name\": \"pipeline\""), std::string::npos);
+  EXPECT_NE(report.find("ResourceExhausted"), std::string::npos) << report;
+}
+
+TEST(PipelineBudgetTest, DeadlineBudgetAbortsWithDeadlineExceeded) {
+  const Digraph g = TestGraph();
+  MetricsRegistry registry;
+  PipelineOptions options = BaseOptions();
+  options.metrics = &registry;
+  options.budget.deadline_ms = 1;  // Far below the full-pipeline runtime.
+  auto result = SymmetrizeAndCluster(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  const std::string report =
+      RunReportToJson(registry, RunReportOptions{/*redact_timings=*/true});
+  EXPECT_NE(report.find("DeadlineExceeded"), std::string::npos) << report;
+}
+
+TEST(PipelineBudgetTest, GenerousBudgetIsBitIdenticalToNone) {
+  const Digraph g = TestGraph();
+  PipelineOptions plain = BaseOptions();
+  auto baseline = SymmetrizeAndCluster(g, plain);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  PipelineOptions governed = BaseOptions();
+  governed.budget.deadline_ms = 10 * 60 * 1000;
+  governed.budget.max_memory_bytes = int64_t{1} << 40;
+  for (int threads : {1, 8, 0}) {
+    governed.num_threads = threads;
+    auto result = SymmetrizeAndCluster(g, governed);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->clustering, baseline->clustering)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineBudgetTest, CallerTokenWinsAndRearmRecovers) {
+  const Digraph g = TestGraph();
+  CancelToken token;
+  ResourceBudget tight;
+  tight.max_memory_bytes = 1;
+  token.Arm(tight);
+
+  PipelineOptions options = BaseOptions();
+  options.cancel = &token;
+  // The caller token governs even though options.budget is unlimited.
+  auto result = SymmetrizeAndCluster(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+
+  // Re-arming with an unlimited budget clears the latched trip, so the
+  // same token can govern a fresh run that now completes.
+  token.Arm(ResourceBudget{});
+  auto retry = SymmetrizeAndCluster(g, options);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(PipelineBudgetTest, ClusterUGraphHonorsBudget) {
+  const Digraph g = TestGraph();
+  PipelineOptions plain = BaseOptions();
+  auto full = SymmetrizeAndCluster(g, plain);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  PipelineOptions options = BaseOptions();
+  options.budget.deadline_ms = 1;
+  auto result = ClusterUGraph(full->symmetrized, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace dgc

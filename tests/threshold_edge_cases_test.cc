@@ -1,0 +1,156 @@
+// Edge cases for the threshold-selection and top-edges reporting helpers:
+// empty graphs, single vertices, graphs whose edges are entirely pruned
+// away, and weight ties at the selection cut. These are the degenerate
+// inputs a hardened CLI can feed the library after parsing an unusual but
+// valid file.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/symmetrize.h"
+#include "core/threshold_select.h"
+#include "core/top_edges.h"
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/budget.h"
+
+namespace dgc {
+namespace {
+
+TEST(ThresholdSelectTest, EmptyGraphIsRejectedNotNaN) {
+  Digraph empty;
+  auto selection = SelectPruneThreshold(
+      empty, SymmetrizationMethod::kDegreeDiscounted);
+  ASSERT_FALSE(selection.ok());
+  EXPECT_TRUE(selection.status().IsInvalidArgument())
+      << selection.status().ToString();
+}
+
+TEST(ThresholdSelectTest, SingleVertexSelectsZeroThreshold) {
+  auto g = Digraph::FromEdges(1, {});
+  ASSERT_TRUE(g.ok());
+  auto selection = SelectPruneThreshold(
+      *g, SymmetrizationMethod::kDegreeDiscounted);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->threshold, 0.0);
+  EXPECT_EQ(selection->sampled_avg_degree, 0.0);
+}
+
+TEST(ThresholdSelectTest, SparseGraphNeedsNoPruning) {
+  // Average sampled degree far below the target => threshold 0.
+  auto g = Digraph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  ASSERT_TRUE(g.ok());
+  auto selection = SelectPruneThreshold(
+      *g, SymmetrizationMethod::kBibliometric);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->threshold, 0.0);
+}
+
+TEST(ThresholdSelectTest, TiesAtTheCutPickTheTiedValue) {
+  // A directed star: every leaf cites the hub, so every leaf pair gets the
+  // identical co-citation similarity — the rank statistic lands inside a
+  // run of ties and must return that tied value (pruning at it keeps the
+  // graph deterministic rather than keeping an arbitrary subset).
+  std::vector<Edge> edges;
+  const Index leaves = 20;
+  for (Index i = 1; i <= leaves; ++i) edges.push_back({i, 0, 1.0});
+  auto g = Digraph::FromEdges(leaves + 1, edges);
+  ASSERT_TRUE(g.ok());
+  ThresholdSelectOptions select;
+  select.target_avg_degree = 1;  // force a cut inside the tied run
+  select.sample_size = leaves + 1;
+  auto selection = SelectPruneThreshold(
+      *g, SymmetrizationMethod::kBibliometric, {}, select);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  SymmetrizationOptions sym;
+  auto u = Symmetrize(*g, SymmetrizationMethod::kBibliometric, sym);
+  ASSERT_TRUE(u.ok());
+  // All off-diagonal similarities are equal, so the selected threshold is
+  // exactly that shared value.
+  Scalar expected = 0.0;
+  for (Scalar v : u->adjacency().values()) {
+    if (v > 0.0) {
+      expected = v;
+      break;
+    }
+  }
+  EXPECT_GT(expected, 0.0);
+  EXPECT_DOUBLE_EQ(selection->threshold, expected);
+}
+
+TEST(ThresholdSelectTest, HonorsCancelToken) {
+  auto g = Digraph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  ASSERT_TRUE(g.ok());
+  CancelToken token;
+  ResourceBudget budget;
+  budget.max_memory_bytes = 1;
+  token.Arm(budget);
+  token.ChargeMemory(2);  // trip it
+  ThresholdSelectOptions select;
+  select.cancel = &token;
+  auto selection = SelectPruneThreshold(
+      *g, SymmetrizationMethod::kDegreeDiscounted, {}, select);
+  ASSERT_FALSE(selection.ok());
+  EXPECT_TRUE(selection.status().IsResourceExhausted())
+      << selection.status().ToString();
+}
+
+TEST(ThresholdSelectTest, AllEdgesPrunedYieldsEmptySymmetrization) {
+  // A threshold above every similarity prunes everything; the pipeline
+  // then sees a graph with vertices but no edges, which must be a valid
+  // (if useless) UGraph rather than an error or a malformed CSR.
+  auto g = Digraph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  ASSERT_TRUE(g.ok());
+  SymmetrizationOptions sym;
+  sym.prune_threshold = 1e9;
+  auto u = Symmetrize(*g, SymmetrizationMethod::kDegreeDiscounted, sym);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->NumVertices(), 4);
+  EXPECT_EQ(u->NumEdges(), 0);
+  EXPECT_TRUE(TopWeightedEdges(*u, 10).empty());
+}
+
+TEST(TopEdgesTest, EmptyAndSingleVertexGraphs) {
+  UGraph empty;
+  EXPECT_TRUE(TopWeightedEdges(empty, 5).empty());
+  EXPECT_TRUE(TopWeightedEdgesNormalized(empty, 5).empty());
+  auto single = UGraph::FromEdges(1, {});
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(TopWeightedEdges(*single, 5).empty());
+}
+
+TEST(TopEdgesTest, NonPositiveKAndOversizedK) {
+  auto g = UGraph::FromEdges(3, {{0, 1, 2.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(TopWeightedEdges(*g, 0).empty());
+  EXPECT_TRUE(TopWeightedEdges(*g, -3).empty());
+  // k larger than the edge count returns every edge, heaviest first.
+  auto top = TopWeightedEdges(*g, 100);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (WeightedEdge{0, 1, 2.0}));
+  EXPECT_EQ(top[1], (WeightedEdge{1, 2, 1.0}));
+}
+
+TEST(TopEdgesTest, TiesAtTheCutBreakByVertexPair) {
+  // Three edges of equal weight and k = 2: the kept set must be the
+  // lexicographically smallest pairs, independent of CSR layout.
+  auto g = UGraph::FromEdges(
+      4, {{2, 3, 1.0}, {0, 1, 1.0}, {1, 2, 1.0}});
+  ASSERT_TRUE(g.ok());
+  auto top = TopWeightedEdges(*g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (WeightedEdge{0, 1, 1.0}));
+  EXPECT_EQ(top[1], (WeightedEdge{1, 2, 1.0}));
+}
+
+TEST(TopEdgesTest, NormalizationDividesBySmallestPositiveWeight) {
+  auto g = UGraph::FromEdges(3, {{0, 1, 0.5}, {1, 2, 2.0}});
+  ASSERT_TRUE(g.ok());
+  auto top = TopWeightedEdgesNormalized(*g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].weight, 4.0);
+  EXPECT_DOUBLE_EQ(top[1].weight, 1.0);
+}
+
+}  // namespace
+}  // namespace dgc

@@ -4,10 +4,15 @@
 // can be exercised on reproducible data, and so users can inspect the
 // stand-in workloads outside the benchmark binaries.
 //
-//   $ ./dgc_generate --family=citation --out=graph.txt --truth=truth.txt 
+//   $ ./dgc_generate --family=citation --out=graph.txt --truth=truth.txt
 //         [--n=6000] [--seed=2] [--mixing=0.2] [--style=cocitation]
+//         [--max-edges=N] [--deadline-ms=N]
 //
 // Families: planted | citation | hyperlink | social | rmat | lfr
+//
+// --max-edges rejects a generated graph larger than the cap before any
+// file is written; --deadline-ms bounds the whole generate+write run,
+// checked at stage granularity.
 #include <cstdio>
 #include <string>
 
@@ -18,6 +23,7 @@
 #include "gen/rmat.h"
 #include "gen/social.h"
 #include "graph/io.h"
+#include "util/budget.h"
 #include "util/options.h"
 
 namespace {
@@ -87,9 +93,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
     return 2;
   }
+  CancelToken cancel;
+  ResourceBudget budget;
+  budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  cancel.Arm(budget);
   auto dataset = Generate(*opts);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t max_edges = opts->GetInt("max-edges", 0);
+  if (max_edges > 0 && dataset->graph.NumEdges() > max_edges) {
+    std::fprintf(stderr,
+                 "generated graph has %lld edges, over --max-edges=%lld\n",
+                 static_cast<long long>(dataset->graph.NumEdges()),
+                 static_cast<long long>(max_edges));
+    return 1;
+  }
+  if (cancel.Expired()) {
+    std::fprintf(stderr, "%s\n", cancel.status().ToString().c_str());
     return 1;
   }
   std::printf("%s: %d vertices, %lld edges, %d categories, %.1f%% symmetric\n",
@@ -107,6 +129,10 @@ int main(int argc, char** argv) {
     std::printf("wrote edges to %s\n", out.c_str());
   }
   const std::string truth = opts->GetString("truth", "");
+  if (!truth.empty() && cancel.Expired()) {
+    std::fprintf(stderr, "%s\n", cancel.status().ToString().c_str());
+    return 1;
+  }
   if (!truth.empty() && dataset->truth.NumCategories() > 0) {
     auto status = WriteGroundTruth(dataset->truth, truth);
     if (!status.ok()) {

@@ -6,6 +6,11 @@
 //
 //   $ ./dgc_score --labels=c.txt --truth=truth.txt --n=6000
 //         [--graph=graph.txt] [--labels-b=other.txt]
+//         [--max-edges=N] [--deadline-ms=N]
+//
+// --max-edges bounds the --graph edge-list scan; --deadline-ms is checked
+// at stage granularity (between metric computations) and inside the
+// symmetrization kernels.
 #include <cstdio>
 #include <string>
 
@@ -16,6 +21,7 @@
 #include "eval/sign_test.h"
 #include "graph/io.h"
 #include "linalg/power_iteration.h"
+#include "util/budget.h"
 #include "util/options.h"
 
 int main(int argc, char** argv) {
@@ -31,19 +37,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dgc_score --labels=<file> --truth=<file> "
                  "[--n=<vertices>] [--graph=<edge-list>] "
-                 "[--labels-b=<file>]\n");
+                 "[--labels-b=<file>] [--max-edges=N] [--deadline-ms=N]\n");
     return 2;
   }
-  auto clustering = ReadClustering(labels_path);
+  IoLimits limits;
+  const int64_t max_edges = opts->GetInt("max-edges", 0);
+  if (max_edges > 0) limits.max_edges = max_edges;
+  CancelToken cancel;
+  ResourceBudget budget;
+  budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  cancel.Arm(budget);
+  auto clustering = ReadClustering(labels_path, limits);
   if (!clustering.ok()) {
     std::fprintf(stderr, "%s\n", clustering.status().ToString().c_str());
     return 1;
   }
   const Index n = static_cast<Index>(
       opts->GetInt("n", clustering->NumVertices()));
-  auto truth = ReadGroundTruth(truth_path, n);
+  auto truth = ReadGroundTruth(truth_path, n, limits);
   if (!truth.ok()) {
     std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  if (cancel.Expired()) {
+    std::fprintf(stderr, "%s\n", cancel.status().ToString().c_str());
     return 1;
   }
 
@@ -72,12 +89,18 @@ int main(int argc, char** argv) {
 
   const std::string graph_path = opts->GetString("graph", "");
   if (!graph_path.empty()) {
-    auto graph = ReadEdgeList(graph_path, n);
+    auto graph = ReadEdgeList(graph_path, n, limits);
     if (!graph.ok()) {
       std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
       return 1;
     }
-    auto u = SymmetrizeAPlusAT(*graph);
+    if (cancel.Expired()) {
+      std::fprintf(stderr, "%s\n", cancel.status().ToString().c_str());
+      return 1;
+    }
+    SymmetrizationOptions ncut_sym;
+    ncut_sym.cancel = &cancel;
+    auto u = Symmetrize(*graph, SymmetrizationMethod::kAPlusAT, ncut_sym);
     auto pr = PageRank(graph->adjacency());
     if (u.ok() && pr.ok()) {
       std::printf("ncut(A+A'): %.4f\n", NormalizedCut(*u, *clustering));

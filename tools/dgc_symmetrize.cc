@@ -3,9 +3,10 @@
 // prune threshold if asked), and writes the undirected result as a weighted
 // edge list and/or METIS file for consumption by any external clusterer.
 //
-//   $ ./dgc_symmetrize --input=graph.txt --method=dd --target-degree=100 
+//   $ ./dgc_symmetrize --input=graph.txt --method=dd --target-degree=100
 //         --out=sym.txt [--metis-out=sym.graph] [--threshold=0.01]
 //         [--alpha=0.5] [--beta=0.5] [--report-top=10]
+//         [--max-edges=N] [--deadline-ms=N]
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "core/top_edges.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
+#include "util/budget.h"
 #include "util/options.h"
 #include "util/timer.h"
 
@@ -52,10 +54,13 @@ int main(int argc, char** argv) {
                  "usage: dgc_symmetrize --input=<edge-list> [--method=dd] "
                  "[--threshold=auto] [--target-degree=100] [--alpha=0.5] "
                  "[--beta=0.5] [--out=sym.txt] [--metis-out=sym.graph] "
-                 "[--report-top=0]\n");
+                 "[--report-top=0] [--max-edges=N] [--deadline-ms=N]\n");
     return 2;
   }
-  auto graph = ReadEdgeList(input);
+  IoLimits limits;
+  const int64_t max_edges = opts->GetInt("max-edges", 0);
+  if (max_edges > 0) limits.max_edges = max_edges;
+  auto graph = ReadEdgeList(input, /*num_vertices=*/0, limits);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
@@ -69,6 +74,15 @@ int main(int argc, char** argv) {
   sym.out_discount = DiscountSpec::Power(opts->GetDouble("alpha", 0.5));
   sym.in_discount = DiscountSpec::Power(opts->GetDouble("beta", 0.5));
   sym.add_self_loops = opts->GetBool("self-loops", false);
+  // --deadline-ms bounds the symmetrization kernels; the token trips
+  // cooperatively inside the SpGEMM row loops.
+  CancelToken cancel;
+  ResourceBudget budget;
+  budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  if (!budget.unlimited()) {
+    cancel.Arm(budget);
+    sym.cancel = &cancel;
+  }
 
   const std::string threshold = opts->GetString("threshold", "auto");
   const bool prunable = *method == SymmetrizationMethod::kBibliometric ||
