@@ -1,5 +1,8 @@
 #include "core/symmetrize.h"
 
+#include <vector>
+
+#include "linalg/reorder.h"
 #include "linalg/spgemm.h"
 #include "obs/span.h"
 
@@ -40,12 +43,29 @@ Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
     at = a.Transpose(options.num_threads);
     transpose_span.Metric("nnz", at.nnz());
   }
-  DGC_ASSIGN_OR_RETURN(
-      CsrMatrix coupling_upper,
-      SpGemmAAtSymmetric(a, {}, {}, product_options, &at));
-  DGC_ASSIGN_OR_RETURN(
-      CsrMatrix cocitation_upper,
-      SpGemmAAtSymmetric(at, {}, {}, product_options, &a));
+  CsrMatrix coupling_upper;
+  CsrMatrix cocitation_upper;
+  if (options.reorder != ReorderMethod::kNone) {
+    // Row-permuted products for accumulator locality, un-permuted before
+    // the sum; bit-identical to the direct path (linalg/reorder.h).
+    std::vector<Index> perm;
+    {
+      StageSpan reorder_span(options.metrics, "reorder");
+      reorder_span.Metric("method", ReorderMethodName(options.reorder));
+      perm = BuildReorderPermutation(options.reorder, a, at);
+    }
+    DGC_ASSIGN_OR_RETURN(
+        coupling_upper,
+        SpGemmAAtSymmetricReordered(a, {}, {}, product_options, perm));
+    DGC_ASSIGN_OR_RETURN(
+        cocitation_upper,
+        SpGemmAAtSymmetricReordered(at, {}, {}, product_options, perm));
+  } else {
+    DGC_ASSIGN_OR_RETURN(coupling_upper,
+                         SpGemmAAtSymmetric(a, {}, {}, product_options, &at));
+    DGC_ASSIGN_OR_RETURN(cocitation_upper,
+                         SpGemmAAtSymmetric(at, {}, {}, product_options, &a));
+  }
   SpGemmOptions sum_options;
   sum_options.threshold = options.prune_threshold;
   sum_options.drop_diagonal = true;

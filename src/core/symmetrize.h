@@ -19,6 +19,7 @@
 #include "graph/digraph.h"
 #include "graph/ugraph.h"
 #include "linalg/power_iteration.h"
+#include "linalg/reorder.h"
 #include "util/budget.h"
 #include "util/result.h"
 
@@ -96,6 +97,13 @@ struct SymmetrizationOptions {
   /// Degree-discounted). kFused and kReference produce bit-identical
   /// graphs; kReference exists as the test oracle and for perf comparison.
   SimilarityEngine engine = SimilarityEngine::kFused;
+
+  /// Optional row reordering of the similarity products for accumulator
+  /// locality (linalg/reorder.h). Applies to the fused engine of the
+  /// similarity-based methods only; the permutation is undone before the
+  /// products are summed, so the symmetrized graph is bit-identical for
+  /// every setting (the golden tests pin this).
+  ReorderMethod reorder = ReorderMethod::kNone;
 
   /// Optional observability sink (obs/metrics.h). When non-null each
   /// symmetrization records a stage span with input/output nnz, the prune

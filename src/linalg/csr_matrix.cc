@@ -300,11 +300,25 @@ void CsrMatrix::ScaleCols(std::span<const Scalar> scale) {
 }
 
 CsrMatrix CsrMatrix::Pruned(Scalar threshold, bool drop_diagonal) const {
+  // Exact counting pass first, so the output arrays are allocated at their
+  // final size instead of growing (and over-reserving) via push_back.
   std::vector<Offset> new_row_ptr(static_cast<size_t>(rows_) + 1, 0);
-  std::vector<Index> new_col_idx;
-  std::vector<Scalar> new_values;
-  new_col_idx.reserve(col_idx_.size());
-  new_values.reserve(values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    Offset kept = 0;
+    for (Offset p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const Index c = col_idx_[static_cast<size_t>(p)];
+      const Scalar v = values_[static_cast<size_t>(p)];
+      if (std::abs(v) < threshold) continue;
+      if (drop_diagonal && c == r) continue;
+      ++kept;
+    }
+    new_row_ptr[static_cast<size_t>(r) + 1] =
+        new_row_ptr[static_cast<size_t>(r)] + kept;
+  }
+  std::vector<Index> new_col_idx(static_cast<size_t>(new_row_ptr.back()));
+  std::vector<Scalar> new_values(static_cast<size_t>(new_row_ptr.back()));
+  size_t out = 0;
   for (Index r = 0; r < rows_; ++r) {
     for (Offset p = row_ptr_[static_cast<size_t>(r)];
          p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
@@ -312,11 +326,10 @@ CsrMatrix CsrMatrix::Pruned(Scalar threshold, bool drop_diagonal) const {
       const Scalar v = values_[static_cast<size_t>(p)];
       if (std::abs(v) < threshold) continue;
       if (drop_diagonal && c == r) continue;
-      new_col_idx.push_back(c);
-      new_values.push_back(v);
+      new_col_idx[out] = c;
+      new_values[out] = v;
+      ++out;
     }
-    new_row_ptr[static_cast<size_t>(r) + 1] =
-        static_cast<Offset>(new_col_idx.size());
   }
   CsrMatrix pruned =
       FromPartsUnchecked(rows_, cols_, std::move(new_row_ptr),
@@ -337,11 +350,33 @@ Result<CsrMatrix> CsrMatrix::Add(const CsrMatrix& a, const CsrMatrix& b) {
     return Status::InvalidArgument("Add: shape mismatch " + a.DebugString() +
                                    " vs " + b.DebugString());
   }
+  // Exact counting pass over the column structure (cheap two-pointer merge,
+  // no values touched), so the output arrays are allocated at their final
+  // size instead of growing through push_back on the hot symmetrization
+  // path.
   std::vector<Offset> row_ptr(static_cast<size_t>(a.rows()) + 1, 0);
-  std::vector<Index> col_idx;
-  std::vector<Scalar> values;
-  col_idx.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
-  values.reserve(static_cast<size_t>(a.nnz() + b.nnz()));
+  for (Index r = 0; r < a.rows(); ++r) {
+    auto ac = a.RowCols(r);
+    auto bc = b.RowCols(r);
+    size_t i = 0, j = 0;
+    Offset merged = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+      ++merged;
+    }
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] + merged;
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  size_t out = 0;
   for (Index r = 0; r < a.rows(); ++r) {
     auto ac = a.RowCols(r);
     auto av = a.RowValues(r);
@@ -350,21 +385,21 @@ Result<CsrMatrix> CsrMatrix::Add(const CsrMatrix& a, const CsrMatrix& b) {
     size_t i = 0, j = 0;
     while (i < ac.size() || j < bc.size()) {
       if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
-        col_idx.push_back(ac[i]);
-        values.push_back(av[i]);
+        col_idx[out] = ac[i];
+        values[out] = av[i];
         ++i;
       } else if (i >= ac.size() || bc[j] < ac[i]) {
-        col_idx.push_back(bc[j]);
-        values.push_back(bv[j]);
+        col_idx[out] = bc[j];
+        values[out] = bv[j];
         ++j;
       } else {
-        col_idx.push_back(ac[i]);
-        values.push_back(av[i] + bv[j]);
+        col_idx[out] = ac[i];
+        values[out] = av[i] + bv[j];
         ++i;
         ++j;
       }
+      ++out;
     }
-    row_ptr[static_cast<size_t>(r) + 1] = static_cast<Offset>(col_idx.size());
   }
   CsrMatrix sum = FromPartsUnchecked(a.rows(), a.cols(), std::move(row_ptr),
                                      std::move(col_idx), std::move(values));

@@ -1,0 +1,323 @@
+#include "linalg/reorder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace dgc {
+
+namespace {
+
+/// Merged undirected neighbour list of vertex u (union of row u of `a` and
+/// row u of `at`, self excluded), appended to `out`. Both rows are sorted,
+/// so the union is a two-pointer merge producing sorted unique ids.
+void UndirectedNeighbors(const CsrMatrix& a, const CsrMatrix& at, Index u,
+                         std::vector<Index>& out) {
+  auto ac = a.RowCols(u);
+  auto tc = at.RowCols(u);
+  size_t i = 0, j = 0;
+  while (i < ac.size() || j < tc.size()) {
+    Index v;
+    if (j >= tc.size() || (i < ac.size() && ac[i] < tc[j])) {
+      v = ac[i++];
+    } else if (i >= ac.size() || tc[j] < ac[i]) {
+      v = tc[j++];
+    } else {
+      v = ac[i];
+      ++i;
+      ++j;
+    }
+    if (v != u) out.push_back(v);
+  }
+}
+
+/// Undirected degree of every vertex (size of the merged neighbour list).
+std::vector<Index> UndirectedDegrees(const CsrMatrix& a, const CsrMatrix& at) {
+  const Index n = a.rows();
+  std::vector<Index> degree(static_cast<size_t>(n), 0);
+  std::vector<Index> scratch;
+  for (Index u = 0; u < n; ++u) {
+    scratch.clear();
+    UndirectedNeighbors(a, at, u, scratch);
+    degree[static_cast<size_t>(u)] = static_cast<Index>(scratch.size());
+  }
+  return degree;
+}
+
+}  // namespace
+
+std::string_view ReorderMethodName(ReorderMethod method) {
+  switch (method) {
+    case ReorderMethod::kNone:
+      return "none";
+    case ReorderMethod::kDegree:
+      return "degree";
+    case ReorderMethod::kRcm:
+      return "rcm";
+  }
+  return "none";
+}
+
+Result<ReorderMethod> ParseReorderMethod(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  if (lower == "none" || lower.empty()) return ReorderMethod::kNone;
+  if (lower == "degree" || lower == "deg") return ReorderMethod::kDegree;
+  if (lower == "rcm" || lower == "cuthill-mckee") return ReorderMethod::kRcm;
+  return Status::NotFound("unknown reorder method: " + std::string(name));
+}
+
+std::vector<Index> DegreePermutation(const CsrMatrix& a, const CsrMatrix& at) {
+  DGC_CHECK_EQ(a.rows(), a.cols());
+  const Index n = a.rows();
+  const std::vector<Index> degree = UndirectedDegrees(a, at);
+  std::vector<Index> perm(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  std::sort(perm.begin(), perm.end(), [&degree](Index x, Index y) {
+    const Index dx = degree[static_cast<size_t>(x)];
+    const Index dy = degree[static_cast<size_t>(y)];
+    return dx != dy ? dx < dy : x < y;
+  });
+  return perm;
+}
+
+std::vector<Index> RcmPermutation(const CsrMatrix& a, const CsrMatrix& at) {
+  DGC_CHECK_EQ(a.rows(), a.cols());
+  const Index n = a.rows();
+  const std::vector<Index> degree = UndirectedDegrees(a, at);
+  // Component seeds in ascending (degree, id) order, so the traversal (and
+  // with it the permutation) is fully deterministic.
+  std::vector<Index> seeds(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) seeds[static_cast<size_t>(i)] = i;
+  std::sort(seeds.begin(), seeds.end(), [&degree](Index x, Index y) {
+    const Index dx = degree[static_cast<size_t>(x)];
+    const Index dy = degree[static_cast<size_t>(y)];
+    return dx != dy ? dx < dy : x < y;
+  });
+
+  std::vector<Index> order;
+  order.reserve(static_cast<size_t>(n));
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  std::vector<Index> neighbors;
+  for (Index seed : seeds) {
+    if (visited[static_cast<size_t>(seed)]) continue;
+    // BFS over this component; `order` itself is the queue.
+    const size_t head = order.size();
+    visited[static_cast<size_t>(seed)] = 1;
+    order.push_back(seed);
+    for (size_t q = head; q < order.size(); ++q) {
+      const Index u = order[q];
+      neighbors.clear();
+      UndirectedNeighbors(a, at, u, neighbors);
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&degree](Index x, Index y) {
+                  const Index dx = degree[static_cast<size_t>(x)];
+                  const Index dy = degree[static_cast<size_t>(y)];
+                  return dx != dy ? dx < dy : x < y;
+                });
+      for (Index v : neighbors) {
+        if (visited[static_cast<size_t>(v)]) continue;
+        visited[static_cast<size_t>(v)] = 1;
+        order.push_back(v);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<Index> BuildReorderPermutation(ReorderMethod method,
+                                           const CsrMatrix& a,
+                                           const CsrMatrix& at) {
+  switch (method) {
+    case ReorderMethod::kDegree:
+      return DegreePermutation(a, at);
+    case ReorderMethod::kRcm:
+      return RcmPermutation(a, at);
+    case ReorderMethod::kNone:
+      break;
+  }
+  std::vector<Index> identity(static_cast<size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i) identity[static_cast<size_t>(i)] = i;
+  return identity;
+}
+
+std::vector<Index> InvertPermutation(std::span<const Index> perm) {
+  std::vector<Index> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inv[static_cast<size_t>(perm[i])] = static_cast<Index>(i);
+  }
+  return inv;
+}
+
+CsrMatrix PermuteRows(const CsrMatrix& a, std::span<const Index> perm) {
+  const Index n = a.rows();
+  DGC_CHECK_EQ(static_cast<Index>(perm.size()), n);
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index i = 0; i < n; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] =
+        row_ptr[static_cast<size_t>(i)] + a.RowNnz(perm[static_cast<size_t>(i)]);
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  for (Index i = 0; i < n; ++i) {
+    auto cols = a.RowCols(perm[static_cast<size_t>(i)]);
+    auto vals = a.RowValues(perm[static_cast<size_t>(i)]);
+    std::copy(cols.begin(), cols.end(),
+              col_idx.begin() + row_ptr[static_cast<size_t>(i)]);
+    std::copy(vals.begin(), vals.end(),
+              values.begin() + row_ptr[static_cast<size_t>(i)]);
+  }
+  CsrMatrix p = CsrMatrix::FromPartsUnchecked(
+      n, a.cols(), std::move(row_ptr), std::move(col_idx), std::move(values));
+  p.ValidateStructure("PermuteRows");
+  return p;
+}
+
+CsrMatrix PermuteSymmetric(const CsrMatrix& a, std::span<const Index> perm) {
+  const Index n = a.rows();
+  DGC_CHECK_EQ(a.rows(), a.cols());
+  DGC_CHECK_EQ(static_cast<Index>(perm.size()), n);
+  const std::vector<Index> inv = InvertPermutation(perm);
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index i = 0; i < n; ++i) {
+    row_ptr[static_cast<size_t>(i) + 1] =
+        row_ptr[static_cast<size_t>(i)] + a.RowNnz(perm[static_cast<size_t>(i)]);
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  std::vector<std::pair<Index, Scalar>> entries;
+  for (Index i = 0; i < n; ++i) {
+    auto cols = a.RowCols(perm[static_cast<size_t>(i)]);
+    auto vals = a.RowValues(perm[static_cast<size_t>(i)]);
+    entries.clear();
+    for (size_t p = 0; p < cols.size(); ++p) {
+      entries.emplace_back(inv[static_cast<size_t>(cols[p])], vals[p]);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    Offset out = row_ptr[static_cast<size_t>(i)];
+    for (const auto& [c, v] : entries) {
+      col_idx[static_cast<size_t>(out)] = c;
+      values[static_cast<size_t>(out)] = v;
+      ++out;
+    }
+  }
+  CsrMatrix p = CsrMatrix::FromPartsUnchecked(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  p.ValidateStructure("PermuteSymmetric");
+  return p;
+}
+
+CsrMatrix UnpermuteUpperTriangle(const CsrMatrix& upper,
+                                 std::span<const Index> perm,
+                                 int num_threads) {
+  const Index n = upper.rows();
+  DGC_CHECK_EQ(upper.rows(), upper.cols());
+  DGC_CHECK_EQ(static_cast<Index>(perm.size()), n);
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(num_threads), std::max<Index>(n, 1)));
+  // Counting pass: each permuted entry (i, j) lands in original row
+  // min(perm[i], perm[j]).
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index i = 0; i < n; ++i) {
+    const Index pi = perm[static_cast<size_t>(i)];
+    for (Index j : upper.RowCols(i)) {
+      const Index pj = perm[static_cast<size_t>(j)];
+      ++row_ptr[static_cast<size_t>(std::min(pi, pj)) + 1];
+    }
+  }
+  for (Index r = 0; r < n; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] += row_ptr[static_cast<size_t>(r)];
+  }
+  // Scatter pass, then per-row column sort. Values are moved verbatim —
+  // this function performs no floating-point arithmetic at all, which is
+  // what makes the reordered product bit-identical to the direct one.
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  std::vector<Offset> fill(row_ptr.begin(), row_ptr.end() - 1);
+  for (Index i = 0; i < n; ++i) {
+    const Index pi = perm[static_cast<size_t>(i)];
+    auto cols = upper.RowCols(i);
+    auto vals = upper.RowValues(i);
+    for (size_t p = 0; p < cols.size(); ++p) {
+      const Index pj = perm[static_cast<size_t>(cols[p])];
+      const Index r = std::min(pi, pj);
+      const Offset dst = fill[static_cast<size_t>(r)]++;
+      col_idx[static_cast<size_t>(dst)] = std::max(pi, pj);
+      values[static_cast<size_t>(dst)] = vals[p];
+    }
+  }
+  ParallelForChunked(0, n, threads, [&](int64_t lo, int64_t hi) {
+    std::vector<std::pair<Index, Scalar>> entries;
+    for (int64_t r = lo; r < hi; ++r) {
+      const Offset begin = row_ptr[static_cast<size_t>(r)];
+      const Offset end = row_ptr[static_cast<size_t>(r) + 1];
+      entries.clear();
+      for (Offset p = begin; p < end; ++p) {
+        entries.emplace_back(col_idx[static_cast<size_t>(p)],
+                             values[static_cast<size_t>(p)]);
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (Offset p = begin; p < end; ++p) {
+        col_idx[static_cast<size_t>(p)] =
+            entries[static_cast<size_t>(p - begin)].first;
+        values[static_cast<size_t>(p)] =
+            entries[static_cast<size_t>(p - begin)].second;
+      }
+    }
+  });
+  CsrMatrix u = CsrMatrix::FromPartsUnchecked(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  u.ValidateStructure("UnpermuteUpperTriangle");
+  return u;
+}
+
+std::vector<Index> UnpermuteLabels(std::span<const Index> labels,
+                                   std::span<const Index> perm) {
+  DGC_CHECK_EQ(labels.size(), perm.size());
+  std::vector<Index> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out[static_cast<size_t>(perm[i])] = labels[i];
+  }
+  return out;
+}
+
+Result<CsrMatrix> SpGemmAAtSymmetricReordered(const CsrMatrix& a,
+                                              std::span<const Scalar> row_scale,
+                                              std::span<const Scalar> col_scale,
+                                              const SpGemmOptions& options,
+                                              std::span<const Index> perm) {
+  if (static_cast<Index>(perm.size()) != a.rows()) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetricReordered: permutation size " +
+        std::to_string(perm.size()) + " != rows of " + a.DebugString());
+  }
+  const CsrMatrix a_p = PermuteRows(a, perm);
+  std::vector<Scalar> row_scale_p;
+  if (!row_scale.empty()) {
+    if (static_cast<Index>(row_scale.size()) != a.rows()) {
+      return Status::InvalidArgument(
+          "SpGemmAAtSymmetricReordered: row_scale size " +
+          std::to_string(row_scale.size()) + " != rows of " + a.DebugString());
+    }
+    row_scale_p.resize(row_scale.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      row_scale_p[i] = row_scale[static_cast<size_t>(perm[i])];
+    }
+  }
+  const CsrMatrix a_p_t = a_p.Transpose(options.num_threads);
+  DGC_ASSIGN_OR_RETURN(
+      CsrMatrix upper_p,
+      SpGemmAAtSymmetric(a_p, row_scale_p, col_scale, options, &a_p_t));
+  return UnpermuteUpperTriangle(upper_p, perm, options.num_threads);
+}
+
+}  // namespace dgc

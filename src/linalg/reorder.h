@@ -1,0 +1,106 @@
+// Row-reordering support for the similarity-product hot path (ROADMAP
+// item 3: locality optimization of the SpGEMM kernels).
+//
+// The dense accumulator of SpGemmAAtSymmetric is indexed by candidate row
+// id; on power-law graphs the candidates of a row are scattered across the
+// whole index range, so every accumulator update is a cache miss once n
+// exceeds the L2. A bandwidth-reducing permutation (reverse Cuthill-McKee
+// on the pattern of A + Aᵀ, or a degree sort) clusters the candidates of
+// neighbouring rows, shrinking the live accumulator window.
+//
+// Bit-identity contract. A full symmetric permutation P·M·Pᵀ would change
+// the inner-product summation order and therefore the floating-point
+// results. The similarity products instead permute ROWS ONLY of each
+// factor: for B = (scaled A)(scaled A)ᵀ the kernel runs on P·A, whose rows
+// still accumulate over the original column index k in ascending-k order,
+// so every surviving entry's value is bit-identical to the unpermuted run —
+// it merely appears at position (p(i), p(j)). UnpermuteUpperTriangle then
+// maps each entry back to the original index space (IEEE multiplication is
+// commutative bit-for-bit, so entries whose orientation flipped are
+// unchanged too), and everything downstream of the product is untouched.
+// Pipelines with reorder enabled therefore produce byte-identical output to
+// reorder-off runs; the golden tests pin this.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/spgemm.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// Row-ordering strategy for the similarity products.
+enum class ReorderMethod {
+  kNone,    ///< identity order (the default)
+  kDegree,  ///< ascending (degree, id) sort on the pattern of A + Aᵀ
+  kRcm,     ///< reverse Cuthill-McKee on the pattern of A + Aᵀ
+};
+
+/// Display name ("none", "degree", "rcm").
+std::string_view ReorderMethodName(ReorderMethod method);
+
+/// Parses a name (case-insensitive). NotFound on unknown input.
+Result<ReorderMethod> ParseReorderMethod(std::string_view name);
+
+/// All permutations below are new-to-old: row i of the permuted matrix is
+/// row perm[i] of the original. All builders are deterministic (ties break
+/// on vertex id) and run on the undirected pattern of A + Aᵀ, supplied as
+/// the matrix and its transpose. Requires a square `a` with
+/// at = a.Transpose().
+
+/// Ascending (degree, id) vertex order.
+std::vector<Index> DegreePermutation(const CsrMatrix& a, const CsrMatrix& at);
+
+/// Reverse Cuthill-McKee: per component, BFS from a minimum-degree seed
+/// with neighbours visited in ascending (degree, id) order, then the whole
+/// order reversed.
+std::vector<Index> RcmPermutation(const CsrMatrix& a, const CsrMatrix& at);
+
+/// Dispatches on `method`; kNone returns the identity permutation.
+std::vector<Index> BuildReorderPermutation(ReorderMethod method,
+                                           const CsrMatrix& a,
+                                           const CsrMatrix& at);
+
+/// inv[perm[i]] = i. `perm` must be a permutation of [0, perm.size()).
+std::vector<Index> InvertPermutation(std::span<const Index> perm);
+
+/// Row permutation only: row i of the result is row perm[i] of `a`, column
+/// indices untouched (O(nnz) copy). This is the bit-identity-preserving
+/// transform the similarity products use.
+CsrMatrix PermuteRows(const CsrMatrix& a, std::span<const Index> perm);
+
+/// Full symmetric permutation P·A·Pᵀ of a square matrix: rows reordered by
+/// `perm` and columns relabelled through its inverse (rows re-sorted by new
+/// column id). Changes downstream summation orders — use PermuteRows on the
+/// similarity path; this exists for clustering a permuted graph wholesale.
+CsrMatrix PermuteSymmetric(const CsrMatrix& a, std::span<const Index> perm);
+
+/// Maps an upper-triangle matrix computed in permuted row space back to the
+/// original index space: entry (i, j, v) moves to
+/// (min(perm[i], perm[j]), max(perm[i], perm[j]), v), values bit-untouched.
+/// The result is again upper-triangular with sorted rows.
+CsrMatrix UnpermuteUpperTriangle(const CsrMatrix& upper,
+                                 std::span<const Index> perm,
+                                 int num_threads = 1);
+
+/// Undoes a row permutation on per-vertex labels at pipeline exit:
+/// out[perm[i]] = labels[i].
+std::vector<Index> UnpermuteLabels(std::span<const Index> labels,
+                                   std::span<const Index> perm);
+
+/// SpGemmAAtSymmetric on row-permuted factors: permutes the rows of `a`
+/// (and of `row_scale`) by `perm`, materializes the permuted transpose,
+/// runs the upper-triangle product in permuted space for accumulator
+/// locality, and un-permutes the resulting triangle back to the original
+/// index space. Bit-identical output to SpGemmAAtSymmetric(a, ...) by the
+/// contract above. `col_scale` indexes the (unpermuted) inner dimension.
+Result<CsrMatrix> SpGemmAAtSymmetricReordered(const CsrMatrix& a,
+                                              std::span<const Scalar> row_scale,
+                                              std::span<const Scalar> col_scale,
+                                              const SpGemmOptions& options,
+                                              std::span<const Index> perm);
+
+}  // namespace dgc

@@ -5,6 +5,8 @@
 
 #include "obs/span.h"
 #include "util/logging.h"
+#include "util/radix.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace dgc {
@@ -18,7 +20,13 @@ namespace {
 struct SpGemmWorkspace {
   std::vector<Scalar> accum;
   std::vector<Index> marker;
+  /// First-touch column list of the current row. Fixed-size buffer (every
+  /// column is touched at most once per row) filled through the
+  /// simd::ScatterAccumulate primitives; `touched_count` is its length.
   std::vector<Index> touched;
+  std::vector<Index> sort_scratch;  ///< radix-sort ping-pong buffer
+  Index touched_count = 0;
+  Index dim = 0;  ///< accumulator width (radix bound for column sorting)
   std::vector<Index> rows;   ///< output rows buffered by this worker
   std::vector<Index> cols;   ///< their column indices, concatenated
   std::vector<Scalar> vals;  ///< their values, concatenated
@@ -31,7 +39,10 @@ struct SpGemmWorkspace {
     if (static_cast<Index>(marker.size()) < n) {
       accum.assign(static_cast<size_t>(n), 0.0);
       marker.assign(static_cast<size_t>(n), -1);
+      touched.resize(static_cast<size_t>(n));
+      sort_scratch.resize(static_cast<size_t>(n));
     }
+    dim = n;
   }
 };
 
@@ -39,17 +50,18 @@ struct SpGemmWorkspace {
 /// w.cols / w.vals, applying the threshold and diagonal filters. Shared by
 /// the general and the upper-triangle kernels so filtering is bit-identical.
 void EmitRow(Index row, const SpGemmOptions& options, SpGemmWorkspace& w) {
-  std::sort(w.touched.begin(), w.touched.end());
-  for (Index c : w.touched) {
-    const Scalar v = w.accum[static_cast<size_t>(c)];
-    if (std::abs(v) < options.threshold) {
-      ++w.dropped;
-      continue;
-    }
-    if (options.drop_diagonal && c == row) continue;
-    w.cols.push_back(c);
-    w.vals.push_back(v);
-  }
+  const size_t count = static_cast<size_t>(w.touched_count);
+  // Unique keys, so the radix order equals the std::sort order exactly.
+  RadixSortIndices(w.touched.data(), count, w.sort_scratch.data(), w.dim);
+  const size_t before = w.cols.size();
+  w.cols.resize(before + count);
+  w.vals.resize(before + count);
+  const size_t kept = simd::GatherPrune(
+      w.touched.data(), count, w.accum.data(), options.threshold,
+      options.drop_diagonal, row, w.cols.data() + before,
+      w.vals.data() + before, &w.dropped);
+  w.cols.resize(before + kept);
+  w.vals.resize(before + kept);
 }
 
 /// Computes one output row of C = A * B, appending the surviving entries to
@@ -57,23 +69,17 @@ void EmitRow(Index row, const SpGemmOptions& options, SpGemmWorkspace& w) {
 /// touched for the current row.
 void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
                 const SpGemmOptions& options, SpGemmWorkspace& w) {
-  w.touched.clear();
+  w.touched_count = 0;
   auto a_cols = a.RowCols(row);
   auto a_vals = a.RowValues(row);
   for (size_t i = 0; i < a_cols.size(); ++i) {
     const Index k = a_cols[i];
-    const Scalar av = a_vals[i];
     auto b_cols = b.RowCols(k);
     auto b_vals = b.RowValues(k);
-    for (size_t j = 0; j < b_cols.size(); ++j) {
-      const Index c = b_cols[j];
-      if (w.marker[static_cast<size_t>(c)] != row) {
-        w.marker[static_cast<size_t>(c)] = row;
-        w.accum[static_cast<size_t>(c)] = 0.0;
-        w.touched.push_back(c);
-      }
-      w.accum[static_cast<size_t>(c)] += av * b_vals[j];
-    }
+    w.touched_count += simd::ScatterAccumulate(
+        a_vals[i], b_cols.data(), b_vals.data(), b_cols.size(),
+        w.accum.data(), w.marker.data(), row,
+        w.touched.data() + w.touched_count);
   }
   EmitRow(row, options, w);
 }
@@ -89,11 +95,12 @@ void ComputeUpperRow(const CsrMatrix& a, const CsrMatrix& at,
                      std::span<const Scalar> row_scale,
                      std::span<const Scalar> col_scale, Index row,
                      const SpGemmOptions& options, SpGemmWorkspace& w) {
-  w.touched.clear();
+  w.touched_count = 0;
   auto a_cols = a.RowCols(row);
   auto a_vals = a.RowValues(row);
   const bool has_row_scale = !row_scale.empty();
   const bool has_col_scale = !col_scale.empty();
+  const Scalar* rs = has_row_scale ? row_scale.data() : nullptr;
   const Scalar ri =
       has_row_scale ? row_scale[static_cast<size_t>(row)] : 1.0;
   for (size_t i = 0; i < a_cols.size(); ++i) {
@@ -107,21 +114,15 @@ void ComputeUpperRow(const CsrMatrix& a, const CsrMatrix& at,
     auto t_vals = at.RowValues(k);
     // Only candidates j >= row contribute to the upper triangle; the lower
     // triangle is recovered by mirroring. Columns are sorted, so the first
-    // eligible candidate is found by binary search.
-    size_t q = static_cast<size_t>(
+    // eligible candidate is found by binary search. The primitive evaluates
+    // bv = (t_vals[q] * row_scale[j]) * ck and accum[j] += av * bv — the
+    // same multiply order as the reference ScaleRows/ScaleCols path.
+    const size_t q = static_cast<size_t>(
         std::lower_bound(t_cols.begin(), t_cols.end(), row) - t_cols.begin());
-    for (; q < t_cols.size(); ++q) {
-      const Index j = t_cols[q];
-      Scalar bv = t_vals[q];
-      if (has_row_scale) bv *= row_scale[static_cast<size_t>(j)];
-      if (has_col_scale) bv *= ck;
-      if (w.marker[static_cast<size_t>(j)] != row) {
-        w.marker[static_cast<size_t>(j)] = row;
-        w.accum[static_cast<size_t>(j)] = 0.0;
-        w.touched.push_back(j);
-      }
-      w.accum[static_cast<size_t>(j)] += av * bv;
-    }
+    w.touched_count += simd::ScatterAccumulateScaled(
+        av, rs, has_col_scale, ck, t_cols.data() + q, t_vals.data() + q,
+        t_cols.size() - q, w.accum.data(), w.marker.data(), row,
+        w.touched.data() + w.touched_count);
   }
   EmitRow(row, options, w);
 }
@@ -499,20 +500,26 @@ Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
     for (Index r = block_begin(static_cast<int>(b));
          r < block_begin(static_cast<int>(b) + 1); ++r) {
       auto cols = upper.RowCols(r);
-      for (Index c : cols) {
-        if (c > r) ++counts[static_cast<size_t>(c)];
+      // Columns are sorted: everything past upper_bound(r) is strictly
+      // above the diagonal, so the tail counts without per-entry compares.
+      const size_t q = static_cast<size_t>(
+          std::upper_bound(cols.begin(), cols.end(), r) - cols.begin());
+      for (size_t p = q; p < cols.size(); ++p) {
+        ++counts[static_cast<size_t>(cols[p])];
       }
     }
   });
   // strict[r] = total mirrored (strict-lower) entries landing in row r.
+  // Reduced block-by-block over contiguous index chunks (vectorized int64
+  // adds; integer addition commutes exactly, so the totals are identical
+  // to any other reduction order).
   std::vector<Offset> strict(static_cast<size_t>(n), 0);
-  ParallelFor(0, n, threads, [&](int64_t c) {
-    Offset total = 0;
+  ParallelForChunked(0, n, threads, [&](int64_t lo, int64_t hi) {
     for (int b = 0; b < blocks; ++b) {
-      total += cursor[static_cast<size_t>(b) * static_cast<size_t>(n) +
-                      static_cast<size_t>(c)];
+      simd::AddI64(strict.data() + lo,
+                   cursor.data() + static_cast<int64_t>(b) * n + lo,
+                   static_cast<size_t>(hi - lo));
     }
-    strict[static_cast<size_t>(c)] = total;
   });
   std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
   for (Index r = 0; r < n; ++r) {
@@ -541,9 +548,10 @@ Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
          r < block_begin(static_cast<int>(b) + 1); ++r) {
       auto cols = upper.RowCols(r);
       auto vals = upper.RowValues(r);
-      for (size_t p = 0; p < cols.size(); ++p) {
+      const size_t q = static_cast<size_t>(
+          std::upper_bound(cols.begin(), cols.end(), r) - cols.begin());
+      for (size_t p = q; p < cols.size(); ++p) {
         const Index c = cols[p];
-        if (c <= r) continue;
         const Offset dst = fill[static_cast<size_t>(c)]++;
         col_idx[static_cast<size_t>(dst)] = r;
         values[static_cast<size_t>(dst)] = vals[p];

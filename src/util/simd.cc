@@ -1,0 +1,694 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+// The one translation unit allowed to see raw intrinsics (lint rule
+// simd-intrinsics-contained). x86-64 vector paths are compiled with the
+// `target("avx2")` function attribute, so a baseline -march build still
+// carries them and selects on cpuid at runtime; aarch64 always has NEON.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DGC_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__GNUC__)
+#define DGC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+#if defined(DGC_SIMD_AVX2)
+#define DGC_TARGET_AVX2 __attribute__((target("avx2")))
+#endif
+
+namespace dgc {
+namespace simd {
+
+namespace {
+
+// -------------------------------------------------------------------------
+// Scalar reference implementations. These are the semantics; every vector
+// backend must reproduce them bit for bit (see the header contract).
+// -------------------------------------------------------------------------
+
+int32_t ScalarScatterAccumulate(double av, const int32_t* cols,
+                                const double* vals, size_t n, double* accum,
+                                int32_t* marker, int32_t stamp,
+                                int32_t* touched) {
+  int32_t count = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const int32_t c = cols[p];
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * vals[p];
+  }
+  return count;
+}
+
+int32_t ScalarScatterAccumulate64(double av, const int32_t* cols,
+                                  const double* vals, size_t n, double* accum,
+                                  int64_t* marker, int64_t stamp,
+                                  int32_t* touched) {
+  int32_t count = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const int32_t c = cols[p];
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * vals[p];
+  }
+  return count;
+}
+
+int32_t ScalarScatterAccumulateScaled(double av, const double* row_scale,
+                                      bool use_col_scale, double col_scale,
+                                      const int32_t* cols, const double* vals,
+                                      size_t n, double* accum, int32_t* marker,
+                                      int32_t stamp, int32_t* touched) {
+  int32_t count = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const int32_t c = cols[p];
+    double t = vals[p];
+    if (row_scale != nullptr) t *= row_scale[c];
+    if (use_col_scale) t *= col_scale;
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * t;
+  }
+  return count;
+}
+
+size_t ScalarGatherPrune(const int32_t* touched, size_t n, const double* accum,
+                         double threshold, bool drop_diagonal, int32_t row,
+                         int32_t* out_cols, double* out_vals,
+                         int64_t* dropped) {
+  size_t out = 0;
+  int64_t drop = 0;
+  for (size_t p = 0; p < n; ++p) {
+    const int32_t c = touched[p];
+    const double v = accum[c];
+    if (std::abs(v) < threshold) {
+      ++drop;
+      continue;
+    }
+    if (drop_diagonal && c == row) continue;
+    out_cols[out] = c;
+    out_vals[out] = v;
+    ++out;
+  }
+  *dropped += drop;
+  return out;
+}
+
+void ScalarGather(const double* src, const int32_t* idx, size_t n,
+                  double* out) {
+  for (size_t p = 0; p < n; ++p) out[p] = src[idx[p]];
+}
+
+void ScalarDivThresholdMask(const double* vals, size_t n, double sum,
+                            double threshold, uint8_t* mask) {
+  for (size_t p = 0; p < n; ++p) {
+    mask[p] = (vals[p] / sum < threshold) ? 1 : 0;
+  }
+}
+
+void ScalarAddI64(int64_t* dst, const int64_t* src, size_t n) {
+  for (size_t p = 0; p < n; ++p) dst[p] += src[p];
+}
+
+double ScalarMulAddThroughput(double* x, size_t n, int iters, double a,
+                              double b) {
+  for (int it = 0; it < iters; ++it) {
+    for (size_t i = 0; i < n; ++i) x[i] = x[i] * a + b;
+  }
+  return x[0] + x[n / 2];
+}
+
+void ScalarTriad(double* a, const double* b, const double* c, double s,
+                 size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+}
+
+#if defined(DGC_SIMD_AVX2)
+
+// -------------------------------------------------------------------------
+// AVX2 backend. Four double lanes; AVX2 has gathers but no scatters, so the
+// writes back into accum/marker go through a spilled lane buffer. Bit
+// identity with the scalar loops: each lane performs the scalar operation
+// sequence (mul then add — never _mm256_fmadd_pd, which rounds once where
+// the scalar code rounds twice) on the same operands, and lanes never alias
+// because a CSR row's columns are strictly increasing.
+// -------------------------------------------------------------------------
+
+DGC_TARGET_AVX2 int32_t Avx2ScatterAccumulate(double av, const int32_t* cols,
+                                              const double* vals, size_t n,
+                                              double* accum, int32_t* marker,
+                                              int32_t stamp,
+                                              int32_t* touched) {
+  int32_t count = 0;
+  const __m256d av_v = _mm256_set1_pd(av);
+  const __m128i stamp_v = _mm_set1_epi32(stamp);
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + p));
+    const __m256d prod = _mm256_mul_pd(av_v, _mm256_loadu_pd(vals + p));
+    const __m128i m = _mm_i32gather_epi32(marker, c, 4);
+    const int seen = _mm_movemask_epi8(_mm_cmpeq_epi32(m, stamp_v));
+    if (seen == 0xffff) {
+      // All four columns were touched before: gather-add-spill, no
+      // bookkeeping. This is the steady state of hub-heavy rows.
+      const __m256d old = _mm256_i32gather_pd(accum, c, 8);
+      double sum[4];
+      _mm256_storeu_pd(sum, _mm256_add_pd(old, prod));
+      accum[cols[p]] = sum[0];
+      accum[cols[p + 1]] = sum[1];
+      accum[cols[p + 2]] = sum[2];
+      accum[cols[p + 3]] = sum[3];
+    } else {
+      // Mixed first-touch group: per-lane bookkeeping in element order so
+      // the `touched` insertion order matches the scalar loop exactly.
+      double prods[4];
+      _mm256_storeu_pd(prods, prod);
+      for (int lane = 0; lane < 4; ++lane) {
+        const int32_t cl = cols[p + static_cast<size_t>(lane)];
+        if (marker[cl] != stamp) {
+          marker[cl] = stamp;
+          accum[cl] = 0.0;
+          touched[count++] = cl;
+        }
+        accum[cl] += prods[lane];
+      }
+    }
+  }
+  for (; p < n; ++p) {
+    const int32_t c = cols[p];
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * vals[p];
+  }
+  return count;
+}
+
+DGC_TARGET_AVX2 int32_t Avx2ScatterAccumulate64(double av, const int32_t* cols,
+                                                const double* vals, size_t n,
+                                                double* accum, int64_t* marker,
+                                                int64_t stamp,
+                                                int32_t* touched) {
+  int32_t count = 0;
+  const __m256d av_v = _mm256_set1_pd(av);
+  const __m256i stamp_v = _mm256_set1_epi64x(stamp);
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + p));
+    const __m256d prod = _mm256_mul_pd(av_v, _mm256_loadu_pd(vals + p));
+    const __m256i m = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(marker), c, 8);
+    const int seen = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(m, stamp_v)));
+    if (seen == 0xf) {
+      const __m256d old = _mm256_i32gather_pd(accum, c, 8);
+      double sum[4];
+      _mm256_storeu_pd(sum, _mm256_add_pd(old, prod));
+      accum[cols[p]] = sum[0];
+      accum[cols[p + 1]] = sum[1];
+      accum[cols[p + 2]] = sum[2];
+      accum[cols[p + 3]] = sum[3];
+    } else {
+      double prods[4];
+      _mm256_storeu_pd(prods, prod);
+      for (int lane = 0; lane < 4; ++lane) {
+        const int32_t cl = cols[p + static_cast<size_t>(lane)];
+        if (marker[cl] != stamp) {
+          marker[cl] = stamp;
+          accum[cl] = 0.0;
+          touched[count++] = cl;
+        }
+        accum[cl] += prods[lane];
+      }
+    }
+  }
+  for (; p < n; ++p) {
+    const int32_t c = cols[p];
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * vals[p];
+  }
+  return count;
+}
+
+DGC_TARGET_AVX2 int32_t Avx2ScatterAccumulateScaled(
+    double av, const double* row_scale, bool use_col_scale, double col_scale,
+    const int32_t* cols, const double* vals, size_t n, double* accum,
+    int32_t* marker, int32_t stamp, int32_t* touched) {
+  int32_t count = 0;
+  const __m256d av_v = _mm256_set1_pd(av);
+  const __m256d ck_v = _mm256_set1_pd(col_scale);
+  const __m128i stamp_v = _mm_set1_epi32(stamp);
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols + p));
+    // t = vals[p] (* row_scale[c]) (* col_scale) — same multiply order as
+    // the scalar reference, one rounding per multiply.
+    __m256d t = _mm256_loadu_pd(vals + p);
+    if (row_scale != nullptr) {
+      t = _mm256_mul_pd(t, _mm256_i32gather_pd(row_scale, c, 8));
+    }
+    if (use_col_scale) t = _mm256_mul_pd(t, ck_v);
+    const __m256d prod = _mm256_mul_pd(av_v, t);
+    const __m128i m = _mm_i32gather_epi32(marker, c, 4);
+    const int seen = _mm_movemask_epi8(_mm_cmpeq_epi32(m, stamp_v));
+    if (seen == 0xffff) {
+      const __m256d old = _mm256_i32gather_pd(accum, c, 8);
+      double sum[4];
+      _mm256_storeu_pd(sum, _mm256_add_pd(old, prod));
+      accum[cols[p]] = sum[0];
+      accum[cols[p + 1]] = sum[1];
+      accum[cols[p + 2]] = sum[2];
+      accum[cols[p + 3]] = sum[3];
+    } else {
+      double prods[4];
+      _mm256_storeu_pd(prods, prod);
+      for (int lane = 0; lane < 4; ++lane) {
+        const int32_t cl = cols[p + static_cast<size_t>(lane)];
+        if (marker[cl] != stamp) {
+          marker[cl] = stamp;
+          accum[cl] = 0.0;
+          touched[count++] = cl;
+        }
+        accum[cl] += prods[lane];
+      }
+    }
+  }
+  for (; p < n; ++p) {
+    const int32_t c = cols[p];
+    double t = vals[p];
+    if (row_scale != nullptr) t *= row_scale[c];
+    if (use_col_scale) t *= col_scale;
+    if (marker[c] != stamp) {
+      marker[c] = stamp;
+      accum[c] = 0.0;
+      touched[count++] = c;
+    }
+    accum[c] += av * t;
+  }
+  return count;
+}
+
+DGC_TARGET_AVX2 size_t Avx2GatherPrune(const int32_t* touched, size_t n,
+                                       const double* accum, double threshold,
+                                       bool drop_diagonal, int32_t row,
+                                       int32_t* out_cols, double* out_vals,
+                                       int64_t* dropped) {
+  size_t out = 0;
+  int64_t drop = 0;
+  const __m256d thr_v = _mm256_set1_pd(threshold);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m128i row_v = _mm_set1_epi32(row);
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(touched + p));
+    const __m256d v = _mm256_i32gather_pd(accum, c, 8);
+    // |v| < threshold, ordered compare: false for NaN lanes, so NaNs are
+    // kept — exactly the scalar std::abs(v) < threshold behaviour.
+    const int below = _mm256_movemask_pd(_mm256_cmp_pd(
+        _mm256_and_pd(v, abs_mask), thr_v, _CMP_LT_OQ));
+    const int diag =
+        drop_diagonal
+            ? (_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(c, row_v))))
+            : 0;
+    if (below == 0 && diag == 0) {
+      // Fast path: all four survive; store contiguously.
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out_cols + out), c);
+      _mm256_storeu_pd(out_vals + out, v);
+      out += 4;
+    } else {
+      double vv[4];
+      _mm256_storeu_pd(vv, v);
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((below >> lane) & 1) {
+          ++drop;
+          continue;
+        }
+        if ((diag >> lane) & 1) continue;
+        out_cols[out] = touched[p + static_cast<size_t>(lane)];
+        out_vals[out] = vv[lane];
+        ++out;
+      }
+    }
+  }
+  for (; p < n; ++p) {
+    const int32_t c = touched[p];
+    const double v = accum[c];
+    if (std::abs(v) < threshold) {
+      ++drop;
+      continue;
+    }
+    if (drop_diagonal && c == row) continue;
+    out_cols[out] = c;
+    out_vals[out] = v;
+    ++out;
+  }
+  *dropped += drop;
+  return out;
+}
+
+DGC_TARGET_AVX2 void Avx2Gather(const double* src, const int32_t* idx,
+                                size_t n, double* out) {
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m128i i =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + p));
+    _mm256_storeu_pd(out + p, _mm256_i32gather_pd(src, i, 8));
+  }
+  for (; p < n; ++p) out[p] = src[idx[p]];
+}
+
+DGC_TARGET_AVX2 void Avx2DivThresholdMask(const double* vals, size_t n,
+                                          double sum, double threshold,
+                                          uint8_t* mask) {
+  const __m256d sum_v = _mm256_set1_pd(sum);
+  const __m256d thr_v = _mm256_set1_pd(threshold);
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    // Lane-wise IEEE division is exactly rounded, so each quotient matches
+    // the scalar one bit for bit; NaN quotients compare false (kept).
+    const __m256d q = _mm256_div_pd(_mm256_loadu_pd(vals + p), sum_v);
+    const int below = _mm256_movemask_pd(_mm256_cmp_pd(q, thr_v, _CMP_LT_OQ));
+    mask[p] = static_cast<uint8_t>(below & 1);
+    mask[p + 1] = static_cast<uint8_t>((below >> 1) & 1);
+    mask[p + 2] = static_cast<uint8_t>((below >> 2) & 1);
+    mask[p + 3] = static_cast<uint8_t>((below >> 3) & 1);
+  }
+  for (; p < n; ++p) mask[p] = (vals[p] / sum < threshold) ? 1 : 0;
+}
+
+DGC_TARGET_AVX2 void Avx2AddI64(int64_t* dst, const int64_t* src, size_t n) {
+  size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + p));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + p));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + p),
+                        _mm256_add_epi64(d, s));
+  }
+  for (; p < n; ++p) dst[p] += src[p];
+}
+
+DGC_TARGET_AVX2 double Avx2MulAddThroughput(double* x, size_t n, int iters,
+                                            double a, double b) {
+  const __m256d a_v = _mm256_set1_pd(a);
+  const __m256d b_v = _mm256_set1_pd(b);
+  for (int it = 0; it < iters; ++it) {
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const __m256d x0 = _mm256_loadu_pd(x + i);
+      const __m256d x1 = _mm256_loadu_pd(x + i + 4);
+      _mm256_storeu_pd(x + i, _mm256_add_pd(_mm256_mul_pd(x0, a_v), b_v));
+      _mm256_storeu_pd(x + i + 4,
+                       _mm256_add_pd(_mm256_mul_pd(x1, a_v), b_v));
+    }
+    for (; i < n; ++i) x[i] = x[i] * a + b;
+  }
+  return x[0] + x[n / 2];
+}
+
+DGC_TARGET_AVX2 void Avx2Triad(double* a, const double* b, const double* c,
+                               double s, size_t n) {
+  const __m256d s_v = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        a + i, _mm256_add_pd(_mm256_loadu_pd(b + i),
+                             _mm256_mul_pd(s_v, _mm256_loadu_pd(c + i))));
+  }
+  for (; i < n; ++i) a[i] = b[i] + s * c[i];
+}
+
+#endif  // DGC_SIMD_AVX2
+
+#if defined(DGC_SIMD_NEON)
+
+// -------------------------------------------------------------------------
+// NEON backend (aarch64, two double lanes, no gathers). Only the primitives
+// with contiguous memory access vectorize profitably; the scatter-
+// accumulates keep scalar bookkeeping with a vectorized product.
+// -------------------------------------------------------------------------
+
+void NeonDivThresholdMask(const double* vals, size_t n, double sum,
+                          double threshold, uint8_t* mask) {
+  const float64x2_t sum_v = vdupq_n_f64(sum);
+  const float64x2_t thr_v = vdupq_n_f64(threshold);
+  size_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    const float64x2_t q = vdivq_f64(vld1q_f64(vals + p), sum_v);
+    const uint64x2_t below = vcltq_f64(q, thr_v);
+    mask[p] = static_cast<uint8_t>(vgetq_lane_u64(below, 0) & 1);
+    mask[p + 1] = static_cast<uint8_t>(vgetq_lane_u64(below, 1) & 1);
+  }
+  for (; p < n; ++p) mask[p] = (vals[p] / sum < threshold) ? 1 : 0;
+}
+
+void NeonAddI64(int64_t* dst, const int64_t* src, size_t n) {
+  size_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    vst1q_s64(dst + p, vaddq_s64(vld1q_s64(dst + p), vld1q_s64(src + p)));
+  }
+  for (; p < n; ++p) dst[p] += src[p];
+}
+
+double NeonMulAddThroughput(double* x, size_t n, int iters, double a,
+                            double b) {
+  const float64x2_t a_v = vdupq_n_f64(a);
+  const float64x2_t b_v = vdupq_n_f64(b);
+  for (int it = 0; it < iters; ++it) {
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_f64(x + i, vaddq_f64(vmulq_f64(vld1q_f64(x + i), a_v), b_v));
+      vst1q_f64(x + i + 2,
+                vaddq_f64(vmulq_f64(vld1q_f64(x + i + 2), a_v), b_v));
+    }
+    for (; i < n; ++i) x[i] = x[i] * a + b;
+  }
+  return x[0] + x[n / 2];
+}
+
+void NeonTriad(double* a, const double* b, const double* c, double s,
+               size_t n) {
+  const float64x2_t s_v = vdupq_n_f64(s);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(a + i,
+              vaddq_f64(vld1q_f64(b + i), vmulq_f64(s_v, vld1q_f64(c + i))));
+  }
+  for (; i < n; ++i) a[i] = b[i] + s * c[i];
+}
+
+#endif  // DGC_SIMD_NEON
+
+bool DetectVectorSupport() {
+#if defined(DGC_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(DGC_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+constexpr int kLevelUninitialized = -1;
+std::atomic<int> g_level{kLevelUninitialized};
+
+Level InitialLevel() {
+  const char* env = std::getenv("DGC_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Level::kScalar;
+  }
+  // "vector", "auto", unset, or anything else: best supported level.
+  return DetectVectorSupport() ? Level::kVector : Level::kScalar;
+}
+
+}  // namespace
+
+bool VectorSupported() {
+  static const bool supported = DetectVectorSupport();
+  return supported;
+}
+
+Level ActiveLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kLevelUninitialized) {
+    level = static_cast<int>(InitialLevel());
+    int expected = kLevelUninitialized;
+    // Losing the race just means another thread installed the same value.
+    g_level.compare_exchange_strong(expected, level,
+                                    std::memory_order_relaxed);
+  }
+  return static_cast<Level>(level);
+}
+
+void SetLevel(Level level) {
+  if (level == Level::kVector && !VectorSupported()) level = Level::kScalar;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+const char* BackendName() {
+#if defined(DGC_SIMD_AVX2)
+  return VectorSupported() ? "avx2" : "scalar";
+#elif defined(DGC_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+const char* LevelName(Level level) {
+  return level == Level::kVector ? "vector" : "scalar";
+}
+
+int32_t ScatterAccumulate(double av, const int32_t* cols, const double* vals,
+                          size_t n, double* accum, int32_t* marker,
+                          int32_t stamp, int32_t* touched) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    return Avx2ScatterAccumulate(av, cols, vals, n, accum, marker, stamp,
+                                 touched);
+  }
+#endif
+  return ScalarScatterAccumulate(av, cols, vals, n, accum, marker, stamp,
+                                 touched);
+}
+
+int32_t ScatterAccumulate64(double av, const int32_t* cols, const double* vals,
+                            size_t n, double* accum, int64_t* marker,
+                            int64_t stamp, int32_t* touched) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    return Avx2ScatterAccumulate64(av, cols, vals, n, accum, marker, stamp,
+                                   touched);
+  }
+#endif
+  return ScalarScatterAccumulate64(av, cols, vals, n, accum, marker, stamp,
+                                   touched);
+}
+
+int32_t ScatterAccumulateScaled(double av, const double* row_scale,
+                                bool use_col_scale, double col_scale,
+                                const int32_t* cols, const double* vals,
+                                size_t n, double* accum, int32_t* marker,
+                                int32_t stamp, int32_t* touched) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    return Avx2ScatterAccumulateScaled(av, row_scale, use_col_scale,
+                                       col_scale, cols, vals, n, accum,
+                                       marker, stamp, touched);
+  }
+#endif
+  return ScalarScatterAccumulateScaled(av, row_scale, use_col_scale,
+                                       col_scale, cols, vals, n, accum,
+                                       marker, stamp, touched);
+}
+
+size_t GatherPrune(const int32_t* touched, size_t n, const double* accum,
+                   double threshold, bool drop_diagonal, int32_t row,
+                   int32_t* out_cols, double* out_vals, int64_t* dropped) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    return Avx2GatherPrune(touched, n, accum, threshold, drop_diagonal, row,
+                           out_cols, out_vals, dropped);
+  }
+#endif
+  return ScalarGatherPrune(touched, n, accum, threshold, drop_diagonal, row,
+                           out_cols, out_vals, dropped);
+}
+
+void Gather(const double* src, const int32_t* idx, size_t n, double* out) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    Avx2Gather(src, idx, n, out);
+    return;
+  }
+#endif
+  ScalarGather(src, idx, n, out);
+}
+
+void DivThresholdMask(const double* vals, size_t n, double sum,
+                      double threshold, uint8_t* mask) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    Avx2DivThresholdMask(vals, n, sum, threshold, mask);
+    return;
+  }
+#elif defined(DGC_SIMD_NEON)
+  if (ActiveLevel() == Level::kVector) {
+    NeonDivThresholdMask(vals, n, sum, threshold, mask);
+    return;
+  }
+#endif
+  ScalarDivThresholdMask(vals, n, sum, threshold, mask);
+}
+
+void AddI64(int64_t* dst, const int64_t* src, size_t n) {
+#if defined(DGC_SIMD_AVX2)
+  if (ActiveLevel() == Level::kVector && VectorSupported()) {
+    Avx2AddI64(dst, src, n);
+    return;
+  }
+#elif defined(DGC_SIMD_NEON)
+  if (ActiveLevel() == Level::kVector) {
+    NeonAddI64(dst, src, n);
+    return;
+  }
+#endif
+  ScalarAddI64(dst, src, n);
+}
+
+double MulAddThroughput(double* x, size_t n, int iters, double a, double b,
+                        Level level) {
+#if defined(DGC_SIMD_AVX2)
+  if (level == Level::kVector && VectorSupported()) {
+    return Avx2MulAddThroughput(x, n, iters, a, b);
+  }
+#elif defined(DGC_SIMD_NEON)
+  if (level == Level::kVector) return NeonMulAddThroughput(x, n, iters, a, b);
+#endif
+  return ScalarMulAddThroughput(x, n, iters, a, b);
+}
+
+void Triad(double* a, const double* b, const double* c, double s, size_t n,
+           Level level) {
+#if defined(DGC_SIMD_AVX2)
+  if (level == Level::kVector && VectorSupported()) {
+    Avx2Triad(a, b, c, s, n);
+    return;
+  }
+#elif defined(DGC_SIMD_NEON)
+  if (level == Level::kVector) {
+    NeonTriad(a, b, c, s, n);
+    return;
+  }
+#endif
+  ScalarTriad(a, b, c, s, n);
+}
+
+}  // namespace simd
+}  // namespace dgc

@@ -1,0 +1,149 @@
+// Portable SIMD primitives for the SpGEMM / R-MCL hot path.
+//
+// Every primitive in this header has a scalar reference implementation and
+// (where the target supports it) a vectorized one, selected at runtime via
+// ActiveLevel(). The contract that makes vectorization safe under the
+// library's determinism guarantees: **both implementations produce
+// bit-identical results**. That holds because each vector lane performs
+// exactly the scalar sequence of IEEE-754 basic operations (mul, div,
+// compare, abs) on the same operands — no reassociation, no FMA contraction
+// (a fused multiply-add rounds once where mul+add rounds twice, so FMA is
+// never used), no reduced-precision shortcuts. NaNs and denormals flow
+// through both paths identically (comparisons with NaN are false, so
+// NaN-valued entries survive threshold pruning on both paths; MXCSR
+// FTZ/DAZ are never touched).
+//
+// Backends: AVX2 (x86-64, compiled via the `target("avx2")` function
+// attribute so a default -march build still carries the vector path and
+// dispatches on cpuid at runtime), NEON (aarch64), scalar fallback
+// everywhere else. Dispatch is per *call* — callers invoke primitives once
+// per matrix row or per inner row, never per element.
+//
+// This is the only file in the repository allowed to use raw SIMD
+// intrinsics (enforced by tools/lint/dgc_lint.py, rule
+// simd-intrinsics-contained); kernels compose these primitives instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dgc {
+namespace simd {
+
+/// Dispatch level. kVector resolves to the best backend compiled in and
+/// supported by the running CPU; when no vector backend is available it
+/// behaves exactly like kScalar.
+enum class Level : int {
+  kScalar = 0,
+  kVector = 1,
+};
+
+/// True when a vector backend is compiled in and the running CPU supports
+/// it (AVX2 via cpuid on x86-64, always true on aarch64 NEON builds).
+bool VectorSupported();
+
+/// The level primitives dispatch on. Defaults to kVector when supported,
+/// overridable via SetLevel() or the DGC_SIMD environment variable
+/// ("scalar" forces the reference loops, "vector"/"auto" the default).
+/// Reads are relaxed-atomic: per-row dispatch cost only.
+Level ActiveLevel();
+
+/// Overrides the dispatch level (tests and A/B benchmarks). Requesting
+/// kVector without hardware support silently stays scalar.
+void SetLevel(Level level);
+
+/// "avx2", "neon" or "scalar" — the best backend this binary can run here.
+const char* BackendName();
+
+/// Display name of a level ("scalar" / "vector").
+const char* LevelName(Level level);
+
+// ---------------------------------------------------------------------------
+// Primitives. Pointer arguments must not alias unless stated otherwise.
+// ---------------------------------------------------------------------------
+
+/// Dense-accumulator scatter-accumulate (the Gustavson inner loop):
+///
+///   for p in [0, n):
+///     c = cols[p]
+///     if (marker[c] != stamp) { marker[c] = stamp; accum[c] = 0;
+///                               touched[count++] = c; }
+///     accum[c] += av * vals[p]
+///
+/// `cols` must hold distinct indices (CSR rows are strictly increasing), so
+/// vector lanes never collide. Returns the number of indices appended to
+/// `touched` (which must have room for n more entries). First-touch
+/// (insertion) order is preserved exactly — downstream tie-breaking
+/// (R-MCL's nth_element cap) depends on it.
+int32_t ScatterAccumulate(double av, const int32_t* cols, const double* vals,
+                          size_t n, double* accum, int32_t* marker,
+                          int32_t stamp, int32_t* touched);
+
+/// As ScatterAccumulate with a 64-bit marker/stamp (R-MCL's iteration-
+/// stamped markers never need clearing between iterations).
+int32_t ScatterAccumulate64(double av, const int32_t* cols, const double* vals,
+                            size_t n, double* accum, int64_t* marker,
+                            int64_t stamp, int32_t* touched);
+
+/// Scaled scatter-accumulate for the on-the-fly symmetric similarity
+/// products (SpGemmAAtSymmetric):
+///
+///   for p in [0, n):
+///     t = vals[p]
+///     if (row_scale != nullptr)  t *= row_scale[cols[p]]      // gather
+///     if (use_col_scale)         t *= col_scale
+///     ... first-touch bookkeeping as ScatterAccumulate ...
+///     accum[c] += av * t
+///
+/// The multiplication order matches ComputeUpperRow's scalar loop (and via
+/// it the reference ScaleRows/ScaleCols path), keeping the fused engine
+/// bit-identical to the reference engine.
+int32_t ScatterAccumulateScaled(double av, const double* row_scale,
+                                bool use_col_scale, double col_scale,
+                                const int32_t* cols, const double* vals,
+                                size_t n, double* accum, int32_t* marker,
+                                int32_t stamp, int32_t* touched);
+
+/// Row finalization (EmitRow): gathers accum[touched[p]] for the (sorted)
+/// touched indices, drops entries with |v| < threshold (counting them into
+/// *dropped) and, when drop_diagonal, the entry with column == row, then
+/// writes survivors to out_cols/out_vals (room for n required). Returns the
+/// survivor count. NaN values compare false against the threshold and are
+/// therefore kept — identical to the scalar std::abs(v) < threshold loop.
+size_t GatherPrune(const int32_t* touched, size_t n, const double* accum,
+                   double threshold, bool drop_diagonal, int32_t row,
+                   int32_t* out_cols, double* out_vals, int64_t* dropped);
+
+/// out[p] = src[idx[p]].
+void Gather(const double* src, const int32_t* idx, size_t n, double* out);
+
+/// mask[p] = (vals[p] / sum < threshold) ? 1 : 0 — the R-MCL inflate/prune
+/// scan. The division is performed per lane (IEEE division is exactly
+/// rounded, so vector and scalar results are bit-identical); NaN quotients
+/// yield mask 0 (kept), matching the scalar comparison.
+void DivThresholdMask(const double* vals, size_t n, double sum,
+                      double threshold, uint8_t* mask);
+
+/// dst[p] += src[p] for int64 counters — the blocked counting-sort
+/// reductions in MirrorUpperTriangle (exact for any summation order).
+void AddI64(int64_t* dst, const int64_t* src, size_t n);
+
+// ---------------------------------------------------------------------------
+// Hardware-probe helpers (bench/hw_probe). Not determinism-sensitive; they
+// exist so the probe can hit the machine's vector ceilings without raw
+// intrinsics leaking outside this header.
+// ---------------------------------------------------------------------------
+
+/// Compute-ceiling probe: `iters` passes of x[i] = x[i] * a + b over n
+/// doubles (2 flops per element per pass, mul+add — the same instruction
+/// mix the kernels use, so the ceiling is the one they can actually reach).
+/// Returns x[0] + x[n/2] to defeat dead-code elimination.
+double MulAddThroughput(double* x, size_t n, int iters, double a, double b,
+                        Level level);
+
+/// Bandwidth-ceiling probe (STREAM triad): a[i] = b[i] + s * c[i].
+void Triad(double* a, const double* b, const double* c, double s, size_t n,
+           Level level);
+
+}  // namespace simd
+}  // namespace dgc

@@ -1,0 +1,240 @@
+// Tests for the row-reordering subsystem (linalg/reorder.h): permutation
+// builders are valid and deterministic, the apply/invert/unpermute
+// transforms round-trip exactly, and — the load-bearing contract — the
+// reordered similarity product SpGemmAAtSymmetricReordered is bitwise
+// identical to the direct SpGemmAAtSymmetric for every reorder method,
+// threshold and thread count tried.
+#include "linalg/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "linalg/spgemm.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+CsrMatrix Random(Index n, int nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < nnz; ++i) {
+    triplets.push_back(
+        Triplet{static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n))),
+                static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n))),
+                rng.UniformDouble() + 0.1});
+  }
+  return std::move(CsrMatrix::FromTriplets(n, n, triplets)).ValueOrDie();
+}
+
+void ExpectValidPermutation(const std::vector<Index>& perm, Index n) {
+  ASSERT_EQ(static_cast<size_t>(n), perm.size());
+  std::vector<Index> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < n; ++i) EXPECT_EQ(i, sorted[static_cast<size_t>(i)]);
+}
+
+void ExpectBitIdentical(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_TRUE(std::equal(a.row_ptr().begin(), a.row_ptr().end(),
+                         b.row_ptr().begin()));
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(),
+                         b.col_idx().begin()));
+  if (a.nnz() > 0) {
+    EXPECT_EQ(0, std::memcmp(a.values().data(), b.values().data(),
+                             a.values().size() * sizeof(Scalar)));
+  }
+}
+
+TEST(ReorderTest, NamesRoundTrip) {
+  for (ReorderMethod m :
+       {ReorderMethod::kNone, ReorderMethod::kDegree, ReorderMethod::kRcm}) {
+    auto parsed = ParseReorderMethod(ReorderMethodName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(m, *parsed);
+  }
+  EXPECT_FALSE(ParseReorderMethod("banana").ok());
+}
+
+TEST(ReorderTest, BuildersYieldValidDeterministicPermutations) {
+  const CsrMatrix a = Random(60, 300, 5);
+  const CsrMatrix at = a.Transpose();
+  for (ReorderMethod m :
+       {ReorderMethod::kNone, ReorderMethod::kDegree, ReorderMethod::kRcm}) {
+    const auto perm = BuildReorderPermutation(m, a, at);
+    ExpectValidPermutation(perm, a.rows());
+    EXPECT_EQ(perm, BuildReorderPermutation(m, a, at)) << "non-deterministic";
+  }
+  // kNone is the identity.
+  const auto identity = BuildReorderPermutation(ReorderMethod::kNone, a, at);
+  for (Index i = 0; i < a.rows(); ++i) {
+    EXPECT_EQ(i, identity[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ReorderTest, DegreeOrderIsAscending) {
+  const CsrMatrix a = Random(40, 200, 6);
+  const CsrMatrix at = a.Transpose();
+  const auto perm = DegreePermutation(a, at);
+  // Undirected degree of perm[i] must be non-decreasing in i.
+  auto degree = [&](Index v) {
+    std::vector<Index> nbrs;
+    for (Index c : a.RowCols(v)) {
+      if (c != v) nbrs.push_back(c);
+    }
+    for (Index c : at.RowCols(v)) {
+      if (c != v) nbrs.push_back(c);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    return static_cast<Index>(nbrs.size());
+  };
+  for (size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(degree(perm[i - 1]), degree(perm[i])) << "i=" << i;
+  }
+}
+
+TEST(ReorderTest, InvertPermutationRoundTrips) {
+  Rng rng(9);
+  std::vector<Index> perm(37);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const auto inv = InvertPermutation(perm);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(static_cast<Index>(i), inv[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST(ReorderTest, PermuteRowsMovesRowsOnly) {
+  const CsrMatrix a = Random(30, 150, 7);
+  Rng rng(10);
+  std::vector<Index> perm(static_cast<size_t>(a.rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const CsrMatrix p = PermuteRows(a, perm);
+  ASSERT_EQ(a.rows(), p.rows());
+  ASSERT_EQ(a.nnz(), p.nnz());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const Index src = perm[static_cast<size_t>(i)];
+    auto pc = p.RowCols(i);
+    auto ac = a.RowCols(src);
+    ASSERT_EQ(ac.size(), pc.size());
+    EXPECT_TRUE(std::equal(ac.begin(), ac.end(), pc.begin()));
+    auto pv = p.RowValues(i);
+    auto av = a.RowValues(src);
+    EXPECT_EQ(0, std::memcmp(av.data(), pv.data(), av.size() * sizeof(Scalar)));
+  }
+}
+
+TEST(ReorderTest, PermuteSymmetricRelabelsBothSides) {
+  const CsrMatrix a = Random(25, 120, 8);
+  Rng rng(11);
+  std::vector<Index> perm(static_cast<size_t>(a.rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const CsrMatrix p = PermuteSymmetric(a, perm);
+  ASSERT_EQ(a.nnz(), p.nnz());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a.At(perm[static_cast<size_t>(i)],
+                     perm[static_cast<size_t>(j)]),
+                p.At(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ReorderTest, UnpermuteLabelsRoundTrips) {
+  Rng rng(12);
+  std::vector<Index> perm(21);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  // labels[i] belongs to permuted row i == original row perm[i].
+  std::vector<Index> labels(perm.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<Index>(rng.UniformU64(5));
+  }
+  const auto out = UnpermuteLabels(labels, perm);
+  ASSERT_EQ(labels.size(), out.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], out[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST(ReorderTest, UnpermuteUpperTriangleMapsEntriesBack) {
+  // Build an upper triangle in permuted space by symmetric permutation of a
+  // known symmetric matrix, then check the unpermuted triangle equals the
+  // original's upper triangle.
+  const CsrMatrix base = Random(20, 90, 13);
+  const CsrMatrix sym =
+      std::move(CsrMatrix::Add(base, base.Transpose())).ValueOrDie();
+  Rng rng(14);
+  std::vector<Index> perm(static_cast<size_t>(sym.rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  const CsrMatrix sym_p = PermuteSymmetric(sym, perm);
+
+  auto upper_of = [](const CsrMatrix& m) {
+    std::vector<Triplet> t;
+    for (Index r = 0; r < m.rows(); ++r) {
+      auto cols = m.RowCols(r);
+      auto vals = m.RowValues(r);
+      for (size_t p = 0; p < cols.size(); ++p) {
+        if (cols[p] > r) t.push_back(Triplet{r, cols[p], vals[p]});
+      }
+    }
+    return std::move(CsrMatrix::FromTriplets(m.rows(), m.cols(), t))
+        .ValueOrDie();
+  };
+
+  const CsrMatrix unpermuted =
+      UnpermuteUpperTriangle(upper_of(sym_p), perm, /*num_threads=*/2);
+  ExpectBitIdentical(upper_of(sym), unpermuted);
+}
+
+TEST(ReorderTest, ReorderedSimilarityProductIsBitIdentical) {
+  const CsrMatrix a = Random(80, 600, 15);
+  const CsrMatrix at = a.Transpose();
+  std::vector<Scalar> row_scale(static_cast<size_t>(a.rows()));
+  std::vector<Scalar> col_scale(static_cast<size_t>(a.rows()));
+  Rng rng(16);
+  for (auto& s : row_scale) s = rng.UniformDouble(0.2, 1.2);
+  for (auto& s : col_scale) s = rng.UniformDouble(0.2, 1.2);
+
+  for (ReorderMethod method : {ReorderMethod::kDegree, ReorderMethod::kRcm}) {
+    for (double threshold : {0.0, 0.4}) {
+      for (int threads : {1, 4}) {
+        SCOPED_TRACE(testing::Message()
+                     << ReorderMethodName(method) << " t=" << threshold
+                     << " threads=" << threads);
+        SpGemmOptions options;
+        options.threshold = threshold;
+        options.drop_diagonal = true;
+        options.num_threads = threads;
+        auto direct = SpGemmAAtSymmetric(a, row_scale, col_scale, options);
+        ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+        const auto perm = BuildReorderPermutation(method, a, at);
+        auto reordered = SpGemmAAtSymmetricReordered(a, row_scale, col_scale,
+                                                     options, perm);
+        ASSERT_TRUE(reordered.ok()) << reordered.status().ToString();
+        ExpectBitIdentical(*direct, *reordered);
+      }
+    }
+  }
+}
+
+TEST(ReorderTest, ReorderedProductRejectsBadPermutation) {
+  const CsrMatrix a = Random(10, 40, 17);
+  const std::vector<Index> short_perm(5, 0);
+  EXPECT_FALSE(
+      SpGemmAAtSymmetricReordered(a, {}, {}, SpGemmOptions{}, short_perm).ok());
+}
+
+}  // namespace
+}  // namespace dgc

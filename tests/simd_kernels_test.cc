@@ -1,0 +1,392 @@
+// Bit-identity tests for the vectorized hot-path primitives (util/simd.h):
+// every primitive is run at the scalar and vector dispatch levels on the
+// same inputs and the outputs are compared bitwise (memcmp, not ==, so
+// -0.0 vs 0.0 and NaN payloads count as differences). Inputs sweep
+// unaligned lengths around every vector-width boundary and include NaNs,
+// denormals and signed zeros, because those are exactly where a vector
+// shortcut (FTZ, unordered compares, FMA) would diverge from the scalar
+// reference. On machines without a vector backend SetLevel(kVector) stays
+// scalar and the comparisons pass trivially — the test then still covers
+// the scalar reference paths.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/radix.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+// Lengths crossing the 4-lane AVX2 / 2-lane NEON boundaries plus odd tails.
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                           15, 16, 17, 31, 32, 33, 63, 64, 67};
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenormal = 4.9406564584124654e-324;  // smallest subnormal
+
+/// Restores the dispatch level after each test so ordering cannot leak.
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::SetLevel(simd::Level::kVector); }
+};
+
+/// Distinct sorted column indices in [0, dim) — the CSR row invariant the
+/// primitives rely on.
+std::vector<int32_t> MakeCols(Rng& rng, size_t n, int32_t dim) {
+  std::vector<uint64_t> sample = rng.SampleWithoutReplacement(
+      static_cast<uint64_t>(dim), static_cast<uint64_t>(n));
+  std::vector<int32_t> cols(sample.begin(), sample.end());
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+/// Values with the full set of awkward citizens: NaN every 7th entry,
+/// denormals every 5th, negative zero every 11th, otherwise mixed-sign
+/// magnitudes straddling typical thresholds.
+std::vector<double> MakeVals(Rng& rng, size_t n) {
+  std::vector<double> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3) {
+      vals[i] = kNaN;
+    } else if (i % 5 == 2) {
+      vals[i] = (i % 2 == 0) ? kDenormal : -kDenormal;
+    } else if (i % 11 == 6) {
+      vals[i] = -0.0;
+    } else {
+      vals[i] = rng.UniformDouble(-2.0, 2.0);
+    }
+  }
+  return vals;
+}
+
+template <typename T>
+void ExpectBitEqual(const std::vector<T>& a, const std::vector<T>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(T)))
+        << what;
+  }
+}
+
+struct ScatterState {
+  std::vector<double> accum;
+  std::vector<int32_t> marker32;
+  std::vector<int64_t> marker64;
+  std::vector<int32_t> touched;
+  int32_t count = 0;
+};
+
+/// Pre-populates a fraction of the columns as already-stamped so both the
+/// fresh-touch and the accumulate paths (and the mixed 4-lane case) run.
+ScatterState MakeState(Rng& rng, const std::vector<int32_t>& cols, int32_t dim,
+                       int32_t stamp32, int64_t stamp64) {
+  ScatterState s;
+  s.accum.assign(static_cast<size_t>(dim), 0.0);
+  s.marker32.assign(static_cast<size_t>(dim), stamp32 - 1);
+  s.marker64.assign(static_cast<size_t>(dim), stamp64 - 1);
+  s.touched.assign(cols.size() + 8, -1);
+  for (int32_t c : cols) {
+    if (rng.Bernoulli(0.5)) {
+      s.marker32[static_cast<size_t>(c)] = stamp32;
+      s.marker64[static_cast<size_t>(c)] = stamp64;
+      s.accum[static_cast<size_t>(c)] = rng.UniformDouble(-1.0, 1.0);
+    }
+  }
+  return s;
+}
+
+TEST_F(SimdKernelsTest, VectorBackendReportsSupport) {
+  // Informational pin: BackendName is one of the three known strings and
+  // agrees with VectorSupported().
+  const std::string backend = simd::BackendName();
+  EXPECT_TRUE(backend == "avx2" || backend == "neon" || backend == "scalar");
+  EXPECT_EQ(backend != "scalar", simd::VectorSupported());
+  EXPECT_STREQ("scalar", simd::LevelName(simd::Level::kScalar));
+  EXPECT_STREQ("vector", simd::LevelName(simd::Level::kVector));
+}
+
+TEST_F(SimdKernelsTest, ScatterAccumulateMatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    Rng rng(1000 + n);
+    const int32_t dim = static_cast<int32_t>(4 * n + 16);
+    const auto cols = MakeCols(rng, n, dim);
+    const auto vals = MakeVals(rng, n);
+    const int32_t stamp = 42;
+    Rng state_rng(7);
+    ScatterState scalar_state = MakeState(state_rng, cols, dim, stamp, 0);
+    ScatterState vector_state = scalar_state;
+    const double av = -1.7;
+
+    simd::SetLevel(simd::Level::kScalar);
+    const int32_t scalar_count = simd::ScatterAccumulate(
+        av, cols.data(), vals.data(), n, scalar_state.accum.data(),
+        scalar_state.marker32.data(), stamp, scalar_state.touched.data());
+    simd::SetLevel(simd::Level::kVector);
+    const int32_t vector_count = simd::ScatterAccumulate(
+        av, cols.data(), vals.data(), n, vector_state.accum.data(),
+        vector_state.marker32.data(), stamp, vector_state.touched.data());
+
+    EXPECT_EQ(scalar_count, vector_count) << "n=" << n;
+    ExpectBitEqual(scalar_state.accum, vector_state.accum, "accum");
+    ExpectBitEqual(scalar_state.marker32, vector_state.marker32, "marker");
+    // Insertion order of the touched list is part of the contract.
+    ExpectBitEqual(scalar_state.touched, vector_state.touched, "touched");
+  }
+}
+
+TEST_F(SimdKernelsTest, ScatterAccumulate64MatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    Rng rng(2000 + n);
+    const int32_t dim = static_cast<int32_t>(4 * n + 16);
+    const auto cols = MakeCols(rng, n, dim);
+    const auto vals = MakeVals(rng, n);
+    // A stamp beyond int32 range pins the 64-bit marker comparisons.
+    const int64_t stamp = (int64_t{1} << 40) + 12345;
+    Rng state_rng(11);
+    ScatterState scalar_state = MakeState(state_rng, cols, dim, 0, stamp);
+    ScatterState vector_state = scalar_state;
+    const double av = 0.3125;
+
+    simd::SetLevel(simd::Level::kScalar);
+    const int32_t scalar_count = simd::ScatterAccumulate64(
+        av, cols.data(), vals.data(), n, scalar_state.accum.data(),
+        scalar_state.marker64.data(), stamp, scalar_state.touched.data());
+    simd::SetLevel(simd::Level::kVector);
+    const int32_t vector_count = simd::ScatterAccumulate64(
+        av, cols.data(), vals.data(), n, vector_state.accum.data(),
+        vector_state.marker64.data(), stamp, vector_state.touched.data());
+
+    EXPECT_EQ(scalar_count, vector_count) << "n=" << n;
+    ExpectBitEqual(scalar_state.accum, vector_state.accum, "accum");
+    ExpectBitEqual(scalar_state.marker64, vector_state.marker64, "marker");
+    ExpectBitEqual(scalar_state.touched, vector_state.touched, "touched");
+  }
+}
+
+TEST_F(SimdKernelsTest, ScatterAccumulateScaledMatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    for (bool with_row_scale : {false, true}) {
+      for (bool use_col_scale : {false, true}) {
+        Rng rng(3000 + n);
+        const int32_t dim = static_cast<int32_t>(4 * n + 16);
+        const auto cols = MakeCols(rng, n, dim);
+        const auto vals = MakeVals(rng, n);
+        std::vector<double> row_scale(static_cast<size_t>(dim));
+        for (auto& s : row_scale) s = rng.UniformDouble(0.1, 1.5);
+        const int32_t stamp = 7;
+        Rng state_rng(13);
+        ScatterState scalar_state = MakeState(state_rng, cols, dim, stamp, 0);
+        ScatterState vector_state = scalar_state;
+        const double av = 1.25;
+        const double ck = 0.6180339887;
+        const double* rs = with_row_scale ? row_scale.data() : nullptr;
+
+        simd::SetLevel(simd::Level::kScalar);
+        const int32_t scalar_count = simd::ScatterAccumulateScaled(
+            av, rs, use_col_scale, ck, cols.data(), vals.data(), n,
+            scalar_state.accum.data(), scalar_state.marker32.data(), stamp,
+            scalar_state.touched.data());
+        simd::SetLevel(simd::Level::kVector);
+        const int32_t vector_count = simd::ScatterAccumulateScaled(
+            av, rs, use_col_scale, ck, cols.data(), vals.data(), n,
+            vector_state.accum.data(), vector_state.marker32.data(), stamp,
+            vector_state.touched.data());
+
+        EXPECT_EQ(scalar_count, vector_count)
+            << "n=" << n << " rs=" << with_row_scale << " cs=" << use_col_scale;
+        ExpectBitEqual(scalar_state.accum, vector_state.accum, "accum");
+        ExpectBitEqual(scalar_state.marker32, vector_state.marker32, "marker");
+        ExpectBitEqual(scalar_state.touched, vector_state.touched, "touched");
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GatherPruneMatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    for (bool drop_diagonal : {false, true}) {
+      Rng rng(4000 + n);
+      const int32_t dim = static_cast<int32_t>(4 * n + 16);
+      auto touched = MakeCols(rng, n, dim);
+      std::vector<double> accum(static_cast<size_t>(dim), 0.0);
+      const double threshold = 0.5;
+      for (size_t i = 0; i < touched.size(); ++i) {
+        const size_t c = static_cast<size_t>(touched[i]);
+        switch (i % 6) {
+          case 0: accum[c] = 0.75; break;            // kept
+          case 1: accum[c] = -0.25; break;           // pruned
+          case 2: accum[c] = kNaN; break;            // kept (NaN < t false)
+          case 3: accum[c] = kDenormal; break;       // pruned
+          case 4: accum[c] = -0.5; break;            // kept (|v| == t)
+          case 5: accum[c] = -0.0; break;            // pruned
+        }
+      }
+      // Put the diagonal among the survivors when the row is present.
+      const int32_t row = touched.empty() ? 0 : touched[touched.size() / 2];
+      if (!touched.empty()) accum[static_cast<size_t>(row)] = 2.0;
+
+      std::vector<int32_t> scalar_cols(n + 8, -1), vector_cols(n + 8, -1);
+      std::vector<double> scalar_vals(n + 8, -7.0), vector_vals(n + 8, -7.0);
+      int64_t scalar_dropped = 100, vector_dropped = 100;
+
+      simd::SetLevel(simd::Level::kScalar);
+      const size_t scalar_kept = simd::GatherPrune(
+          touched.data(), n, accum.data(), threshold, drop_diagonal, row,
+          scalar_cols.data(), scalar_vals.data(), &scalar_dropped);
+      simd::SetLevel(simd::Level::kVector);
+      const size_t vector_kept = simd::GatherPrune(
+          touched.data(), n, accum.data(), threshold, drop_diagonal, row,
+          vector_cols.data(), vector_vals.data(), &vector_dropped);
+
+      EXPECT_EQ(scalar_kept, vector_kept)
+          << "n=" << n << " diag=" << drop_diagonal;
+      EXPECT_EQ(scalar_dropped, vector_dropped);
+      scalar_cols.resize(scalar_kept);
+      vector_cols.resize(vector_kept);
+      scalar_vals.resize(scalar_kept);
+      vector_vals.resize(vector_kept);
+      ExpectBitEqual(scalar_cols, vector_cols, "cols");
+      ExpectBitEqual(scalar_vals, vector_vals, "vals");
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GatherPruneSemanticsPinned) {
+  // Direct semantic pins (level-independent): strict < comparison, NaN
+  // kept, dropped counts only threshold prunes (not the diagonal).
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kVector}) {
+    simd::SetLevel(level);
+    const int32_t touched[] = {0, 1, 2, 3, 4};
+    const double accum[] = {0.5, 0.499, kNaN, -0.0, 9.0};
+    int32_t out_cols[5];
+    double out_vals[5];
+    int64_t dropped = 0;
+    const size_t kept =
+        simd::GatherPrune(touched, 5, accum, /*threshold=*/0.5,
+                          /*drop_diagonal=*/true, /*row=*/4, out_cols,
+                          out_vals, &dropped);
+    // 0.5 kept (not < 0.5), 0.499 pruned, NaN kept, -0.0 pruned, 9.0 is
+    // the diagonal (dropped but not counted).
+    ASSERT_EQ(2u, kept) << simd::LevelName(level);
+    EXPECT_EQ(2, dropped);
+    EXPECT_EQ(0, out_cols[0]);
+    EXPECT_EQ(2, out_cols[1]);
+    EXPECT_EQ(0.5, out_vals[0]);
+    EXPECT_TRUE(std::isnan(out_vals[1]));
+  }
+}
+
+TEST_F(SimdKernelsTest, GatherMatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    Rng rng(5000 + n);
+    const int32_t dim = static_cast<int32_t>(4 * n + 16);
+    const auto idx = MakeCols(rng, n, dim);
+    std::vector<double> src(static_cast<size_t>(dim));
+    for (size_t i = 0; i < src.size(); ++i) {
+      src[i] = (i % 9 == 4) ? kNaN : rng.UniformDouble(-3.0, 3.0);
+    }
+    std::vector<double> scalar_out(n, -1.0), vector_out(n, -1.0);
+    simd::SetLevel(simd::Level::kScalar);
+    simd::Gather(src.data(), idx.data(), n, scalar_out.data());
+    simd::SetLevel(simd::Level::kVector);
+    simd::Gather(src.data(), idx.data(), n, vector_out.data());
+    ExpectBitEqual(scalar_out, vector_out, "gather");
+  }
+}
+
+TEST_F(SimdKernelsTest, DivThresholdMaskMatchesScalarBitwise) {
+  for (size_t n : kLengths) {
+    // sum == 0 exercises inf/NaN quotients wholesale; sum > 0 the normal
+    // path with denormal quotients in the mix.
+    for (double sum : {0.0, 3.75}) {
+      Rng rng(6000 + n);
+      auto vals = MakeVals(rng, n);
+      std::vector<uint8_t> scalar_mask(n + 1, 0xee), vector_mask(n + 1, 0xee);
+      const double threshold = 0.25;
+      simd::SetLevel(simd::Level::kScalar);
+      simd::DivThresholdMask(vals.data(), n, sum, threshold,
+                             scalar_mask.data());
+      simd::SetLevel(simd::Level::kVector);
+      simd::DivThresholdMask(vals.data(), n, sum, threshold,
+                             vector_mask.data());
+      ExpectBitEqual(scalar_mask, vector_mask, "mask");
+      // NaN quotients must be kept (mask 0) on both paths.
+      for (size_t i = 0; i < n; ++i) {
+        if (std::isnan(vals[i] / sum)) {
+          EXPECT_EQ(0, scalar_mask[i]) << "i=" << i << " sum=" << sum;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, AddI64MatchesScalar) {
+  for (size_t n : kLengths) {
+    Rng rng(7000 + n);
+    std::vector<int64_t> src(n), scalar_dst(n), vector_dst(n);
+    for (size_t i = 0; i < n; ++i) {
+      src[i] = static_cast<int64_t>(rng.Next());
+      scalar_dst[i] = static_cast<int64_t>(rng.Next());
+      vector_dst[i] = scalar_dst[i];
+    }
+    simd::SetLevel(simd::Level::kScalar);
+    simd::AddI64(scalar_dst.data(), src.data(), n);
+    simd::SetLevel(simd::Level::kVector);
+    simd::AddI64(vector_dst.data(), src.data(), n);
+    ExpectBitEqual(scalar_dst, vector_dst, "addi64");
+  }
+}
+
+TEST_F(SimdKernelsTest, ProbeHelpersRunAtBothLevels) {
+  // The throughput probes are not determinism-sensitive; this only pins
+  // that both levels run and produce finite results on sane inputs.
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kVector}) {
+    std::vector<double> x(64, 1.0);
+    const double sink = simd::MulAddThroughput(x.data(), x.size(), 3, 1.5,
+                                               0.25, level);
+    EXPECT_TRUE(std::isfinite(sink)) << simd::LevelName(level);
+    std::vector<double> a(67, 0.0), b(67, 1.0), c(67, 2.0);
+    simd::Triad(a.data(), b.data(), c.data(), 2.0, a.size(), level);
+    for (double v : a) EXPECT_EQ(5.0, v);
+  }
+}
+
+TEST_F(SimdKernelsTest, RadixSortMatchesStdSortOnDistinctKeys) {
+  // EmitRow sorts the touched list with RadixSortIndices; CSR rows hold
+  // distinct keys, for which LSD radix and std::sort agree exactly.
+  for (size_t n : {size_t{0}, size_t{5}, size_t{127}, size_t{128},
+                   size_t{1000}, size_t{4096}}) {
+    Rng rng(8000 + n);
+    const int32_t bound = static_cast<int32_t>(3 * n + 7);
+    std::vector<uint64_t> sample = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(bound), static_cast<uint64_t>(n));
+    std::vector<int32_t> data(sample.begin(), sample.end());
+    std::vector<int32_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    std::vector<int32_t> scratch(n);
+    RadixSortIndices(data.data(), n, scratch.data(), bound);
+    EXPECT_EQ(expected, data) << "n=" << n;
+  }
+}
+
+TEST_F(SimdKernelsTest, EnvOverrideAndSetLevelInteract) {
+  // SetLevel(kScalar) must force the scalar path even on vector hardware;
+  // requesting kVector without support stays scalar (no crash, no UB).
+  simd::SetLevel(simd::Level::kScalar);
+  EXPECT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+  simd::SetLevel(simd::Level::kVector);
+  EXPECT_EQ(simd::VectorSupported() ? simd::Level::kVector
+                                    : simd::Level::kScalar,
+            simd::ActiveLevel());
+}
+
+}  // namespace
+}  // namespace dgc

@@ -60,6 +60,7 @@ void g() {
   use(m);
 }
 void h(const Thing& t) { (void)t.Validate(); }
+void v(double* p) { __m256d x = _mm256_loadu_pd(p); (void)x; }
 """)
         self.write("src/util/noguard.h", "int x;\n")
         result = run_lint(self.root)
@@ -69,7 +70,7 @@ void h(const Thing& t) { (void)t.Validate(); }
             {"no-raw-assert", "no-raw-random", "unchecked-needs-validate",
              "no-void-status-discard", "include-no-relative",
              "include-no-bits", "include-project-quotes",
-             "include-pragma-once"})
+             "include-pragma-once", "simd-intrinsics-contained"})
 
     def test_clean_tree_passes(self):
         self.write("src/util/good.cc", """\
@@ -100,6 +101,26 @@ const char* kMsg = "assert(failed) std::rand()";
                    "int Legacy() { return std::mt19937(7)(); }\n")
         result = run_lint(self.root)
         self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_simd_intrinsics_exempt_in_simd_files_only(self):
+        body = """\
+#include <immintrin.h>
+#include <arm_neon.h>
+void f(double* p) {
+  __m256d x = _mm256_loadu_pd(p);
+  _mm256_storeu_pd(p, x);
+  float64x2_t y = vld1q_f64(p);
+  vst1q_f64(p, y);
+}
+"""
+        self.write("src/util/simd.cc", body)
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.write("src/linalg/leaky.cc", body)
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(self.rules_fired(result),
+                         {"simd-intrinsics-contained"})
 
     def test_static_assert_is_not_a_raw_assert(self):
         self.write("src/util/sa.cc",
