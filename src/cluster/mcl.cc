@@ -9,6 +9,7 @@
 
 #include "obs/span.h"
 #include "util/logging.h"
+#include "util/parallel_audit.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
 
@@ -161,6 +162,11 @@ CsrMatrix BuildFlowMatrixFromAdjacency(const CsrMatrix& adj,
     const Index u = static_cast<Index>(u64);
     auto cols = adj.RowCols(u);
     auto vals = adj.RowValues(u);
+    const size_t at = static_cast<size_t>(row_ptr[static_cast<size_t>(u)]);
+    const size_t nnz_u =
+        static_cast<size_t>(row_ptr[static_cast<size_t>(u) + 1]) - at;
+    audit::AuditSpan audit_c(col_idx.data() + at, nnz_u, "flow.col_idx");
+    audit::AuditSpan audit_v(values.data() + at, nnz_u, "flow.values");
     // Mean incident weight (excluding any existing diagonal).
     Scalar sum = 0.0;
     Offset count = 0;
@@ -275,6 +281,12 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
           if (options.cancel != nullptr && options.cancel->Expired()) return;
           RmclWorkspace& w = workspaces[static_cast<size_t>(worker)];
           w.EnsureSize(n);
+          audit::AuditSpan audit_nnz(row_nnz.data() + lo,
+                                     static_cast<size_t>(hi - lo),
+                                     "rmcl.row_nnz");
+          audit::AuditSpan audit_diff(row_diff.data() + lo,
+                                      static_cast<size_t>(hi - lo),
+                                      "rmcl.row_diff");
           for (int64_t r64 = lo; r64 < hi; ++r64) {
             const Index r = static_cast<Index>(r64);
             const int64_t stamp = stamp_base + r;
@@ -356,10 +368,14 @@ Result<CsrMatrix> RmclIterate(CsrMatrix m, const CsrMatrix& mg,
       size_t pos = 0;
       for (Index r : w.rows) {
         const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+        const size_t at =
+            static_cast<size_t>(new_row_ptr[static_cast<size_t>(r)]);
+        audit::AuditSpan audit_c(new_cols.data() + at, k, "rmcl.col_idx");
+        audit::AuditSpan audit_v(new_vals.data() + at, k, "rmcl.values");
         std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
-                    new_cols.begin() + new_row_ptr[static_cast<size_t>(r)]);
+                    new_cols.begin() + static_cast<long>(at));
         std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
-                    new_vals.begin() + new_row_ptr[static_cast<size_t>(r)]);
+                    new_vals.begin() + static_cast<long>(at));
         pos += k;
       }
     });

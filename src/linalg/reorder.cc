@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/parallel_audit.h"
 #include "util/thread_pool.h"
 
 namespace dgc {
@@ -259,6 +260,12 @@ CsrMatrix UnpermuteUpperTriangle(const CsrMatrix& upper,
     for (int64_t r = lo; r < hi; ++r) {
       const Offset begin = row_ptr[static_cast<size_t>(r)];
       const Offset end = row_ptr[static_cast<size_t>(r) + 1];
+      audit::AuditSpan audit_c(col_idx.data() + begin,
+                               static_cast<size_t>(end - begin),
+                               "unpermute.col_idx");
+      audit::AuditSpan audit_v(values.data() + begin,
+                               static_cast<size_t>(end - begin),
+                               "unpermute.values");
       entries.clear();
       for (Offset p = begin; p < end; ++p) {
         entries.emplace_back(col_idx[static_cast<size_t>(p)],

@@ -5,6 +5,7 @@
 
 #include "obs/span.h"
 #include "util/logging.h"
+#include "util/parallel_audit.h"
 #include "util/radix.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
@@ -146,10 +147,13 @@ CsrMatrix AssembleRows(Index rows, Index cols, int threads,
     size_t pos = 0;
     for (Index r : w.rows) {
       const size_t k = static_cast<size_t>(row_nnz[static_cast<size_t>(r)]);
+      const size_t at = static_cast<size_t>(row_ptr[static_cast<size_t>(r)]);
+      audit::AuditSpan audit_c(col_idx.data() + at, k, "assemble.col_idx");
+      audit::AuditSpan audit_v(values.data() + at, k, "assemble.values");
       std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
-                  col_idx.begin() + row_ptr[static_cast<size_t>(r)]);
+                  col_idx.begin() + static_cast<long>(at));
       std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
-                  values.begin() + row_ptr[static_cast<size_t>(r)]);
+                  values.begin() + static_cast<long>(at));
       pos += k;
     }
   });
@@ -244,6 +248,9 @@ Result<CsrMatrix> SpGemm(const CsrMatrix& a, const CsrMatrix& b,
         if (Cancelled(options.cancel)) return;  // skip the chunk, not a row
         SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
         w.EnsureSize(cols);
+        audit::AuditSpan audit_nnz(row_nnz.data() + lo,
+                                   static_cast<size_t>(hi - lo),
+                                   "spgemm.row_nnz");
         for (int64_t r = lo; r < hi; ++r) {
           const size_t before = w.cols.size();
           ComputeRow(a, b, static_cast<Index>(r), options, w);
@@ -553,6 +560,11 @@ Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
       for (size_t p = q; p < cols.size(); ++p) {
         const Index c = cols[p];
         const Offset dst = fill[static_cast<size_t>(c)]++;
+        // Element-granular registration on purpose: disjointness of the
+        // scattered destinations is a theorem about the cursor exclusive
+        // scan, exactly what the auditor should re-prove at runtime.
+        audit::AuditSpan audit_c(col_idx.data() + dst, 1, "mirror.col_idx");
+        audit::AuditSpan audit_v(values.data() + dst, 1, "mirror.values");
         col_idx[static_cast<size_t>(dst)] = r;
         values[static_cast<size_t>(dst)] = vals[p];
       }
@@ -565,6 +577,8 @@ Result<CsrMatrix> MirrorUpperTriangle(const CsrMatrix& upper,
           row_ptr[static_cast<size_t>(r)] + strict[static_cast<size_t>(r)];
       auto cols = upper.RowCols(static_cast<Index>(r));
       auto vals = upper.RowValues(static_cast<Index>(r));
+      audit::AuditSpan audit_c(col_idx.data() + dst, k, "mirror.row_copy.c");
+      audit::AuditSpan audit_v(values.data() + dst, k, "mirror.row_copy.v");
       std::copy_n(cols.begin(), k, col_idx.begin() + dst);
       std::copy_n(vals.begin(), k, values.begin() + dst);
     }

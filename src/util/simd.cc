@@ -518,16 +518,37 @@ bool DetectVectorSupport() {
 constexpr int kLevelUninitialized = -1;
 std::atomic<int> g_level{kLevelUninitialized};
 
-Level InitialLevel() {
-  const char* env = std::getenv("DGC_SIMD");
-  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
-    return Level::kScalar;
+// ASCII-only case-insensitive equality: env values are machine-written
+// config tokens, so locale-aware folding would be wrong here.
+bool EqualsIgnoreAsciiCase(const char* a, const char* b) {
+  auto lower = [](unsigned char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                  : static_cast<char>(c);
+  };
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (lower(static_cast<unsigned char>(*a)) !=
+        lower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
   }
-  // "vector", "auto", unset, or anything else: best supported level.
-  return DetectVectorSupport() ? Level::kVector : Level::kScalar;
+  return *a == *b;
 }
 
 }  // namespace
+
+Level LevelFromEnvValue(const char* value) {
+  if (value != nullptr && EqualsIgnoreAsciiCase(value, "scalar")) {
+    return Level::kScalar;
+  }
+  // "vector", "auto", unset, empty, or anything unrecognized: best
+  // supported level. Unrecognized values must never crash or silently
+  // force scalar — a typo in DGC_SIMD should not mask a vector-path bug.
+  return DetectVectorSupport() ? Level::kVector : Level::kScalar;
+}
+
+void ResetLevelForTest() {
+  g_level.store(kLevelUninitialized, std::memory_order_relaxed);
+}
 
 bool VectorSupported() {
   static const bool supported = DetectVectorSupport();
@@ -537,7 +558,7 @@ bool VectorSupported() {
 Level ActiveLevel() {
   int level = g_level.load(std::memory_order_relaxed);
   if (level == kLevelUninitialized) {
-    level = static_cast<int>(InitialLevel());
+    level = static_cast<int>(LevelFromEnvValue(std::getenv("DGC_SIMD")));
     int expected = kLevelUninitialized;
     // Losing the race just means another thread installed the same value.
     g_level.compare_exchange_strong(expected, level,

@@ -44,13 +44,28 @@ bool VectorSupported();
 
 /// The level primitives dispatch on. Defaults to kVector when supported,
 /// overridable via SetLevel() or the DGC_SIMD environment variable
-/// ("scalar" forces the reference loops, "vector"/"auto" the default).
+/// ("scalar" forces the reference loops; "vector"/"auto" — or any
+/// unset/empty/unrecognized value — the default). Matching is
+/// ASCII-case-insensitive, so "SCALAR" and "Scalar" work too. The
+/// variable is read once, on the first ActiveLevel() call that finds no
+/// level installed; a later SetLevel() always wins over the environment.
 /// Reads are relaxed-atomic: per-row dispatch cost only.
 Level ActiveLevel();
 
 /// Overrides the dispatch level (tests and A/B benchmarks). Requesting
 /// kVector without hardware support silently stays scalar.
 void SetLevel(Level level);
+
+/// Maps a DGC_SIMD environment value to the level it selects, without
+/// touching process state: "scalar" (any ASCII case) forces kScalar;
+/// nullptr, "", "vector", "auto" and everything else yield the best
+/// supported level. Exposed so tests can pin the parsing table directly.
+Level LevelFromEnvValue(const char* value);
+
+/// Clears the installed dispatch level so the next ActiveLevel() call
+/// re-reads DGC_SIMD. Test-only: real callers must treat the level as
+/// process-global (mid-run flips would break bit-identity of a run).
+void ResetLevelForTest();
 
 /// "avx2", "neon" or "scalar" — the best backend this binary can run here.
 const char* BackendName();

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "util/logging.h"
+#include "util/parallel_audit.h"
 
 namespace dgc {
 
@@ -102,6 +103,11 @@ void ParallelForWorkers(
   const int threads = static_cast<int>(
       std::min<int64_t>(ResolveNumThreads(num_threads), n));
   if (threads <= 1 || t_inside_parallel_region) {
+    // Serial/nested path: still bracketed for the write-set auditor so a
+    // top-level serial loop gets a region (one chunk, trivially race-free)
+    // and a nested loop keeps attributing writes to the enclosing chunk.
+    [[maybe_unused]] audit::RegionScope audit_region;
+    [[maybe_unused]] audit::ChunkScope audit_chunk(0);
     body(0, begin, end);
     return;
   }
@@ -122,11 +128,16 @@ void ParallelForWorkers(
       const int64_t lo =
           state.next.fetch_add(grain, std::memory_order_relaxed);
       if (lo >= end) break;
+      // Each claimed chunk gets its own audit identity: cross-chunk write
+      // overlaps are scheduling hazards even when both chunks happen to
+      // land on the same worker this run.
+      [[maybe_unused]] audit::ChunkScope audit_chunk(worker);
       body(worker, lo, std::min(end, lo + grain));
     }
     t_inside_parallel_region = false;
   };
 
+  [[maybe_unused]] audit::RegionScope audit_region;
   ThreadPool& pool = GlobalThreadPool();
   pool.EnsureWorkers(threads - 1);
   for (int w = 1; w < threads; ++w) {

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -386,6 +387,96 @@ TEST_F(SimdKernelsTest, EnvOverrideAndSetLevelInteract) {
   EXPECT_EQ(simd::VectorSupported() ? simd::Level::kVector
                                     : simd::Level::kScalar,
             simd::ActiveLevel());
+}
+
+// The level DGC_SIMD selects when it doesn't say "scalar": the best the
+// hardware supports.
+simd::Level BestLevel() {
+  return simd::VectorSupported() ? simd::Level::kVector
+                                 : simd::Level::kScalar;
+}
+
+/// Runs each DGC_SIMD edge-case test against a real environment variable
+/// and a cleared dispatch level, then restores both so no state leaks into
+/// the bit-identity tests (which assume the kVector default).
+class SimdEnvOverrideTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* value) { setenv("DGC_SIMD", value, /*overwrite=*/1); }
+  void TearDown() override {
+    unsetenv("DGC_SIMD");
+    simd::ResetLevelForTest();
+    simd::SetLevel(simd::Level::kVector);
+  }
+};
+
+TEST_F(SimdEnvOverrideTest, ParsingTableIsPinned) {
+  // LevelFromEnvValue is the single source of truth for the env contract;
+  // pin every row of its table.
+  EXPECT_EQ(simd::Level::kScalar, simd::LevelFromEnvValue("scalar"));
+  EXPECT_EQ(simd::Level::kScalar, simd::LevelFromEnvValue("SCALAR"));
+  EXPECT_EQ(simd::Level::kScalar, simd::LevelFromEnvValue("Scalar"));
+  EXPECT_EQ(simd::Level::kScalar, simd::LevelFromEnvValue("sCaLaR"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue(nullptr));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue(""));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("vector"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("auto"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("AUTO"));
+  // Near-misses must not select scalar: a typo should never silently
+  // change which code path a determinism repro runs.
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("scalar "));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue(" scalar"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("scalars"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("scala"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("0"));
+  EXPECT_EQ(BestLevel(), simd::LevelFromEnvValue("off"));
+}
+
+TEST_F(SimdEnvOverrideTest, ScalarValueForcesScalarThroughActiveLevel) {
+  SetEnv("scalar");
+  simd::ResetLevelForTest();
+  EXPECT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+}
+
+TEST_F(SimdEnvOverrideTest, MixedCaseScalarForcesScalarThroughActiveLevel) {
+  SetEnv("ScAlAr");
+  simd::ResetLevelForTest();
+  EXPECT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+}
+
+TEST_F(SimdEnvOverrideTest, EmptyValueFallsBackToBestLevel) {
+  SetEnv("");
+  simd::ResetLevelForTest();
+  EXPECT_EQ(BestLevel(), simd::ActiveLevel());
+}
+
+TEST_F(SimdEnvOverrideTest, UnrecognizedValueFallsBackToBestLevel) {
+  SetEnv("definitely-not-a-level");
+  simd::ResetLevelForTest();
+  EXPECT_EQ(BestLevel(), simd::ActiveLevel());
+}
+
+TEST_F(SimdEnvOverrideTest, SetLevelWinsOverEnvironment) {
+  // The env var only seeds the *initial* level; an explicit SetLevel()
+  // call afterwards takes precedence until the next reset.
+  SetEnv("scalar");
+  simd::ResetLevelForTest();
+  ASSERT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+  simd::SetLevel(simd::Level::kVector);
+  EXPECT_EQ(BestLevel(), simd::ActiveLevel());
+  // And a reset hands control back to the environment.
+  simd::ResetLevelForTest();
+  EXPECT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+}
+
+TEST_F(SimdEnvOverrideTest, EnvIsReadOncePerInstalledLevel) {
+  // Changing DGC_SIMD after the level is installed must not flip the
+  // dispatch mid-run — bit-identity of a run depends on one level
+  // throughout.
+  SetEnv("scalar");
+  simd::ResetLevelForTest();
+  ASSERT_EQ(simd::Level::kScalar, simd::ActiveLevel());
+  SetEnv("vector");
+  EXPECT_EQ(simd::Level::kScalar, simd::ActiveLevel());
 }
 
 }  // namespace

@@ -226,13 +226,17 @@ TEST(ParallelForTest, CoversRangeOnce) {
 
 TEST(ParallelForTest, SingleThreadInline) {
   int sum = 0;
-  ParallelFor(0, 10, 1, [&sum](int64_t i) { sum += static_cast<int>(i); });
+  ParallelFor(0, 10, 1, [&sum](int64_t i) {
+    sum += static_cast<int>(i);  // dgc-analyze: allow(par-shared-compound-assign) threads=1 runs inline on the caller; this test pins that contract
+  });
   EXPECT_EQ(sum, 45);
 }
 
 TEST(ParallelForTest, EmptyRange) {
   bool called = false;
-  ParallelFor(5, 5, 4, [&called](int64_t) { called = true; });
+  ParallelFor(5, 5, 4, [&called](int64_t) {
+    called = true;  // dgc-analyze: allow(par-shared-compound-assign) empty range: the body must never run; the write is the tripwire
+  });
   EXPECT_FALSE(called);
 }
 

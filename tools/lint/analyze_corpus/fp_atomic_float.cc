@@ -1,0 +1,8 @@
+// Seeded violation: fp-atomic-float (and nothing else).
+// Atomic FP accumulation commits in scheduling order, reordering roundings
+// run to run. Use per-worker shards and a serial reduction.
+#include <atomic>
+
+std::atomic<double> g_total{0.0};
+
+void Add(double x) { g_total.fetch_add(x); }

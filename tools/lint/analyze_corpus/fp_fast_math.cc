@@ -1,0 +1,13 @@
+// Seeded violation: fp-fast-math (and nothing else).
+// Pragmas that re-enable contraction/reassociation bypass the build-wide
+// -ffp-contract=off pin; OpenMP bypasses the deterministic pool.
+#pragma STDC FP_CONTRACT ON
+
+double MulAdd(double a, double b, double c) { return a * b + c; }
+
+void Scale(double* v, int n, double s) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    v[i] *= s;
+  }
+}

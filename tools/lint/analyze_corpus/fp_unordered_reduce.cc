@@ -1,0 +1,12 @@
+// Seeded violation: fp-unordered-reduce (and nothing else).
+// std::reduce/transform_reduce leave the reduction order unspecified;
+// std::accumulate over floating operands sums in iteration order, which is
+// not auditable at the call site. Write explicit index-order loops.
+#include <numeric>
+#include <vector>
+
+double Total(const std::vector<double>& values) {
+  double r = std::reduce(values.begin(), values.end(), 0.0);
+  double a = std::accumulate(values.begin(), values.end(), 0.0);
+  return r + a;
+}

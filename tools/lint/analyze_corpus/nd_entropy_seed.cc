@@ -1,0 +1,18 @@
+// Seeded violation: nd-entropy-seed (and nothing else).
+// Hardware/libc entropy and wall-clock seeding make runs unrepeatable;
+// all stochastic code takes an explicit seeded dgc::Rng.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned HardwareSeed() {
+  std::random_device rd;
+  return rd();
+}
+
+void ReseedLibc() { srand(42); }
+
+unsigned TimeSeed() {
+  unsigned seed = static_cast<unsigned>(time(nullptr));
+  return seed;
+}

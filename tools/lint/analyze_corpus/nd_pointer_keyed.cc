@@ -1,0 +1,10 @@
+// Seeded violation: nd-pointer-keyed (and nothing else).
+// Pointer-keyed containers order/hash by address, which changes every run
+// under ASLR. Key on a stable id instead.
+#include <map>
+#include <set>
+
+struct Node;
+
+std::map<Node*, int> g_rank;
+std::set<const Node*> g_visited;

@@ -1,0 +1,13 @@
+// Seeded violation: nd-unordered-iteration (and nothing else).
+// Hash-map iteration order is a function of hashing, load factor and the
+// standard library, not of the data; accumulating in that order is not
+// portably reproducible.
+#include <unordered_map>
+
+double SumWeights(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total = total + kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,32 @@
+// Conforming control: must trigger NOTHING.
+// Every parallel write lands through the loop index or a per-worker slot;
+// accumulation uses per-worker shards reduced serially after the barrier —
+// the exact shape the par-* rules sanction.
+#include <cstdint>
+#include <vector>
+
+template <class F>
+void ParallelForWorkers(int64_t lo, int64_t hi, int threads, int64_t grain,
+                        F body);
+
+void RowSums(const double* values, const int64_t* row_ptr, int64_t rows,
+             int threads, double* out, double* grand_total) {
+  std::vector<double> shard(16, 0.0);
+  ParallelForWorkers(0, rows, threads, 128,
+                     [&](int worker, int64_t lo_r, int64_t hi_r) {
+                       for (int64_t r = lo_r; r < hi_r; ++r) {
+                         double acc = 0.0;
+                         for (int64_t p = row_ptr[r]; p < row_ptr[r + 1];
+                              ++p) {
+                           acc += values[p];
+                         }
+                         out[r] = acc;
+                         shard[static_cast<size_t>(worker)] += acc;
+                       }
+                     });
+  double total = 0.0;
+  for (size_t w = 0; w < shard.size(); ++w) {
+    total += shard[w];
+  }
+  grand_total[0] = total;
+}

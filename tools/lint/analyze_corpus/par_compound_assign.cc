@@ -1,0 +1,21 @@
+// Seeded violation: par-shared-compound-assign (and nothing else).
+// Accumulating into a shared capture commits in scheduling order: FP sums
+// change bits, integer sums race. Use per-worker shards, reduce serially.
+#include <cstdint>
+
+template <class F>
+void ParallelForWorkers(int64_t lo, int64_t hi, int threads, int64_t grain,
+                        F body);
+
+double SumValues(const double* values, int64_t n, int threads) {
+  double total = 0.0;
+  int64_t visited = 0;
+  ParallelForWorkers(0, n, threads, 256,
+                     [&](int worker, int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) {
+                         total += values[i];
+                         ++visited;
+                       }
+                     });
+  return total + static_cast<double>(visited);
+}

@@ -1,0 +1,18 @@
+// Seeded violation: par-shared-container-mutation (and nothing else).
+// Growth mutations on a by-reference shared capture race on the container
+// size and make element order depend on chunk scheduling.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+template <class F>
+void ParallelFor(int64_t lo, int64_t hi, int threads, F body);
+
+void BuildRows(int64_t n, int threads) {
+  std::vector<int> rows;
+  std::map<int, int> first_seen;
+  ParallelFor(0, n, threads, [&](int64_t r) {
+    rows.push_back(static_cast<int>(r));
+    first_seen.insert({static_cast<int>(r), 0});
+  });
+}

@@ -1,0 +1,14 @@
+// Seeded violation: par-shared-element-write (and nothing else).
+// The written index involves no loop-local variable or lambda parameter,
+// so nothing proves the writes are disjoint across workers.
+#include <cstdint>
+
+template <class F>
+void ParallelFor(int64_t lo, int64_t hi, int threads, F body);
+
+void FillSlots(double* out, const int64_t* slot_of, int64_t n, int threads) {
+  ParallelFor(0, n, threads, [&](int64_t r) {
+    out[0] = static_cast<double>(r);
+    out[slot_of[0]] = 1.0;
+  });
+}

@@ -86,6 +86,26 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+def _gha_escape(value):
+    # GitHub workflow-command escaping: % first, then the line breaks.
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A"))
+
+
+def emit_github_annotations(findings, stream=None):
+    """When running under GitHub Actions, mirrors findings as ::error
+    workflow commands so they surface inline on PR diffs. The printed
+    findings and the JSON report are the source of truth; this is pure
+    presentation and a no-op everywhere else."""
+    if not os.environ.get("GITHUB_ACTIONS"):
+        return
+    stream = stream or sys.stdout
+    for f in findings:
+        print(f"::error file={_gha_escape(f.path)},line={f.line}::"
+              f"{_gha_escape(f'[{f.rule}] {f.message}')}", file=stream)
+
+
 def strip_comments_and_strings(text):
     """Blanks out comments and string/char literals, preserving line
     structure, so rules never fire on prose or quoted text."""
@@ -109,9 +129,20 @@ def strip_comments_and_strings(text):
                 i += 2
                 continue
             if c == '"':
-                # R"delim( ... )delim"
-                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i - 1:i + 20]) \
-                    if i > 0 and text[i - 1] == "R" else None
+                # R"delim( ... )delim" — only when the preceding characters
+                # form a genuine raw-string prefix (R, uR, u8R, UR, LR) that
+                # is not the tail of a longer identifier: FACTOR"(..." is the
+                # identifier FACTOR followed by an ordinary string, and
+                # misreading it as a raw string desyncs the scanner for the
+                # rest of the file.
+                pm = re.search(r'(?:u8|[uUL])?R$', text[max(0, i - 3):i])
+                if pm:
+                    pstart = max(0, i - 3) + pm.start()
+                    before = text[pstart - 1] if pstart > 0 else ""
+                    if before and (before.isalnum() or before in "_\"'"):
+                        pm = None
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:i + 20]) \
+                    if pm else None
                 if m:
                     raw_delim = ")" + m.group(1) + '"'
                     state = RAW_STRING
@@ -150,8 +181,15 @@ def strip_comments_and_strings(text):
                 state = NORMAL
                 out.append('"')
                 i += 1
+            elif c == "\n":
+                # A plain literal cannot contain a raw newline; the input is
+                # ill-formed, so resynchronize here instead of silently
+                # swallowing the rest of the file.
+                state = NORMAL
+                out.append("\n")
+                i += 1
             else:
-                out.append("\n" if c == "\n" else " ")
+                out.append(" ")
                 i += 1
         elif state == CHAR:
             if c == "\\" and nxt:
@@ -161,12 +199,19 @@ def strip_comments_and_strings(text):
                 state = NORMAL
                 out.append("'")
                 i += 1
+            elif c == "\n":
+                state = NORMAL
+                out.append("\n")
+                i += 1
             else:
-                out.append("\n" if c == "\n" else " ")
+                out.append(" ")
                 i += 1
         else:  # RAW_STRING
             if text.startswith(raw_delim, i):
-                out.append(raw_delim)
+                # Blank the `)delim` part too (a delimiter is arbitrary text
+                # and must not leak into the stripped output); keep the final
+                # quote so the literal stays delimited.
+                out.append(" " * (len(raw_delim) - 1) + '"')
                 i += len(raw_delim)
                 state = NORMAL
             else:
@@ -356,7 +401,12 @@ def discover_files(root, compile_commands):
     for d in SOURCE_DIRS:
         base = os.path.join(root, d)
         for dirpath, dirnames, filenames in os.walk(base):
-            dirnames[:] = [x for x in dirnames if not x.startswith("build")]
+            # analyze_corpus holds the dgc-analyze seeded-violation fixtures:
+            # deliberately broken sources that must never be linted as tree
+            # code (their self-test passes them explicitly).
+            dirnames[:] = [x for x in dirnames
+                           if not x.startswith("build")
+                           and x != "analyze_corpus"]
             for name in filenames:
                 if name.endswith(SOURCE_EXTENSIONS):
                     files.add(
@@ -449,6 +499,7 @@ def main(argv):
 
     for finding in kept:
         print(finding)
+    emit_github_annotations(kept)
     summary = (f"dgc-lint: {checked} files, {len(kept)} finding(s), "
                f"{suppressed} allowlisted")
     print(summary, file=sys.stderr)

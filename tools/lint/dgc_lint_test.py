@@ -15,10 +15,15 @@ LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     "dgc_lint.py")
 
 
-def run_lint(root, *extra):
+def run_lint(root, *extra, env_extra=None):
+    # GITHUB_ACTIONS is scrubbed so stdout stays annotation-free when the
+    # suite itself runs in CI; the annotation test opts back in explicitly.
+    env = {k: v for k, v in os.environ.items() if k != "GITHUB_ACTIONS"}
+    if env_extra:
+        env.update(env_extra)
     return subprocess.run(
         [sys.executable, LINT, "--root", root, *extra],
-        capture_output=True, text=True)
+        capture_output=True, text=True, env=env)
 
 
 class DgcLintTest(unittest.TestCase):
@@ -122,6 +127,50 @@ void f(double* p) {
         self.assertEqual(self.rules_fired(result),
                          {"simd-intrinsics-contained"})
 
+    def test_raw_string_contents_are_ignored(self):
+        # Rule text inside raw strings (all prefix forms, with and without
+        # delimiters, spanning lines) must never fire; the delimiter text
+        # itself must not leak into the stripped output either.
+        self.write("src/util/raw.cc", """\
+const char* a = R"(assert(x) std::rand() abort();)";
+const char* b = R"==(std::mt19937 gen; FromPartsUnchecked()==";
+const char* c = u8R"(abort();)";
+const char* d = LR"(assert(1))";
+const char* e = R"assert(x)assert";
+const char* f = R"(line one
+assert(2) abort();
+line three)";
+""")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_identifier_ending_in_r_is_not_a_raw_string_prefix(self):
+        # FACTOR"(..." is the identifier FACTOR followed by an ordinary
+        # string literal. The old stripper misread it as a raw string and
+        # hunted for a )delim" that never comes, desynchronizing the scanner
+        # and silently swallowing real violations later in the file.
+        self.write("src/util/identr.cc", """\
+int x = FACTOR"(no close here";
+int y = VER"(1.2)";
+void later() { abort(); }
+""")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(self.rules_fired(result), {"no-raw-assert"})
+        self.assertIn("identr.cc:3", result.stdout)
+
+    def test_unterminated_string_resyncs_at_end_of_line(self):
+        # Ill-formed input (a quote that never closes) must not swallow the
+        # rest of the file: plain literals cannot span lines, so the
+        # stripper resynchronizes at the newline.
+        self.write("src/util/unterm.cc", """\
+const char* s = "oops;
+void later() { abort(); }
+""")
+        result = run_lint(self.root)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(self.rules_fired(result), {"no-raw-assert"})
+
     def test_static_assert_is_not_a_raw_assert(self):
         self.write("src/util/sa.cc",
                    "static_assert(sizeof(int) == 4);\n")
@@ -179,6 +228,24 @@ void f(double* p) {
         result = run_lint(self.root, "--compile-commands", cc)
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertIn("extra/stray.cc", result.stdout)
+
+    def test_github_annotations_only_under_actions_env(self):
+        self.write("src/util/bad.cc", "void f() { abort(); }\n")
+        result = run_lint(self.root)
+        self.assertNotIn("::error", result.stdout)
+        result = run_lint(self.root, env_extra={"GITHUB_ACTIONS": "true"})
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("::error file=src/util/bad.cc,line=1::[no-raw-assert]",
+                      result.stdout)
+
+    def test_github_annotation_escapes_workflow_metacharacters(self):
+        # % and newlines in paths/messages must be %-escaped or the runner
+        # truncates the annotation at the first line break.
+        self.write("src/util/100%.cc", "void f() { abort(); }\n")
+        result = run_lint(self.root, env_extra={"GITHUB_ACTIONS": "true"})
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("::error file=src/util/100%25.cc,line=1::",
+                      result.stdout)
 
     def test_declaration_and_definition_are_not_call_sites(self):
         self.write("src/util/decl.h", """\
