@@ -13,6 +13,8 @@
 //                   tags the report context with dgc_build_type=debug.
 //   --scale=<f>     scale factor for the stand-in datasets (default 1;
 //                   CI smoke runs use a small fraction)
+//   --tile-rows=<n> pin the tiled SpGEMM benches to one tile height
+//                   instead of their registered sweep
 //   --roofline=<path>  skip google-benchmark entirely: measure per-kernel
 //                   arithmetic intensity and achieved GFLOP/s / GB/s for
 //                   the SpGEMM / R-MCL hot-path kernels against ceilings
@@ -40,6 +42,7 @@
 #include "linalg/power_iteration.h"
 #include "linalg/reorder.h"
 #include "linalg/spgemm.h"
+#include "linalg/spgemm_tiled.h"
 #include "obs/metrics.h"
 #include "util/simd.h"
 #include "util/timer.h"
@@ -47,6 +50,12 @@
 // Stand-in dataset scale, settable via --scale= (file-scope so the custom
 // main below can write it before benchmark registration runs).
 static double g_dataset_scale = 1.0;
+
+// Tile height override for the tiled SpGEMM benches, settable via
+// --tile-rows=. 0 (the default) keeps the registered sweep; a positive
+// value pins every tiled bench to that height (the benches read it at run
+// time, so no re-registration is needed).
+static long g_tile_rows = 0;
 
 namespace dgc {
 namespace {
@@ -375,6 +384,81 @@ BENCHMARK(BM_BibliometricAblation)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// Tiled vs in-memory fused similarity sum (docs/OUT_OF_CORE.md) on the
+// four stand-in datasets. BM_SymmetricProductSumInMemory is the in-memory
+// oracle (two upper-triangle products + fused merge); the tiled variant
+// runs the identical math through row-block tiles and the disk spool —
+// ArgsProduct(dataset, tile_rows), overridable with --tile-rows=N. The
+// outputs are bit-identical (tests/spgemm_tiled_test.cc pins that), so
+// cpu_time ratios directly price the spool + stitch overhead per tile
+// geometry.
+
+void BM_SymmetricProductSumInMemory(benchmark::State& state) {
+  const Dataset& d = StandIn(state.range(0));
+  const CsrMatrix& a = d.graph.adjacency();
+  const CsrMatrix at = a.Transpose();
+  SpGemmOptions product;
+  product.threshold = 0.025;
+  product.drop_diagonal = true;
+  SpGemmOptions sum;
+  sum.threshold = 0.05;
+  sum.drop_diagonal = true;
+  for (auto _ : state) {
+    auto b = SpGemmAAtSymmetric(a, {}, {}, product, &at);
+    DGC_CHECK(b.ok());
+    auto c = SpGemmAAtSymmetric(at, {}, {}, product, &a);
+    DGC_CHECK(c.ok());
+    auto u = SpGemmSymmetricSum(*b, *c, sum);
+    DGC_CHECK(u.ok());
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name);
+}
+BENCHMARK(BM_SymmetricProductSumInMemory)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SymmetricProductSumTiled(benchmark::State& state) {
+  const Dataset& d = StandIn(state.range(0));
+  const CsrMatrix& a = d.graph.adjacency();
+  const CsrMatrix at = a.Transpose();
+  TiledSymmetricSumOptions options;
+  options.product_threshold = 0.025;
+  options.product_drop_diagonal = true;
+  options.sum_threshold = 0.05;
+  options.sum_drop_diagonal = true;
+  options.tile_rows = g_tile_rows > 0 ? static_cast<Index>(g_tile_rows)
+                                      : static_cast<Index>(state.range(1));
+  for (auto _ : state) {
+    auto u = TiledSymmetricProductSum(a, at, {}, {}, {}, {}, options);
+    DGC_CHECK(u.ok());
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name + "/tile" + std::to_string(options.tile_rows));
+}
+BENCHMARK(BM_SymmetricProductSumTiled)
+    ->ArgsProduct({{0, 1, 2, 3}, {1024, 8192}})
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end: the degree-discounted symmetrization forced through the
+// out-of-core path, directly comparable to BM_DegreeDiscountedFused.
+void BM_DegreeDiscountedTiled(benchmark::State& state) {
+  const Dataset& d = StandIn(state.range(0));
+  SymmetrizationOptions options;
+  options.prune_threshold = 0.05;
+  options.out_of_core = OutOfCoreMode::kForce;
+  options.tile_rows = g_tile_rows > 0 ? static_cast<Index>(g_tile_rows)
+                                      : static_cast<Index>(state.range(1));
+  for (auto _ : state) {
+    auto u = SymmetrizeDegreeDiscounted(d.graph, options);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetLabel(d.name + "/tile" + std::to_string(options.tile_rows));
+}
+BENCHMARK(BM_DegreeDiscountedTiled)
+    ->ArgsProduct({{0, 1, 2, 3}, {1024, 8192}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AllPairsSimilarityThreads(benchmark::State& state) {
   const Dataset& d = StandIn(1);  // wiki stand-in: hubs + skewed weights
   auto factors = BuildSimilarityFactors(
@@ -500,6 +584,39 @@ int RunRoofline(const std::string& path) {
     });
     rows.push_back(sum);
 
+    // Out-of-core tiled product sum at ~8 tiles (enough spool traffic to
+    // be representative). Flops: both upper products, 2 per multiply-add
+    // over half the candidates each. Bytes extend the streaming model
+    // with the spool round trip: each merged tile entry is written to and
+    // read back from disk at 12 bytes (24 per entry total), on top of the
+    // product streams, one read of each input and the output write.
+    {
+      TiledSymmetricSumOptions tiled_options;
+      tiled_options.product_threshold = 0.025;
+      tiled_options.product_drop_diagonal = true;
+      tiled_options.sum_threshold = 0.05;
+      tiled_options.sum_drop_diagonal = true;
+      tiled_options.tile_rows = std::max<Index>(1, a.rows() / 8);
+      auto tiled_out =
+          TiledSymmetricProductSum(a, at, {}, {}, {}, {}, tiled_options);
+      DGC_CHECK(tiled_out.ok());
+      const double madds_c = static_cast<double>(SpGemmFlops(at, a));
+      const double spooled =
+          static_cast<double>(upper->nnz() + upper_c->nnz());
+      RooflineRow tiled{"spgemm_tiled_product_sum", d.name, 0.0,
+                       madds + madds_c,
+                       6.0 * (madds + madds_c) + 24.0 * spooled +
+                           12.0 * (2.0 * nnz +
+                                   static_cast<double>(tiled_out->nnz()))};
+      tiled.cpu_seconds = TimeBest([&] {
+        auto c = TiledSymmetricProductSum(a, at, {}, {}, {}, {},
+                                          tiled_options);
+        DGC_CHECK(c.ok());
+        benchmark::DoNotOptimize(c);
+      });
+      rows.push_back(tiled);
+    }
+
     auto mirrored = MirrorUpperTriangle(*upper);
     DGC_CHECK(mirrored.ok());
     RooflineRow mirror{"mirror_upper_triangle", d.name, 0.0, 0.0,
@@ -612,6 +729,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
       g_dataset_scale = std::strtod(arg + 8, nullptr);
       DGC_CHECK(g_dataset_scale > 0.0) << "--scale must be positive";
+    } else if (std::strncmp(arg, "--tile-rows=", 12) == 0) {
+      g_tile_rows = std::strtol(arg + 12, nullptr, 10);
+      DGC_CHECK(g_tile_rows > 0) << "--tile-rows must be positive";
     } else if (std::strncmp(arg, "--roofline=", 11) == 0) {
       roofline_path = arg + 11;
     } else {

@@ -8,11 +8,17 @@
 //         [--threshold=auto|<value>] [--target-degree=100]
 //         [--threads=1] [--report=run_report.json]
 //         [--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]
+//         [--spill-dir=DIR]
 //
 // --max-edges bounds the input scan (rejecting oversized files at the
 // parse stage); --deadline-ms / --max-memory-mb arm a ResourceBudget for
-// the symmetrize+cluster stages. A budget-exceeded run exits non-zero but
-// still writes the partial run report when --report= is given.
+// the symmetrize+cluster stages. A memory budget no longer simply aborts
+// the similarity products: the symmetrization degrades to out-of-core row
+// tiles (spilling to --spill-dir, default system temp) when its in-memory
+// estimate exceeds the budget, bit-identical to the unbudgeted run
+// (docs/OUT_OF_CORE.md). Other stages keep abort semantics; a
+// budget-exceeded run exits non-zero but still writes the partial run
+// report when --report= is given.
 #include <cstdio>
 #include <string>
 
@@ -40,7 +46,8 @@ int main(int argc, char** argv) {
                  "[--threshold=auto] [--target-degree=100] "
                  "[--output=labels.txt] [--metis-out=sym.graph] "
                  "[--threads=1] [--report=run_report.json] "
-                 "[--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]\n");
+                 "[--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N] "
+                 "[--spill-dir=DIR]\n");
     return 2;
   }
 
@@ -110,6 +117,7 @@ int main(int argc, char** argv) {
   pipeline.budget.deadline_ms = opts->GetInt("deadline-ms", 0);
   pipeline.budget.max_memory_bytes =
       opts->GetInt("max-memory-mb", 0) * (int64_t{1} << 20);
+  pipeline.spill_dir = opts->GetString("spill-dir", "");
   // With --report= every stage records into the registry; without it the
   // null sink keeps the run instrumentation-free.
   const std::string report_path = opts->GetString("report", "");

@@ -40,6 +40,18 @@ PipelineOptions ResolveOverrides(const PipelineOptions& options) {
     resolved.symmetrization.cancel = resolved.cancel;
     resolved.mlr_mcl.cancel = resolved.cancel;
   }
+  // Out-of-core plumbing: the budget's memory cap drives the
+  // symmetrization's auto-tiling decision (and its budget→tile-size
+  // derivation); the spill directory rides along. Explicit per-stage
+  // settings survive, mirroring num_threads.
+  if (options.budget.max_memory_bytes > 0 &&
+      resolved.symmetrization.max_memory_bytes == 0) {
+    resolved.symmetrization.max_memory_bytes = options.budget.max_memory_bytes;
+  }
+  if (!options.spill_dir.empty() &&
+      resolved.symmetrization.spill_dir.empty()) {
+    resolved.symmetrization.spill_dir = options.spill_dir;
+  }
   return resolved;
 }
 

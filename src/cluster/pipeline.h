@@ -68,7 +68,19 @@ struct PipelineOptions {
   /// is attached, the spans recorded up to the abort remain in the registry,
   /// so the run report still shows where time went (the partial span tree).
   /// An unlimited budget — the default — adds zero overhead.
+  ///
+  /// Memory semantics since the out-of-core path (docs/OUT_OF_CORE.md):
+  /// `max_memory_bytes` is copied into the symmetrization stage, whose
+  /// fused similarity products *adapt* — they degrade to budget-sized
+  /// row tiles with a disk spool instead of aborting — while every other
+  /// charge keeps the abort semantics above. Tiled runs are bit-identical
+  /// to unbudgeted runs.
   ResourceBudget budget;
+
+  /// Directory for out-of-core spill files (empty = system temp
+  /// directory). Copied into symmetrization.spill_dir, mirroring
+  /// num_threads/metrics.
+  std::string spill_dir;
 
   /// Optional caller-owned cancellation token. When non-null it is used
   /// as-is (the caller is responsible for arming it; `budget` is ignored)

@@ -2,8 +2,10 @@
 
 #include <vector>
 
+#include "core/out_of_core.h"
 #include "linalg/reorder.h"
 #include "linalg/spgemm.h"
+#include "linalg/spgemm_tiled.h"
 #include "obs/span.h"
 
 namespace dgc {
@@ -42,6 +44,14 @@ Result<CsrMatrix> BibliometricFused(const CsrMatrix& a,
     StageSpan transpose_span(options.metrics, "transpose");
     at = a.Transpose(options.num_threads);
     transpose_span.Metric("nnz", at.nnz());
+  }
+  // Out-of-core: budget-driven (or forced) tiled execution of both
+  // triangles + the fused sum, bit-identical to the in-memory branch;
+  // `reorder` is skipped when tiling engages (docs/OUT_OF_CORE.md).
+  if (core_internal::ShouldTileSimilarity(a, at, options)) {
+    return TiledSymmetricProductSum(
+        a, at, {}, {}, {}, {},
+        core_internal::MakeTiledSimilarityOptions(options));
   }
   CsrMatrix coupling_upper;
   CsrMatrix cocitation_upper;

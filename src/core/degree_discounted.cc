@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/out_of_core.h"
 #include "core/symmetrize.h"
 #include "linalg/reorder.h"
 #include "linalg/spgemm.h"
+#include "linalg/spgemm_tiled.h"
 #include "linalg/vector_ops.h"
 #include "obs/span.h"
 
@@ -65,6 +67,17 @@ Result<CsrMatrix> DegreeDiscountedFused(const Digraph& g,
   const std::vector<Scalar> si = DiscountFactors(in_deg, options.in_discount);
   const std::vector<Scalar> sqrt_so = Sqrt(so);
   const std::vector<Scalar> sqrt_si = Sqrt(si);
+
+  // Out-of-core: when the budget (or kForce) asks for it, the whole
+  // product-sum runs tiled with a disk spool. Tiles reuse the per-row
+  // kernels below with unchanged inner k-order, so the result is
+  // bit-identical to the in-memory branch; `reorder` is skipped (tiling
+  // already restructures locality).
+  if (core_internal::ShouldTileSimilarity(a, at, options)) {
+    return TiledSymmetricProductSum(
+        a, at, so, sqrt_si, si, sqrt_so,
+        core_internal::MakeTiledSimilarityOptions(options));
+  }
 
   SpGemmOptions product_options;
   product_options.threshold = options.prune_threshold / 2.0;

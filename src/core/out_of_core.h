@@ -1,0 +1,55 @@
+// Out-of-core decision + option plumbing for the fused similarity
+// symmetrizations (Bibliometric, Degree-discounted): maps
+// SymmetrizationOptions onto the tiled driver (linalg/spgemm_tiled.h) and
+// decides — per OutOfCoreMode — whether a run should tile instead of
+// relying on the in-memory kernels. Internal to src/core.
+#pragma once
+
+#include "core/symmetrize.h"
+#include "linalg/spgemm_tiled.h"
+
+namespace dgc {
+namespace core_internal {
+
+/// True when the fused similarity products should run tiled. kAuto tiles
+/// exactly when a budget is set and the conservative in-memory estimate
+/// exceeds it — the "degrade to tiling instead of kResourceExhausted"
+/// contract (docs/OUT_OF_CORE.md). The choice never changes the output,
+/// only the peak footprint.
+inline bool ShouldTileSimilarity(const CsrMatrix& a, const CsrMatrix& at,
+                                 const SymmetrizationOptions& options) {
+  switch (options.out_of_core) {
+    case OutOfCoreMode::kOff:
+      return false;
+    case OutOfCoreMode::kForce:
+      return true;
+    case OutOfCoreMode::kAuto:
+      return options.max_memory_bytes > 0 &&
+             EstimateInMemorySymmetricSumBytes(a, at, options.num_threads) >
+                 options.max_memory_bytes;
+  }
+  return false;
+}
+
+/// The tiled-driver options equivalent to the in-memory fused path: each
+/// product pruned at prune_threshold / 2 with its diagonal dropped, the
+/// merged sum at the full threshold (the Section 3.5 split both fused
+/// symmetrizations use).
+inline TiledSymmetricSumOptions MakeTiledSimilarityOptions(
+    const SymmetrizationOptions& options) {
+  TiledSymmetricSumOptions t;
+  t.product_threshold = options.prune_threshold / 2.0;
+  t.product_drop_diagonal = true;
+  t.sum_threshold = options.prune_threshold;
+  t.sum_drop_diagonal = true;
+  t.num_threads = options.num_threads;
+  t.tile_rows = options.tile_rows;
+  t.max_memory_bytes = options.max_memory_bytes;
+  t.spill_dir = options.spill_dir;
+  t.metrics = options.metrics;
+  t.cancel = options.cancel;
+  return t;
+}
+
+}  // namespace core_internal
+}  // namespace dgc

@@ -66,6 +66,24 @@ enum class SimilarityEngine {
   kReference,
 };
 
+/// When the similarity products run out of core (docs/OUT_OF_CORE.md):
+/// row-block tiles through the fused kernels with a disk spool instead of
+/// full in-memory intermediates. The tiled path produces bit-identical
+/// graphs at any thread count and tile size — the mode only changes the
+/// peak memory footprint, never the result.
+enum class OutOfCoreMode {
+  /// Tile when `max_memory_bytes` is set and the conservative in-memory
+  /// estimate exceeds it (the budget *adapts* instead of aborting). The
+  /// default; without a budget this never tiles.
+  kAuto,
+  /// Never tile. A set budget falls back to PR 5 semantics: the in-memory
+  /// kernels abort with kResourceExhausted when the estimate trips at
+  /// charge time.
+  kOff,
+  /// Always tile the fused similarity products (tests/benches).
+  kForce,
+};
+
 /// Options shared by the symmetrizations.
 struct SymmetrizationOptions {
   /// Entries of the symmetrized matrix with value < prune_threshold are
@@ -118,6 +136,24 @@ struct SymmetrizationOptions {
   /// all-or-nothing: completed runs are bit-identical with or without a
   /// token.
   CancelToken* cancel = nullptr;
+
+  /// Out-of-core control for the fused similarity products (Bibliometric
+  /// and Degree-discounted). See OutOfCoreMode; kAuto + a budget degrades
+  /// to tiling instead of aborting. When the tiled path engages, `reorder`
+  /// is skipped (tiling already restructures locality; the output is
+  /// bit-identical either way).
+  OutOfCoreMode out_of_core = OutOfCoreMode::kAuto;
+  /// Directory for spill files (empty = system temp directory).
+  std::string spill_dir;
+  /// Fixed tile height in rows for the tiled path (0 = derive from
+  /// `max_memory_bytes`). Tests and benches pin this to force tiling
+  /// geometry; kForce with 0 derives from the budget or a default.
+  Index tile_rows = 0;
+  /// Memory budget in bytes that drives the kAuto decision and the
+  /// budget→tile-size derivation. The pipeline copies
+  /// ResourceBudget::max_memory_bytes here; standalone callers may set it
+  /// directly. 0 = no budget (kAuto never tiles).
+  int64_t max_memory_bytes = 0;
 };
 
 /// U = A + Aᵀ. Reciprocal edge pairs sum their weights (Section 3.1).

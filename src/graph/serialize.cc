@@ -1,8 +1,17 @@
 #include "graph/serialize.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <system_error>
+#include <utility>
 #include <vector>
 
 namespace dgc {
@@ -10,15 +19,46 @@ namespace dgc {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'G', 'C', 'M'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+/// Written as a native 32-bit word; a reader on a foreign-endian machine
+/// sees the byte-reversed value and rejects the file instead of silently
+/// mis-decoding every array element.
+constexpr uint32_t kEndianTag = 0x01020304u;
+/// Element widths baked into the file: sizeof(Offset) << 16 |
+/// sizeof(Index) << 8 | sizeof(Scalar). Guards against a build with
+/// different linalg/types.h widths mmapping incompatible arrays.
+constexpr uint32_t kTypeWidths = (sizeof(Offset) << 16) |
+                                 (sizeof(Index) << 8) | sizeof(Scalar);
 
-struct Header {
+/// v1 streaming header (PR 4): 32-bit dims, arrays packed immediately
+/// after the header with no alignment. Still loadable, never written.
+struct HeaderV1 {
   char magic[4];
   uint32_t version;
   int32_t rows;
   int32_t cols;
   int64_t nnz;
 };
+static_assert(sizeof(HeaderV1) == 24, "v1 header layout drifted");
+
+/// v2 header: fixed 64 bytes, 64-bit dims, explicit 8-aligned section
+/// offsets so the file can be mmapped and indexed in place.
+struct HeaderV2 {
+  char magic[4];
+  uint32_t version;
+  uint32_t endian;       ///< kEndianTag as written by the producer
+  uint32_t type_widths;  ///< kTypeWidths of the producer
+  int64_t rows;
+  int64_t cols;
+  int64_t nnz;
+  uint64_t row_ptr_offset;
+  uint64_t col_idx_offset;
+  uint64_t values_offset;
+};
+static_assert(sizeof(HeaderV2) == kBinaryCsrHeaderBytes,
+              "v2 header must be exactly 64 bytes");
+
+uint64_t AlignUp8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
 
 template <typename T>
 bool WritePod(std::ofstream& out, const T& value) {
@@ -27,7 +67,7 @@ bool WritePod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-bool WriteVector(std::ofstream& out, const std::vector<T>& v) {
+bool WriteSpan(std::ofstream& out, std::span<const T> v) {
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
   return static_cast<bool>(out);
@@ -47,23 +87,214 @@ bool ReadVector(std::ifstream& in, size_t count, std::vector<T>* v) {
   return static_cast<bool>(in);
 }
 
+std::string ErrnoMessage() {
+  return std::generic_category().message(errno);
+}
+
+/// Prefixes `path` onto a CSR-validation error so every diagnostic out of
+/// the loaders is anchored to the offending file (the io_fuzz contract).
+Result<CsrMatrix> AnchorResult(const std::string& path,
+                               Result<CsrMatrix> result) {
+  if (result.ok()) return result;
+  return Status(result.status().code(),
+                path + ": " + std::string(result.status().message()));
+}
+
+/// Division-based extent check: never multiplies untrusted counts, so a
+/// forged header with a near-2^63 nnz or offset cannot overflow into a
+/// "valid" extent (or into a multi-terabyte resize). `count` must already
+/// be known non-negative.
+Status CheckSection(const std::string& path, const char* name,
+                    uint64_t offset, uint64_t count, uint64_t width,
+                    uint64_t file_size) {
+  if (offset % 8 != 0) {
+    return Status::InvalidArgument(path + ": " + name + " section offset " +
+                                   std::to_string(offset) +
+                                   " is not 8-byte aligned");
+  }
+  if (offset < kBinaryCsrHeaderBytes || offset > file_size) {
+    return Status::InvalidArgument(path + ": " + name + " section offset " +
+                                   std::to_string(offset) +
+                                   " is outside the file (size " +
+                                   std::to_string(file_size) + ")");
+  }
+  if (count > (file_size - offset) / width) {
+    return Status::IOError(path + ": " + name + " section (" +
+                           std::to_string(count) + " x " +
+                           std::to_string(width) +
+                           " bytes at offset " + std::to_string(offset) +
+                           ") overflows the file (size " +
+                           std::to_string(file_size) + ")");
+  }
+  return Status::OK();
+}
+
+/// Shared by the stream loader and MappedCsr::Open: everything that can be
+/// decided from the 64 header bytes plus the true file size.
+Status ValidateHeaderV2(const std::string& path, const HeaderV2& h,
+                        uint64_t file_size) {
+  if (h.endian != kEndianTag) {
+    return Status::InvalidArgument(
+        path + ": endianness tag mismatch (file written on a foreign-endian "
+               "machine, or corrupt header)");
+  }
+  if (h.type_widths != kTypeWidths) {
+    return Status::InvalidArgument(
+        path + ": element widths 0x" + std::to_string(h.type_widths) +
+        " do not match this build");
+  }
+  if (h.rows < 0 || h.cols < 0 || h.nnz < 0) {
+    return Status::InvalidArgument(path + ": negative dimensions");
+  }
+  if (h.rows > std::numeric_limits<Index>::max() ||
+      h.cols > std::numeric_limits<Index>::max()) {
+    return Status::InvalidArgument(
+        path + ": dimensions " + std::to_string(h.rows) + "x" +
+        std::to_string(h.cols) + " exceed this build's 32-bit Index");
+  }
+  Status s = CheckSection(path, "row_ptr", h.row_ptr_offset,
+                          static_cast<uint64_t>(h.rows) + 1, sizeof(Offset),
+                          file_size);
+  if (!s.ok()) return s;
+  s = CheckSection(path, "col_idx", h.col_idx_offset,
+                   static_cast<uint64_t>(h.nnz), sizeof(Index), file_size);
+  if (!s.ok()) return s;
+  return CheckSection(path, "values", h.values_offset,
+                      static_cast<uint64_t>(h.nnz), sizeof(Scalar),
+                      file_size);
+}
+
+/// CSR invariants over borrowed spans (the MappedCsr analogue of
+/// CsrMatrix::Validate, which needs an owning matrix).
+Status ValidateCsrSpans(const std::string& path, Index rows, Index cols,
+                        std::span<const Offset> row_ptr,
+                        std::span<const Index> col_idx, Offset nnz) {
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    return Status::InvalidArgument(path +
+                                   ": row_ptr endpoints do not match nnz");
+  }
+  for (Index r = 0; r < rows; ++r) {
+    const Offset lo = row_ptr[static_cast<size_t>(r)];
+    const Offset hi = row_ptr[static_cast<size_t>(r) + 1];
+    if (lo > hi) {
+      return Status::InvalidArgument(path + ": row_ptr decreases at row " +
+                                     std::to_string(r));
+    }
+    Index prev = -1;
+    for (Offset p = lo; p < hi; ++p) {
+      const Index c = col_idx[static_cast<size_t>(p)];
+      if (c <= prev || c >= cols) {
+        return Status::InvalidArgument(
+            path + ": row " + std::to_string(r) +
+            " has out-of-order or out-of-range column " + std::to_string(c));
+      }
+      prev = c;
+    }
+  }
+  return Status::OK();
+}
+
+Result<CsrMatrix> LoadMatrixV1(std::ifstream& in, const std::string& path,
+                               uint64_t file_size) {
+  HeaderV1 header;
+  in.seekg(0);
+  if (!ReadPod(in, &header)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
+    return Status::InvalidArgument(path + ": negative dimensions");
+  }
+  // Extent check before any resize, so a forged nnz cannot allocate
+  // terabytes: payload = (rows+1) offsets + nnz indices + nnz scalars.
+  const uint64_t payload = file_size > sizeof(HeaderV1)
+                               ? file_size - sizeof(HeaderV1)
+                               : 0;
+  const uint64_t rows1 = static_cast<uint64_t>(header.rows) + 1;
+  const uint64_t nnz = static_cast<uint64_t>(header.nnz);
+  if (rows1 > payload / sizeof(Offset) ||
+      nnz > (payload - rows1 * sizeof(Offset)) /
+                (sizeof(Index) + sizeof(Scalar))) {
+    return Status::IOError(path + ": truncated arrays");
+  }
+  std::vector<Offset> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  if (!ReadVector(in, static_cast<size_t>(rows1), &row_ptr) ||
+      !ReadVector(in, static_cast<size_t>(nnz), &col_idx) ||
+      !ReadVector(in, static_cast<size_t>(nnz), &values)) {
+    return Status::IOError(path + ": truncated arrays");
+  }
+  return AnchorResult(
+      path, CsrMatrix::FromParts(header.rows, header.cols, std::move(row_ptr),
+                                 std::move(col_idx), std::move(values)));
+}
+
+Result<CsrMatrix> LoadMatrixV2(std::ifstream& in, const std::string& path,
+                               uint64_t file_size) {
+  HeaderV2 header;
+  in.seekg(0);
+  if (file_size < sizeof(HeaderV2) || !ReadPod(in, &header)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  Status s = ValidateHeaderV2(path, header, file_size);
+  if (!s.ok()) return s;
+  std::vector<Offset> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<Scalar> values;
+  in.seekg(static_cast<std::streamoff>(header.row_ptr_offset));
+  if (!ReadVector(in, static_cast<size_t>(header.rows) + 1, &row_ptr)) {
+    return Status::IOError(path + ": truncated row_ptr section");
+  }
+  in.seekg(static_cast<std::streamoff>(header.col_idx_offset));
+  if (!ReadVector(in, static_cast<size_t>(header.nnz), &col_idx)) {
+    return Status::IOError(path + ": truncated col_idx section");
+  }
+  in.seekg(static_cast<std::streamoff>(header.values_offset));
+  if (!ReadVector(in, static_cast<size_t>(header.nnz), &values)) {
+    return Status::IOError(path + ": truncated values section");
+  }
+  // FromParts re-validates every CSR invariant, so corrupt files cannot
+  // produce an inconsistent matrix.
+  return AnchorResult(
+      path, CsrMatrix::FromParts(static_cast<Index>(header.rows),
+                                 static_cast<Index>(header.cols),
+                                 std::move(row_ptr), std::move(col_idx),
+                                 std::move(values)));
+}
+
 }  // namespace
 
 Status SaveMatrix(const CsrMatrix& m, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  Header header;
+  HeaderV2 header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kVersion;
+  header.version = kBinaryCsrVersion;
+  header.endian = kEndianTag;
+  header.type_widths = kTypeWidths;
   header.rows = m.rows();
   header.cols = m.cols();
   header.nnz = m.nnz();
-  if (!WritePod(out, header)) return Status::IOError("header write failed");
-  const std::vector<Offset> row_ptr(m.row_ptr().begin(), m.row_ptr().end());
-  const std::vector<Index> col_idx(m.col_idx().begin(), m.col_idx().end());
-  const std::vector<Scalar> values(m.values().begin(), m.values().end());
-  if (!WriteVector(out, row_ptr) || !WriteVector(out, col_idx) ||
-      !WriteVector(out, values)) {
+  header.row_ptr_offset = kBinaryCsrHeaderBytes;
+  header.col_idx_offset =
+      header.row_ptr_offset +
+      (static_cast<uint64_t>(m.rows()) + 1) * sizeof(Offset);
+  // values are 8-byte Scalars; pad the 4-byte col_idx section so they stay
+  // aligned in the mmap view.
+  header.values_offset = AlignUp8(
+      header.col_idx_offset + static_cast<uint64_t>(m.nnz()) * sizeof(Index));
+  if (!WritePod(out, header)) {
+    return Status::IOError("header write failed for " + path);
+  }
+  if (!WriteSpan(out, m.row_ptr()) || !WriteSpan(out, m.col_idx())) {
+    return Status::IOError("array write failed for " + path);
+  }
+  const uint64_t pad = header.values_offset -
+                       (header.col_idx_offset +
+                        static_cast<uint64_t>(m.nnz()) * sizeof(Index));
+  const char zeros[8] = {0};
+  if (pad != 0) out.write(zeros, static_cast<std::streamsize>(pad));
+  if (!out || !WriteSpan(out, m.values())) {
     return Status::IOError("array write failed for " + path);
   }
   return Status::OK();
@@ -72,32 +303,136 @@ Status SaveMatrix(const CsrMatrix& m, const std::string& path) {
 Result<CsrMatrix> LoadMatrix(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  Header header;
-  if (!ReadPod(in, &header)) {
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  if (end < 0) return Status::IOError(path + ": cannot determine file size");
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  in.seekg(0);
+  char magic[4];
+  uint32_t version = 0;
+  if (!in.read(magic, sizeof(magic)) || !ReadPod(in, &version)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a dgc matrix file");
+  }
+  if (version == kVersionV1) return LoadMatrixV1(in, path, file_size);
+  if (version == kBinaryCsrVersion) return LoadMatrixV2(in, path, file_size);
+  return Status::InvalidArgument(path + ": unsupported version " +
+                                 std::to_string(version));
+}
+
+MappedCsr::~MappedCsr() { Reset(); }
+
+MappedCsr::MappedCsr(MappedCsr&& other) noexcept { *this = std::move(other); }
+
+MappedCsr& MappedCsr::operator=(MappedCsr&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::exchange(other.cols_, 0);
+    row_ptr_ = std::exchange(other.row_ptr_, nullptr);
+    col_idx_ = std::exchange(other.col_idx_, nullptr);
+    values_ = std::exchange(other.values_, nullptr);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MappedCsr::Reset() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+  row_ptr_ = nullptr;
+  col_idx_ = nullptr;
+  values_ = nullptr;
+  rows_ = 0;
+  cols_ = 0;
+}
+
+Result<MappedCsr> MappedCsr::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " + ErrnoMessage());
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string msg = ErrnoMessage();
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + msg);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path +
+                                   ": is a directory, not a dgc matrix file");
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  HeaderV2 header;
+  if (file_size < sizeof(HeaderV2) ||
+      ::pread(fd, &header, sizeof(HeaderV2), 0) !=
+          static_cast<ssize_t>(sizeof(HeaderV2))) {
+    ::close(fd);
     return Status::IOError(path + ": truncated header");
   }
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    ::close(fd);
     return Status::InvalidArgument(path + ": not a dgc matrix file");
   }
-  if (header.version != kVersion) {
+  if (header.version != kBinaryCsrVersion) {
+    ::close(fd);
     return Status::InvalidArgument(
-        path + ": unsupported version " + std::to_string(header.version));
+        path + ": version " + std::to_string(header.version) +
+        " cannot be mmapped (re-save in the v2 format)");
   }
-  if (header.rows < 0 || header.cols < 0 || header.nnz < 0) {
-    return Status::InvalidArgument(path + ": negative dimensions");
+  Status s = ValidateHeaderV2(path, header, file_size);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
   }
-  std::vector<Offset> row_ptr;
-  std::vector<Index> col_idx;
-  std::vector<Scalar> values;
-  if (!ReadVector(in, static_cast<size_t>(header.rows) + 1, &row_ptr) ||
-      !ReadVector(in, static_cast<size_t>(header.nnz), &col_idx) ||
-      !ReadVector(in, static_cast<size_t>(header.nnz), &values)) {
-    return Status::IOError(path + ": truncated arrays");
+  void* map = ::mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  // The fd is not needed once the mapping exists (POSIX keeps the pages
+  // valid after close).
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " + ErrnoMessage());
   }
-  // FromParts re-validates every CSR invariant, so corrupt files cannot
-  // produce an inconsistent matrix.
-  return CsrMatrix::FromParts(header.rows, header.cols, std::move(row_ptr),
-                              std::move(col_idx), std::move(values));
+  MappedCsr m;
+  m.map_ = map;
+  m.map_len_ = static_cast<size_t>(file_size);
+  m.rows_ = static_cast<Index>(header.rows);
+  m.cols_ = static_cast<Index>(header.cols);
+  const char* base = static_cast<const char*>(map);
+  m.row_ptr_ =
+      reinterpret_cast<const Offset*>(base + header.row_ptr_offset);
+  m.col_idx_ = reinterpret_cast<const Index*>(base + header.col_idx_offset);
+  m.values_ = reinterpret_cast<const Scalar*>(base + header.values_offset);
+  m.path_ = path;
+  // The header's nnz bounds the sections; the authoritative nnz is
+  // row_ptr[rows], which must agree before the view is handed out.
+  if (m.row_ptr()[static_cast<size_t>(m.rows_)] != header.nnz) {
+    return Status::InvalidArgument(
+        path + ": row_ptr[-1] disagrees with the header nnz");
+  }
+  s = ValidateCsrSpans(path, m.rows_, m.cols_, m.row_ptr(), m.col_idx(),
+                       static_cast<Offset>(header.nnz));
+  if (!s.ok()) return s;
+  return m;
+}
+
+CsrMatrix MappedCsr::Materialize() const {
+  CsrMatrix m = CsrMatrix::FromPartsUnchecked(
+      rows_, cols_, std::vector<Offset>(row_ptr().begin(), row_ptr().end()),
+      std::vector<Index>(col_idx().begin(), col_idx().end()),
+      std::vector<Scalar>(values().begin(), values().end()));
+  // Open() validated the mapped arrays; this re-checks only in DCHECK
+  // builds (unchecked-needs-validate pairing).
+  m.ValidateStructure("MappedCsr::Materialize");
+  return m;
 }
 
 Status SaveDigraph(const Digraph& g, const std::string& path) {

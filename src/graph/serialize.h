@@ -1,8 +1,20 @@
 // Binary serialization of CSR matrices and graphs: a small versioned
 // format so symmetrized graphs (expensive to compute at scale) can be
-// cached between runs. Little-endian, header-checked, no external deps.
+// cached between runs, plus an mmap-backed zero-copy read path for
+// out-of-core pipelines. Header-checked, no external deps.
+//
+// Format v2 (docs/OUT_OF_CORE.md has the byte-level spec): a 64-byte
+// header carrying magic "DGCM", version, an endianness tag, the element
+// widths, 64-bit dimensions, and 64-bit byte offsets of the three CSR
+// sections. Sections are 8-byte aligned so a straight mmap of the file
+// yields correctly aligned Offset/Index/Scalar arrays. v1 files (PR 4's
+// 32-bit-dimension streaming format) remain loadable by LoadMatrix;
+// MappedCsr requires v2.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 
 #include "graph/digraph.h"
@@ -12,13 +24,89 @@
 
 namespace dgc {
 
-/// Writes `m` to `path` in the dgc binary matrix format (magic "DGCM",
-/// version, dims, then the three CSR arrays).
+/// Size in bytes of the fixed v2 file header.
+inline constexpr size_t kBinaryCsrHeaderBytes = 64;
+/// Current version written by SaveMatrix.
+inline constexpr uint32_t kBinaryCsrVersion = 2;
+
+/// Writes `m` to `path` in the dgc binary matrix format (v2: 64-byte
+/// header, aligned row_ptr / col_idx / values sections).
 Status SaveMatrix(const CsrMatrix& m, const std::string& path);
 
-/// Reads a matrix written by SaveMatrix. Validates the header, version,
-/// array sizes, and full CSR invariants before returning.
+/// Reads a matrix written by SaveMatrix (v2) or by older releases (v1).
+/// Validates the header, endianness, element widths, section extents
+/// against the actual file size (so a corrupt header cannot trigger a
+/// huge allocation), and full CSR invariants before returning. Every
+/// error Status message is anchored with `path`.
 Result<CsrMatrix> LoadMatrix(const std::string& path);
+
+/// \brief A read-only CSR view backed by an mmap of a v2 matrix file.
+///
+/// Exposes the same view API as CsrMatrix (rows/cols/nnz/row_ptr/col_idx/
+/// values/RowCols/RowValues/RowNnz) without copying the arrays into heap
+/// memory: pages are faulted in on demand and the OS may drop clean pages
+/// under memory pressure, which is what lets kernels stream a graph larger
+/// than RAM. Open() fully validates the header and the CSR invariants, so
+/// a successfully opened view is as trustworthy as a loaded CsrMatrix.
+///
+/// Movable, not copyable; the mapping is released by the destructor.
+class MappedCsr {
+ public:
+  MappedCsr() = default;
+  ~MappedCsr();
+
+  MappedCsr(MappedCsr&& other) noexcept;
+  MappedCsr& operator=(MappedCsr&& other) noexcept;
+  MappedCsr(const MappedCsr&) = delete;
+  MappedCsr& operator=(const MappedCsr&) = delete;
+
+  /// Maps `path` (a v2 file written by SaveMatrix) read-only. Returns a
+  /// path-anchored error for directories, truncated or foreign-endian
+  /// files, overflowing section extents, and CSR invariant violations.
+  static Result<MappedCsr> Open(const std::string& path);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return row_ptr_[rows_]; }
+
+  std::span<const Offset> row_ptr() const {
+    return {row_ptr_, static_cast<size_t>(rows_) + 1};
+  }
+  std::span<const Index> col_idx() const {
+    return {col_idx_, static_cast<size_t>(nnz())};
+  }
+  std::span<const Scalar> values() const {
+    return {values_, static_cast<size_t>(nnz())};
+  }
+
+  /// Nonzeros of row i as parallel (col, value) spans — the CsrMatrix
+  /// row-view contract, so row kernels template cleanly over either type.
+  std::span<const Index> RowCols(Index i) const {
+    return {col_idx_ + row_ptr_[i], static_cast<size_t>(RowNnz(i))};
+  }
+  std::span<const Scalar> RowValues(Index i) const {
+    return {values_ + row_ptr_[i], static_cast<size_t>(RowNnz(i))};
+  }
+  Offset RowNnz(Index i) const { return row_ptr_[i + 1] - row_ptr_[i]; }
+
+  /// Owning in-memory copy (one pass over the mapping).
+  CsrMatrix Materialize() const;
+
+  /// The file backing this view.
+  const std::string& path() const { return path_; }
+
+ private:
+  void Reset() noexcept;
+
+  void* map_ = nullptr;
+  size_t map_len_ = 0;
+  Index rows_ = 0;
+  Index cols_ = 0;
+  const Offset* row_ptr_ = nullptr;
+  const Index* col_idx_ = nullptr;
+  const Scalar* values_ = nullptr;
+  std::string path_;
+};
 
 /// Digraph convenience wrappers (adjacency matrix + squareness check).
 Status SaveDigraph(const Digraph& g, const std::string& path);

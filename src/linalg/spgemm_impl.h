@@ -1,0 +1,251 @@
+// Internal machinery shared by the in-memory SpGEMM kernels (spgemm.cc)
+// and the out-of-core tiled driver (spgemm_tiled.cc): per-worker
+// workspaces, the per-row Gustavson / upper-triangle kernels, and the
+// two-pass row assembly. NOT part of the public API — include only from
+// linalg kernel translation units.
+//
+// Bit-identity contract: every function here computes a row's entries as
+// a pure function of (inputs, row, options) with a fixed inner k-order,
+// independent of which worker runs the row, which tile it lands in, or
+// how many rows the enclosing loop covers. The tiled driver leans on this:
+// concatenating per-tile outputs in row order reproduces the in-memory
+// kernel's CSR byte for byte.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "linalg/spgemm.h"
+#include "obs/span.h"
+#include "util/budget.h"
+#include "util/parallel_audit.h"
+#include "util/radix.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace dgc {
+namespace spgemm_internal {
+
+/// Per-worker state for the two-pass SpGEMM: a dense accumulator plus the
+/// worker's buffered output rows (row ids and concatenated cols/vals), so
+/// pass 2 can copy straight into the final CSR without any per-row
+/// std::vector allocations.
+struct SpGemmWorkspace {
+  std::vector<Scalar> accum;
+  std::vector<Index> marker;
+  /// First-touch column list of the current row. Fixed-size buffer (every
+  /// column is touched at most once per row) filled through the
+  /// simd::ScatterAccumulate primitives; `touched_count` is its length.
+  std::vector<Index> touched;
+  std::vector<Index> sort_scratch;  ///< radix-sort ping-pong buffer
+  Index touched_count = 0;
+  Index dim = 0;  ///< accumulator width (radix bound for column sorting)
+  std::vector<Index> rows;   ///< output rows buffered by this worker
+  std::vector<Index> cols;   ///< their column indices, concatenated
+  std::vector<Scalar> vals;  ///< their values, concatenated
+  /// Entries dropped by the threshold filter. Each row's count is
+  /// deterministic and the shards merge by addition, so the total is
+  /// bit-identical for every thread count (the AllPairsStats pattern).
+  int64_t dropped = 0;
+
+  void EnsureSize(Index n) {
+    if (static_cast<Index>(marker.size()) < n) {
+      accum.assign(static_cast<size_t>(n), 0.0);
+      marker.assign(static_cast<size_t>(n), -1);
+      touched.resize(static_cast<size_t>(n));
+      sort_scratch.resize(static_cast<size_t>(n));
+    }
+    dim = n;
+  }
+
+  /// Clears the buffered rows (between tiles) while keeping the dense
+  /// accumulator, its marker state, and the `dropped` tally, which
+  /// accumulates across tiles exactly like it accumulates across chunks.
+  void ClearBufferedRows() {
+    rows.clear();
+    cols.clear();
+    vals.clear();
+  }
+
+  /// Invalidates every marker stamp. Required whenever a workspace is
+  /// reused for a SECOND product over the same row ids (the tiled driver's
+  /// B-then-C passes): stamps are global row ids, so without the reset the
+  /// C pass would see row r's B-pass stamps as "already touched", skip the
+  /// first-touch zeroing, and both corrupt the values and drop entries
+  /// from the touched list. First touch re-zeroes accum, so only the
+  /// marker array needs clearing. O(dim).
+  void ResetMarkers() { std::fill(marker.begin(), marker.end(), -1); }
+};
+
+/// Appends row `row`'s surviving accumulator entries (sorted by column) to
+/// w.cols / w.vals, applying the threshold and diagonal filters. Shared by
+/// the general and the upper-triangle kernels so filtering is bit-identical.
+inline void EmitRow(Index row, const SpGemmOptions& options,
+                    SpGemmWorkspace& w) {
+  const size_t count = static_cast<size_t>(w.touched_count);
+  // Unique keys, so the radix order equals the std::sort order exactly.
+  RadixSortIndices(w.touched.data(), count, w.sort_scratch.data(), w.dim);
+  const size_t before = w.cols.size();
+  w.cols.resize(before + count);
+  w.vals.resize(before + count);
+  const size_t kept = simd::GatherPrune(
+      w.touched.data(), count, w.accum.data(), options.threshold,
+      options.drop_diagonal, row, w.cols.data() + before,
+      w.vals.data() + before, &w.dropped);
+  w.cols.resize(before + kept);
+  w.vals.resize(before + kept);
+}
+
+/// Computes one output row of C = A * B, appending the surviving entries to
+/// w.cols / w.vals (sorted by column). marker[c] == row marks column c as
+/// touched for the current row.
+inline void ComputeRow(const CsrMatrix& a, const CsrMatrix& b, Index row,
+                       const SpGemmOptions& options, SpGemmWorkspace& w) {
+  w.touched_count = 0;
+  auto a_cols = a.RowCols(row);
+  auto a_vals = a.RowValues(row);
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const Index k = a_cols[i];
+    auto b_cols = b.RowCols(k);
+    auto b_vals = b.RowValues(k);
+    w.touched_count += simd::ScatterAccumulate(
+        a_vals[i], b_cols.data(), b_vals.data(), b_cols.size(),
+        w.accum.data(), w.marker.data(), row,
+        w.touched.data() + w.touched_count);
+  }
+  EmitRow(row, options, w);
+}
+
+/// Computes one upper-triangle row (candidates j >= row only) of the scaled
+/// symmetric product U = D_r A D_c² Aᵀ D_r. `at` is the inverted index
+/// (= Aᵀ). Per term the factors are evaluated as
+/// (a(i,k)·row_scale[i])·col_scale[k] — the exact multiplication order a
+/// ScaleRows-then-ScaleCols copy would have stored, and terms accumulate in
+/// the same ascending-k order as ComputeRow, so every surviving entry is
+/// bit-identical to the reference SpGemmAAt-on-a-scaled-copy path.
+inline void ComputeUpperRow(const CsrMatrix& a, const CsrMatrix& at,
+                            std::span<const Scalar> row_scale,
+                            std::span<const Scalar> col_scale, Index row,
+                            const SpGemmOptions& options,
+                            SpGemmWorkspace& w) {
+  w.touched_count = 0;
+  auto a_cols = a.RowCols(row);
+  auto a_vals = a.RowValues(row);
+  const bool has_row_scale = !row_scale.empty();
+  const bool has_col_scale = !col_scale.empty();
+  const Scalar* rs = has_row_scale ? row_scale.data() : nullptr;
+  const Scalar ri =
+      has_row_scale ? row_scale[static_cast<size_t>(row)] : 1.0;
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    const Index k = a_cols[i];
+    const Scalar ck =
+        has_col_scale ? col_scale[static_cast<size_t>(k)] : 1.0;
+    Scalar av = a_vals[i];
+    if (has_row_scale) av *= ri;
+    if (has_col_scale) av *= ck;
+    auto t_cols = at.RowCols(k);
+    auto t_vals = at.RowValues(k);
+    // Only candidates j >= row contribute to the upper triangle; the lower
+    // triangle is recovered by mirroring. Columns are sorted, so the first
+    // eligible candidate is found by binary search. The primitive evaluates
+    // bv = (t_vals[q] * row_scale[j]) * ck and accum[j] += av * bv — the
+    // same multiply order as the reference ScaleRows/ScaleCols path.
+    const size_t q = static_cast<size_t>(
+        std::lower_bound(t_cols.begin(), t_cols.end(), row) - t_cols.begin());
+    w.touched_count += simd::ScatterAccumulateScaled(
+        av, rs, has_col_scale, ck, t_cols.data() + q, t_vals.data() + q,
+        t_cols.size() - q, w.accum.data(), w.marker.data(), row,
+        w.touched.data() + w.touched_count);
+  }
+  EmitRow(row, options, w);
+}
+
+/// Two-pass assembly shared by the row-parallel kernels: pass 1 ran already
+/// (per-worker buffered rows + row_nnz), this prefix-sums the row pointers
+/// and copies every buffered row to its final offset in parallel.
+///
+/// `row_base` maps buffered global row ids to local output rows: the
+/// returned CSR has `rows` rows covering global rows
+/// [row_base, row_base + rows), and `row_nnz` is indexed locally. The
+/// in-memory kernels pass row_base = 0; the tiled driver passes the tile's
+/// first row.
+inline CsrMatrix AssembleRows(Index rows, Index cols, int threads,
+                              const std::vector<SpGemmWorkspace>& workspaces,
+                              const std::vector<Offset>& row_nnz,
+                              Index row_base, const char* context) {
+  std::vector<Offset> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  for (Index r = 0; r < rows; ++r) {
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] + row_nnz[static_cast<size_t>(r)];
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  ParallelFor(0, threads, threads, [&](int64_t wi) {
+    const SpGemmWorkspace& w = workspaces[static_cast<size_t>(wi)];
+    size_t pos = 0;
+    for (Index r : w.rows) {
+      const size_t local = static_cast<size_t>(r - row_base);
+      const size_t k = static_cast<size_t>(row_nnz[local]);
+      const size_t at = static_cast<size_t>(row_ptr[local]);
+      audit::AuditSpan audit_c(col_idx.data() + at, k, "assemble.col_idx");
+      audit::AuditSpan audit_v(values.data() + at, k, "assemble.values");
+      std::copy_n(w.cols.begin() + static_cast<long>(pos), k,
+                  col_idx.begin() + static_cast<long>(at));
+      std::copy_n(w.vals.begin() + static_cast<long>(pos), k,
+                  values.begin() + static_cast<long>(at));
+      pos += k;
+    }
+  });
+  // Rows are sorted, deduplicated and in range by construction (EmitRow
+  // sorts `touched`; the accumulator cannot produce a column twice); the
+  // O(nnz) serial Validate() pass is debug-only so Release keeps the
+  // parallel speedup.
+  CsrMatrix c = CsrMatrix::FromPartsUnchecked(
+      rows, cols, std::move(row_ptr), std::move(col_idx), std::move(values));
+  c.ValidateStructure(context);
+  return c;
+}
+
+/// Chunk-granularity poll used inside the row-parallel loop bodies and at
+/// stage boundaries. Null token: no work at all.
+inline bool Cancelled(CancelToken* cancel) {
+  return cancel != nullptr && cancel->Expired();
+}
+
+/// Bytes buffered by pass 1 across all workers plus the final CSR arrays —
+/// the dominant transient working set of the two-pass assembly.
+inline int64_t AssemblyBytes(Index rows,
+                             const std::vector<SpGemmWorkspace>& workspaces) {
+  int64_t entries = 0;
+  for (const SpGemmWorkspace& w : workspaces) {
+    entries += static_cast<int64_t>(w.cols.size());
+  }
+  return 2 * entries *
+             static_cast<int64_t>(sizeof(Index) + sizeof(Scalar)) +
+         (static_cast<int64_t>(rows) + 1) * static_cast<int64_t>(sizeof(Offset));
+}
+
+/// Attaches the shared post-pass-1 instrumentation: deterministic
+/// pruned-entry total plus the perf-class worker load picture. No-op on a
+/// dead span.
+inline void RecordPassStats(StageSpan& span,
+                            const std::vector<SpGemmWorkspace>& workspaces,
+                            int threads) {
+  if (!span.live()) return;
+  int64_t dropped = 0;
+  size_t rows_min = static_cast<size_t>(-1);
+  size_t rows_max = 0;
+  for (const SpGemmWorkspace& w : workspaces) {
+    dropped += w.dropped;
+    rows_min = std::min(rows_min, w.rows.size());
+    rows_max = std::max(rows_max, w.rows.size());
+  }
+  span.Metric("pruned_entries", dropped);
+  span.PerfMetric("workers", threads);
+  span.PerfMetric("rows_per_worker_min", static_cast<int64_t>(rows_min));
+  span.PerfMetric("rows_per_worker_max", static_cast<int64_t>(rows_max));
+}
+
+}  // namespace spgemm_internal
+}  // namespace dgc

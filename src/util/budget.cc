@@ -10,6 +10,7 @@ void CancelToken::Arm(const ResourceBudget& budget) {
   clock_.Restart();
   status_ = Status::OK();
   charged_bytes_.store(0, std::memory_order_relaxed);
+  peak_charged_bytes_.store(0, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_release);
 }
 
@@ -33,6 +34,11 @@ void CancelToken::Cancel(Status reason) { Trip(std::move(reason)); }
 bool CancelToken::ChargeMemory(int64_t bytes) {
   const int64_t now =
       charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free running max; relaxed is fine, the peak is observational only.
+  int64_t peak = peak_charged_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_charged_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
   if (budget_.max_memory_bytes > 0 && now > budget_.max_memory_bytes) {
     Trip(Status::ResourceExhausted(
         "estimated working set of " + std::to_string(now) +

@@ -83,6 +83,14 @@ class CancelToken {
     return charged_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of the ledger since the last Arm(). Lets tests and
+  /// reports verify that a budgeted run actually stayed under its cap
+  /// (docs/OUT_OF_CORE.md relies on this for the tiled-path acceptance
+  /// gate).
+  int64_t peak_charged_bytes() const {
+    return peak_charged_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// The trip reason: kDeadlineExceeded, kResourceExhausted, or whatever was
   /// passed to Cancel(). OK while the token has not tripped.
   Status status() const;
@@ -92,6 +100,7 @@ class CancelToken {
 
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> charged_bytes_{0};
+  std::atomic<int64_t> peak_charged_bytes_{0};
   ResourceBudget budget_;
   WallTimer clock_;
   mutable std::mutex mu_;  // guards status_ (and budget_/clock_ during Arm)

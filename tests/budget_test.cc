@@ -110,6 +110,39 @@ TEST(CancelTokenTest, ConcurrentChargesAreAccounted) {
   EXPECT_EQ(token.charged_bytes(), 0);
 }
 
+TEST(CancelTokenTest, PeakChargedBytesTracksRunningMax) {
+  CancelToken token;
+  token.Arm(ResourceBudget{});
+  EXPECT_EQ(token.peak_charged_bytes(), 0);
+  token.ChargeMemory(500);
+  token.ChargeMemory(300);
+  EXPECT_EQ(token.peak_charged_bytes(), 800);
+  // Releases lower the ledger but never the watermark.
+  token.ReleaseMemory(600);
+  EXPECT_EQ(token.charged_bytes(), 200);
+  EXPECT_EQ(token.peak_charged_bytes(), 800);
+  token.ChargeMemory(100);  // 300, still under the peak
+  EXPECT_EQ(token.peak_charged_bytes(), 800);
+  token.ChargeMemory(900);  // 1200, new peak
+  EXPECT_EQ(token.peak_charged_bytes(), 1200);
+  // Re-arming starts a fresh watermark (per-run acceptance accounting).
+  token.Arm(ResourceBudget{});
+  EXPECT_EQ(token.peak_charged_bytes(), 0);
+}
+
+TEST(CancelTokenTest, PeakChargedBytesIsConcurrencySafe) {
+  CancelToken token;
+  token.Arm(ResourceBudget{});
+  ParallelFor(0, 64, /*num_threads=*/4,
+              [&](int64_t) { token.ChargeMemory(10); });
+  // All charges precede any release, so the watermark must equal the sum.
+  EXPECT_EQ(token.peak_charged_bytes(), 640);
+  ParallelFor(0, 64, /*num_threads=*/4,
+              [&](int64_t) { token.ReleaseMemory(10); });
+  EXPECT_EQ(token.charged_bytes(), 0);
+  EXPECT_EQ(token.peak_charged_bytes(), 640);
+}
+
 TEST(MemoryChargeTest, NullTokenIsNoop) {
   MemoryCharge charge(nullptr, int64_t{1} << 40);
   EXPECT_FALSE(charge.exceeded());

@@ -178,6 +178,49 @@ TEST_P(GoldenPipelineTest, ReorderedRunsMatchTheSameGoldens) {
   }
 }
 
+// Out-of-core tiled runs must reproduce the same byte-pinned goldens as
+// the in-memory runs: tiling only changes the peak memory footprint, never
+// the result (docs/OUT_OF_CORE.md). kForce + tile_rows=32 splits the
+// 252-vertex fixture into 8 row blocks, exercising the spool + stitch
+// path; every thread count must match the committed artifact AND the
+// in-memory symmetrized matrix bit for bit. The non-similarity methods
+// run too — tiling must be a no-op for them, not an error.
+TEST_P(GoldenPipelineTest, OutOfCoreTiledRunsMatchTheSameGoldens) {
+  const SymmetrizationMethod method = GetParam();
+  auto graph = ReadEdgeList(kFixture);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const std::string slug = MethodSlug(method);
+
+  PipelineOptions base;
+  base.method = method;
+  base.algorithm = ClusterAlgorithm::kMlrMcl;
+  base.symmetrization.prune_threshold = 0.001;
+  base.mlr_mcl.rmcl.max_iterations = 12;
+  auto baseline = SymmetrizeAndCluster(*graph, base);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (int threads : {1, 8, 0}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    PipelineOptions options = base;
+    options.num_threads = threads;
+    options.symmetrization.out_of_core = OutOfCoreMode::kForce;
+    options.symmetrization.tile_rows = 32;
+    auto result = SymmetrizeAndCluster(*graph, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    CheckGolden(slug + ".labels.txt", LabelsToString(result->clustering));
+    const CsrMatrix& expected = baseline->symmetrized.adjacency();
+    const CsrMatrix& actual = result->symmetrized.adjacency();
+    ASSERT_EQ(actual.nnz(), expected.nnz());
+    EXPECT_TRUE(std::equal(actual.row_ptr().begin(), actual.row_ptr().end(),
+                           expected.row_ptr().begin()));
+    EXPECT_TRUE(std::equal(actual.col_idx().begin(), actual.col_idx().end(),
+                           expected.col_idx().begin()));
+    const auto av = actual.values();
+    const auto ev = expected.values();
+    EXPECT_EQ(0, std::memcmp(av.data(), ev.data(), av.size() * sizeof(Scalar)));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, GoldenPipelineTest,
     ::testing::Values(SymmetrizationMethod::kAPlusAT,

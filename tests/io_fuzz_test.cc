@@ -22,11 +22,13 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "graph/serialize.h"
 #include "util/rng.h"
 
 namespace dgc {
@@ -243,6 +245,130 @@ TEST_F(IoFuzzTest, ClusteringSurvivesMutants) {
     auto clustering = ReadClustering(path, limits);
     ExpectCleanStatus(clustering.status(), path, i);
   }
+}
+
+/// Binary mutator for the dgc matrix format: truncations, byte flips,
+/// 8-byte header-word patches (forged dims, offsets near 2^63, negative
+/// counts), splices of two valid files, zeroed ranges, and appended junk.
+/// Aimed at the failure modes a binary loader historically gets wrong:
+/// overflowing extent arithmetic, huge speculative allocations, and
+/// out-of-bounds reads through a "validated" mmap view.
+std::string MutateBinary(const std::string& input, const std::string& other,
+                         Rng& rng) {
+  std::string s = input;
+  switch (rng.UniformU64(6)) {
+    case 0: {  // Truncate anywhere (header, section edge, mid-array).
+      if (!s.empty()) s.resize(static_cast<size_t>(rng.UniformU64(s.size())));
+      break;
+    }
+    case 1: {  // Flip 1-8 random bytes.
+      if (s.empty()) break;
+      const int flips = static_cast<int>(rng.UniformU64(8)) + 1;
+      for (int i = 0; i < flips; ++i) {
+        s[static_cast<size_t>(rng.UniformU64(s.size()))] =
+            static_cast<char>(rng.UniformU64(256));
+      }
+      break;
+    }
+    case 2: {  // Patch one aligned 8-byte header word with an extreme value.
+      if (s.size() < 64) break;
+      static const uint64_t kWords[] = {
+          0,
+          uint64_t{1} << 31,
+          uint64_t{1} << 62,
+          static_cast<uint64_t>(INT64_MAX),
+          static_cast<uint64_t>(-1),
+          static_cast<uint64_t>(-4096),
+          63,  // misaligned offset below the header
+      };
+      const uint64_t word = kWords[rng.UniformU64(7)];
+      const size_t offset = 16 + 8 * static_cast<size_t>(rng.UniformU64(6));
+      std::memcpy(s.data() + offset, &word, sizeof(word));
+      break;
+    }
+    case 3: {  // Splice head of one file onto the tail of another.
+      const size_t cut_a =
+          s.empty() ? 0 : static_cast<size_t>(rng.UniformU64(s.size() + 1));
+      const size_t cut_b =
+          other.empty()
+              ? 0
+              : static_cast<size_t>(rng.UniformU64(other.size() + 1));
+      s = s.substr(0, cut_a) + other.substr(cut_b);
+      break;
+    }
+    case 4: {  // Zero a random range (wipes row_ptr monotonicity).
+      if (s.empty()) break;
+      const size_t from = static_cast<size_t>(rng.UniformU64(s.size()));
+      const size_t len = static_cast<size_t>(
+          rng.UniformU64(std::min<uint64_t>(s.size() - from, 256)) + 1);
+      std::memset(s.data() + from, 0, len);
+      break;
+    }
+    default: {  // Append random bytes (trailing junk past the sections).
+      const int extra = static_cast<int>(rng.UniformU64(64)) + 1;
+      for (int i = 0; i < extra; ++i) {
+        s.push_back(static_cast<char>(rng.UniformU64(256)));
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+/// Both binary read paths — the streaming loader and the mmap view — must
+/// survive every mutant: parse to a valid matrix or fail with a clean
+/// path-anchored Status. MappedCsr additionally materializes on success,
+/// so a bogus "validated" view that still reads out of bounds would trip
+/// ASan here.
+TEST_F(IoFuzzTest, BinaryCsrSurvivesMutants) {
+  std::vector<std::string> corpus;
+  {
+    Rng gen(5150);
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      std::vector<Triplet> t;
+      const Index n = 20 + static_cast<Index>(seed) * 13;
+      for (int i = 0; i < 160; ++i) {
+        t.push_back(Triplet{
+            static_cast<Index>(gen.UniformU64(static_cast<uint64_t>(n))),
+            static_cast<Index>(gen.UniformU64(static_cast<uint64_t>(n))),
+            gen.UniformDouble()});
+      }
+      CsrMatrix m =
+          std::move(CsrMatrix::FromTriplets(n, n, t)).ValueOrDie();
+      const std::string path = Path("seed" + std::to_string(seed) + ".dgcm");
+      ASSERT_TRUE(SaveMatrix(m, path).ok());
+      std::ifstream in(path, std::ios::binary);
+      corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+      ASSERT_GE(corpus.back().size(), kBinaryCsrHeaderBytes);
+    }
+  }
+  const std::string path = Path("matrix.dgcm");
+  Rng rng(20260809);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, MutateBinary(base, other, rng));
+    auto loaded = LoadMatrix(path);
+    ExpectCleanStatus(loaded.status(), path, i);
+    auto view = MappedCsr::Open(path);
+    ExpectCleanStatus(view.status(), path, i);
+    if (view.ok()) {
+      CsrMatrix materialized = view->Materialize();
+      EXPECT_EQ(materialized.nnz(), view->nnz());
+    }
+  }
+}
+
+/// mmap of a directory must fail with the path in the message, not crash.
+TEST_F(IoFuzzTest, BinaryCsrRejectsDirectory) {
+  const std::string sub = (dir_ / "adir").string();
+  std::filesystem::create_directories(sub);
+  auto view = MappedCsr::Open(sub);
+  ASSERT_FALSE(view.ok());
+  EXPECT_NE(view.status().message().find(sub), std::string::npos);
+  EXPECT_FALSE(LoadMatrix(sub).ok());
 }
 
 /// The unmutated seeds must parse: otherwise the fuzz loops above would be

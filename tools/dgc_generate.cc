@@ -6,13 +6,15 @@
 //
 //   $ ./dgc_generate --family=citation --out=graph.txt --truth=truth.txt
 //         [--n=6000] [--seed=2] [--mixing=0.2] [--style=cocitation]
-//         [--max-edges=N] [--deadline-ms=N]
+//         [--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]
 //
 // Families: planted | citation | hyperlink | social | rmat | lfr
 //
 // --max-edges rejects a generated graph larger than the cap before any
 // file is written; --deadline-ms bounds the whole generate+write run,
-// checked at stage granularity.
+// checked at stage granularity. --max-memory-mb arms the token's memory
+// ledger so budget-aware stages trip kResourceExhausted instead of
+// over-allocating.
 #include <cstdio>
 #include <string>
 
@@ -96,6 +98,8 @@ int main(int argc, char** argv) {
   CancelToken cancel;
   ResourceBudget budget;
   budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  budget.max_memory_bytes =
+      opts->GetInt("max-memory-mb", 0) * (int64_t{1} << 20);
   cancel.Arm(budget);
   auto dataset = Generate(*opts);
   if (!dataset.ok()) {

@@ -6,11 +6,14 @@
 //
 //   $ ./dgc_score --labels=c.txt --truth=truth.txt --n=6000
 //         [--graph=graph.txt] [--labels-b=other.txt]
-//         [--max-edges=N] [--deadline-ms=N]
+//         [--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]
+//         [--spill-dir=DIR]
 //
 // --max-edges bounds the --graph edge-list scan; --deadline-ms is checked
 // at stage granularity (between metric computations) and inside the
-// symmetrization kernels.
+// symmetrization kernels. --max-memory-mb arms the token's memory ledger
+// and lets the ncut symmetrization degrade to out-of-core row tiles
+// (spilled to --spill-dir) instead of aborting (docs/OUT_OF_CORE.md).
 #include <cstdio>
 #include <string>
 
@@ -37,7 +40,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: dgc_score --labels=<file> --truth=<file> "
                  "[--n=<vertices>] [--graph=<edge-list>] "
-                 "[--labels-b=<file>] [--max-edges=N] [--deadline-ms=N]\n");
+                 "[--labels-b=<file>] [--max-edges=N] [--deadline-ms=N] "
+                 "[--max-memory-mb=N] [--spill-dir=DIR]\n");
     return 2;
   }
   IoLimits limits;
@@ -46,6 +50,8 @@ int main(int argc, char** argv) {
   CancelToken cancel;
   ResourceBudget budget;
   budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  budget.max_memory_bytes =
+      opts->GetInt("max-memory-mb", 0) * (int64_t{1} << 20);
   cancel.Arm(budget);
   auto clustering = ReadClustering(labels_path, limits);
   if (!clustering.ok()) {
@@ -100,6 +106,8 @@ int main(int argc, char** argv) {
     }
     SymmetrizationOptions ncut_sym;
     ncut_sym.cancel = &cancel;
+    ncut_sym.max_memory_bytes = budget.max_memory_bytes;
+    ncut_sym.spill_dir = opts->GetString("spill-dir", "");
     auto u = Symmetrize(*graph, SymmetrizationMethod::kAPlusAT, ncut_sym);
     auto pr = PageRank(graph->adjacency());
     if (u.ok() && pr.ok()) {

@@ -6,7 +6,13 @@
 //   $ ./dgc_symmetrize --input=graph.txt --method=dd --target-degree=100
 //         --out=sym.txt [--metis-out=sym.graph] [--threshold=0.01]
 //         [--alpha=0.5] [--beta=0.5] [--report-top=10]
-//         [--max-edges=N] [--deadline-ms=N]
+//         [--max-edges=N] [--deadline-ms=N] [--max-memory-mb=N]
+//         [--spill-dir=DIR]
+//
+// --max-memory-mb arms a soft memory budget for the symmetrization: the
+// fused similarity kernels degrade to out-of-core row tiles (spilling to
+// --spill-dir, default system temp) when the in-memory estimate exceeds
+// the budget, instead of aborting (docs/OUT_OF_CORE.md).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -54,7 +60,8 @@ int main(int argc, char** argv) {
                  "usage: dgc_symmetrize --input=<edge-list> [--method=dd] "
                  "[--threshold=auto] [--target-degree=100] [--alpha=0.5] "
                  "[--beta=0.5] [--out=sym.txt] [--metis-out=sym.graph] "
-                 "[--report-top=0] [--max-edges=N] [--deadline-ms=N]\n");
+                 "[--report-top=0] [--max-edges=N] [--deadline-ms=N] "
+                 "[--max-memory-mb=N] [--spill-dir=DIR]\n");
     return 2;
   }
   IoLimits limits;
@@ -75,10 +82,16 @@ int main(int argc, char** argv) {
   sym.in_discount = DiscountSpec::Power(opts->GetDouble("beta", 0.5));
   sym.add_self_loops = opts->GetBool("self-loops", false);
   // --deadline-ms bounds the symmetrization kernels; the token trips
-  // cooperatively inside the SpGEMM row loops.
+  // cooperatively inside the SpGEMM row loops. --max-memory-mb feeds both
+  // the token's ledger and the out-of-core auto-tiling decision, so a
+  // tight budget tiles instead of tripping.
   CancelToken cancel;
   ResourceBudget budget;
   budget.deadline_ms = opts->GetInt("deadline-ms", 0);
+  budget.max_memory_bytes =
+      opts->GetInt("max-memory-mb", 0) * (int64_t{1} << 20);
+  sym.max_memory_bytes = budget.max_memory_bytes;
+  sym.spill_dir = opts->GetString("spill-dir", "");
   if (!budget.unlimited()) {
     cancel.Arm(budget);
     sym.cancel = &cancel;
