@@ -106,6 +106,39 @@ Result<Clustering> ClusterUGraph(const UGraph& g,
   return ClusterResolved(g, ResolveOverrides(armed));
 }
 
+Result<PipelineResult> ClusterPresymmetrized(const UGraph& g,
+                                             const PipelineOptions& options) {
+  CancelToken local_token;
+  PipelineOptions armed = options;
+  armed.cancel = ResolveCancel(options, &local_token);
+  const PipelineOptions resolved = ResolveOverrides(armed);
+
+  StageSpan pipeline_span(resolved.metrics, "pipeline");
+  pipeline_span.Metric("method", SymmetrizationMethodName(resolved.method));
+  pipeline_span.Metric("algorithm",
+                       ClusterAlgorithmName(resolved.algorithm));
+  pipeline_span.Metric("input_vertices", g.NumVertices());
+  pipeline_span.Metric("input_arcs", g.NumArcs());
+  // The cold path gets a "symmetrize" child span from stage 1; this path
+  // deliberately has none — the annotation says why, and reports prove the
+  // SpGEMM never ran.
+  pipeline_span.Metric("symmetrize", "cached");
+
+  PipelineResult result;
+  WallTimer timer;
+  Result<Clustering> clustering = ClusterResolved(g, resolved);
+  if (!clustering.ok()) {
+    RecordStatus(pipeline_span, clustering.status());
+    return clustering.status();
+  }
+  result.clustering = std::move(*clustering);
+  result.cluster_seconds = timer.ElapsedSeconds();
+  result.num_clusters = result.clustering.NumClusters();
+  pipeline_span.Metric("num_clusters", result.num_clusters);
+  RecordStatus(pipeline_span, Status::OK());
+  return result;
+}
+
 Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
                                             const PipelineOptions& options) {
   // Budget governance: arm a run-local token unless the caller supplied

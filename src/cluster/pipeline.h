@@ -106,4 +106,23 @@ Result<PipelineResult> SymmetrizeAndCluster(const Digraph& g,
 Result<Clustering> ClusterUGraph(const UGraph& g,
                                  const PipelineOptions& options);
 
+/// \brief Stage 2 over a symmetrized graph produced earlier (and possibly
+/// elsewhere): the cache-hit entry point used by `dgc_serve`
+/// (docs/SERVING.md) when a content-addressed cache lookup supplies the
+/// stage-1 output.
+///
+/// Records the same top-level "pipeline" span as SymmetrizeAndCluster so
+/// run reports from cold and cached runs share one shape, but with
+/// symmetrize="cached" stamped on it instead of a "symmetrize" child span
+/// — the absence of that child is how reports (and the serve tests) prove
+/// the SpGEMM was skipped. Budget/cancellation semantics are identical to
+/// SymmetrizeAndCluster.
+///
+/// The returned result's `symmetrized` member is left empty and
+/// `symmetrize_seconds` is 0: callers on this path already hold the graph
+/// (typically via a shared cache entry), and copying it per request would
+/// defeat the cache.
+Result<PipelineResult> ClusterPresymmetrized(const UGraph& g,
+                                             const PipelineOptions& options);
+
 }  // namespace dgc

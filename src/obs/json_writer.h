@@ -1,0 +1,122 @@
+// Minimal JSON emitter with deterministic formatting, shared by the run
+// report serializer (obs/report.cc) and the serve response envelope
+// (serve/request.cc): shortest round-trip doubles via std::to_chars, keys
+// in the order the caller provides them, and two output shapes — pretty
+// (two-space indentation, the run-report artifact format) or compact (no
+// newlines at all, so a whole document fits one NDJSON line).
+//
+// This is an emitter only; it does not balance brackets for the caller.
+// Serializers drive it with Raw()/Newline() exactly as report.cc does, and
+// two serializers emitting the same logical content produce byte-identical
+// strings — the determinism property the report tests pin.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <system_error>
+#include <variant>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dgc {
+
+/// \brief Deterministic JSON string builder; see the file comment.
+class JsonWriter {
+ public:
+  /// `compact` suppresses every Newline() (and its indentation), producing
+  /// a single-line document; separators keep their single space either way.
+  explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
+  std::string Take() && { return std::move(out_); }
+
+  /// Emits `s` as a quoted JSON string, escaping the control set.
+  void String(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  void Int(int64_t v) { out_ += std::to_string(v); }
+
+  void Bool(bool v) { out_ += v ? "true" : "false"; }
+
+  void Double(double v) {
+    // JSON has no NaN/Inf; clamp to null (never produced by the library's
+    // metrics, but a report writer must not emit invalid JSON).
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+    DGC_CHECK(result.ec == std::errc());
+    out_.append(buf, result.ptr);
+    // Keep doubles distinguishable from integers (to_chars prints 1.0 as
+    // "1"): append a fraction when no '.', 'e' or "nan-ish" marker exists.
+    const std::string_view written(buf,
+                                   static_cast<size_t>(result.ptr - buf));
+    if (written.find_first_of(".eE") == std::string_view::npos) {
+      out_ += ".0";
+    }
+  }
+
+  void Value(const SpanValue& v) {
+    if (std::holds_alternative<int64_t>(v)) {
+      Int(std::get<int64_t>(v));
+    } else if (std::holds_alternative<double>(v)) {
+      Double(std::get<double>(v));
+    } else {
+      String(std::get<std::string>(v));
+    }
+  }
+
+  void Raw(std::string_view s) { out_ += s; }
+
+  /// Line break + `indent` levels of two-space indentation; a no-op in
+  /// compact mode.
+  void Newline(int indent) {
+    if (compact_) return;
+    out_.push_back('\n');
+    out_.append(static_cast<size_t>(indent) * 2, ' ');
+  }
+
+  bool compact() const { return compact_; }
+
+ private:
+  bool compact_;
+  std::string out_;
+};
+
+}  // namespace dgc

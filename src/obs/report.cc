@@ -1,102 +1,17 @@
 #include "obs/report.h"
 
 #include <algorithm>
-#include <charconv>
-#include <cmath>
 #include <cstdio>
 #include <string_view>
-#include <system_error>
 #include <utility>
 #include <vector>
 
+#include "obs/json_writer.h"
 #include "util/logging.h"
 
 namespace dgc {
 
 namespace {
-
-/// Minimal JSON emitter with deterministic formatting: shortest
-/// round-trip doubles via std::to_chars, two-space indentation, keys in
-/// the order the caller provides them.
-class JsonWriter {
- public:
-  std::string Take() && { return std::move(out_); }
-
-  void String(std::string_view s) {
-    out_.push_back('"');
-    for (const char c : s) {
-      switch (c) {
-        case '"':
-          out_ += "\\\"";
-          break;
-        case '\\':
-          out_ += "\\\\";
-          break;
-        case '\n':
-          out_ += "\\n";
-          break;
-        case '\t':
-          out_ += "\\t";
-          break;
-        case '\r':
-          out_ += "\\r";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(c));
-            out_ += buf;
-          } else {
-            out_.push_back(c);
-          }
-      }
-    }
-    out_.push_back('"');
-  }
-
-  void Int(int64_t v) { out_ += std::to_string(v); }
-
-  void Double(double v) {
-    // JSON has no NaN/Inf; clamp to null (never produced by the library's
-    // metrics, but a report writer must not emit invalid JSON).
-    if (!std::isfinite(v)) {
-      out_ += "null";
-      return;
-    }
-    char buf[32];
-    const auto result = std::to_chars(buf, buf + sizeof(buf), v);
-    DGC_CHECK(result.ec == std::errc());
-    out_.append(buf, result.ptr);
-    // Keep doubles distinguishable from integers (to_chars prints 1.0 as
-    // "1"): append a fraction when no '.', 'e' or "nan-ish" marker exists.
-    const std::string_view written(buf,
-                                   static_cast<size_t>(result.ptr - buf));
-    if (written.find_first_of(".eE") == std::string_view::npos) {
-      out_ += ".0";
-    }
-  }
-
-  void Value(const SpanValue& v) {
-    if (std::holds_alternative<int64_t>(v)) {
-      Int(std::get<int64_t>(v));
-    } else if (std::holds_alternative<double>(v)) {
-      Double(std::get<double>(v));
-    } else {
-      String(std::get<std::string>(v));
-    }
-  }
-
-  void Raw(std::string_view s) { out_ += s; }
-
-  void Newline(int indent) {
-    out_.push_back('\n');
-    out_.append(static_cast<size_t>(indent) * 2, ' ');
-  }
-
- private:
-  std::string out_;
-};
 
 /// Emits {"k": v, ...} with keys sorted lexicographically.
 void EmitSortedObject(
@@ -186,7 +101,7 @@ std::string RunReportToJson(const MetricsRegistry& registry,
   const auto gauges = registry.Gauges();
   const auto histograms = registry.Histograms();
 
-  JsonWriter w;
+  JsonWriter w(options.compact);
   w.Raw("{");
   w.Newline(1);
   w.Raw("\"schema\": ");
@@ -276,7 +191,10 @@ std::string RunReportToJson(const MetricsRegistry& registry,
     w.Raw("}");
   }
   w.Newline(0);
-  w.Raw("}\n");
+  // The pretty artifact form ends in a newline; the compact form must not,
+  // so callers can embed it mid-document or terminate their own NDJSON
+  // line.
+  w.Raw(options.compact ? "}" : "}\n");
   return std::move(w).Take();
 }
 

@@ -36,6 +36,11 @@ struct RunReportOptions {
   /// Serialize wall/cpu seconds and perf metrics as 0 so that reports are
   /// byte-comparable across thread counts and machines.
   bool redact_timings = false;
+  /// Emit the report as a single line with no newlines or indentation (and
+  /// no trailing newline), so it can embed inside another single-line JSON
+  /// document — the dgc.serve.response.v1 envelope (docs/SERVING.md).
+  /// Content and key order are identical to the pretty form.
+  bool compact = false;
 };
 
 /// Serializes `registry` to pretty-printed JSON (trailing newline

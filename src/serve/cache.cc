@@ -1,0 +1,122 @@
+#include "serve/cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dgc {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t FnvMixSpan(uint64_t h, std::span<const T> s) {
+  return FnvMix(h, s.data(), s.size() * sizeof(T));
+}
+
+}  // namespace
+
+uint64_t GraphContentHash(const CsrMatrix& m) {
+  uint64_t h = kFnvOffset;
+  const int64_t shape[3] = {m.rows(), m.cols(), m.nnz()};
+  h = FnvMix(h, shape, sizeof(shape));
+  h = FnvMixSpan(h, m.row_ptr());
+  h = FnvMixSpan(h, m.col_idx());
+  h = FnvMixSpan(h, m.values());
+  return h;
+}
+
+int64_t UGraphCacheBytes(const UGraph& g) {
+  const CsrMatrix& m = g.adjacency();
+  return static_cast<int64_t>((m.rows() + 1) * sizeof(Offset)) +
+         static_cast<int64_t>(m.nnz()) *
+             static_cast<int64_t>(sizeof(Index) + sizeof(Scalar));
+}
+
+SymmetrizationCache::SymmetrizationCache(int64_t max_bytes,
+                                         MetricsRegistry* metrics)
+    : max_bytes_(max_bytes), metrics_(metrics) {}
+
+std::shared_ptr<const UGraph> SymmetrizationCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (metrics_ != nullptr) metrics_->AddCounter("serve.cache.misses", 1);
+    return nullptr;
+  }
+  // Move to MRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (metrics_ != nullptr) metrics_->AddCounter("serve.cache.hits", 1);
+  return it->second->graph;
+}
+
+void SymmetrizationCache::Insert(const std::string& key,
+                                 std::shared_ptr<const UGraph> graph) {
+  if (graph == nullptr) return;
+  const int64_t bytes = UGraphCacheBytes(*graph);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > max_bytes_) return;  // would evict everything and still not fit
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    resident_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, std::move(graph), bytes});
+  index_[key] = lru_.begin();
+  resident_bytes_ += bytes;
+  EvictToFitLocked();
+  SetBytesGaugeLocked();
+}
+
+void SymmetrizationCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  resident_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  SetBytesGaugeLocked();
+}
+
+int64_t SymmetrizationCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+int64_t SymmetrizationCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+void SymmetrizationCache::EvictToFitLocked() {
+  while (resident_bytes_ > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    if (metrics_ != nullptr) metrics_->AddCounter("serve.cache.evictions", 1);
+  }
+}
+
+void SymmetrizationCache::SetBytesGaugeLocked() {
+  if (metrics_ != nullptr) {
+    metrics_->SetGauge("serve.cache.bytes",
+                       static_cast<double>(resident_bytes_));
+  }
+}
+
+}  // namespace dgc

@@ -1,0 +1,101 @@
+// Content-addressed symmetrization cache for dgc_serve (docs/SERVING.md).
+//
+// Stage 1 (the symmetrization SpGEMM) is the expensive, parameter-stable
+// half of the pipeline: sweeping MLR-MCL inflation/size parameters over one
+// graph re-runs an identical symmetrization every time. The cache keys the
+// stage-1 *output* by the stage-1 *inputs* — a content hash of the loaded
+// CSR adjacency plus every option that affects the symmetrized result —
+// so a repeat request skips straight to stage 2 via ClusterPresymmetrized.
+//
+// Keying by graph content (not path) means a rewritten input file can never
+// serve a stale entry, and two paths to byte-identical graphs share one.
+// Entries are immutable shared_ptr<const UGraph>: a hit pins the graph for
+// the duration of the request, so LRU eviction under a concurrent request
+// merely unlinks the entry — the memory is reclaimed when the last request
+// drops its pin. Capacity is a byte budget over the CSR payload sizes, not
+// an entry count, because graphs span orders of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/ugraph.h"
+#include "linalg/csr_matrix.h"
+
+namespace dgc {
+
+class MetricsRegistry;
+
+/// FNV-1a 64-bit over the matrix shape and the raw bytes of the three CSR
+/// arrays. Deterministic across runs/platforms of the same endianness
+/// (the cache is process-local, so cross-platform stability is not
+/// load-bearing — cross-*request* stability is).
+uint64_t GraphContentHash(const CsrMatrix& m);
+
+/// Heap footprint of a cached symmetrized graph: the three CSR arrays.
+/// (Bookkeeping overhead — the key string, list/map nodes — is noise at
+/// graph scale and deliberately not charged.)
+int64_t UGraphCacheBytes(const UGraph& g);
+
+/// \brief Thread-safe LRU cache of symmetrized graphs under a byte budget.
+///
+/// Counters recorded into the (optional, server-lifetime) registry:
+///   serve.cache.hits / serve.cache.misses / serve.cache.evictions
+/// plus a `serve.cache.bytes` gauge tracking resident payload bytes.
+class SymmetrizationCache {
+ public:
+  /// `max_bytes` caps resident payload bytes; 0 disables insertion (every
+  /// lookup misses, Insert is a no-op) without disabling the serve path.
+  /// `metrics` may be null; it must outlive the cache when set.
+  explicit SymmetrizationCache(int64_t max_bytes,
+                               MetricsRegistry* metrics = nullptr);
+
+  SymmetrizationCache(const SymmetrizationCache&) = delete;
+  SymmetrizationCache& operator=(const SymmetrizationCache&) = delete;
+
+  /// Returns the entry for `key` and marks it most-recently-used, or null
+  /// on a miss. The returned pointer pins the graph independently of any
+  /// later eviction.
+  std::shared_ptr<const UGraph> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the entry for `key`, then evicts
+  /// least-recently-used entries until resident bytes fit the budget. An
+  /// entry larger than the whole budget is not cached at all.
+  void Insert(const std::string& key, std::shared_ptr<const UGraph> graph);
+
+  /// Drops the entry for `key` if present (used by cache mode "refresh"
+  /// before recomputing). Not counted as an eviction.
+  void Erase(const std::string& key);
+
+  int64_t resident_bytes() const;
+  int64_t num_entries() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const UGraph> graph;
+    int64_t bytes = 0;
+  };
+
+  /// Must be called with `mutex_` held.
+  void EvictToFitLocked();
+  void SetBytesGaugeLocked();
+
+  const int64_t max_bytes_;
+  MetricsRegistry* const metrics_;
+
+  mutable std::mutex mutex_;
+  /// MRU at front, LRU at back.
+  std::list<Entry> lru_;
+  /// Keyed index into the list. std::map (not unordered_map) keeps
+  /// iteration deterministic under the nd-unordered-iteration analyzer
+  /// rule; the cache holds few entries, so the log factor is irrelevant.
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  int64_t resident_bytes_ = 0;
+};
+
+}  // namespace dgc

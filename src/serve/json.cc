@@ -1,0 +1,305 @@
+#include "serve/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+#include <system_error>
+#include <utility>
+
+namespace dgc {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : AsObject()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent scanner over one document. Positions are byte
+/// offsets; diagnostics render them as `request:1:<column>` to match the
+/// file:line:column shape of the graph/io.h readers (a request is always
+/// one line, so the line number is pinned at 1).
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    DGC_RETURN_IF_ERROR(ParseValue(/*depth=*/0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing junk after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("request:1:" + std::to_string(pos_ + 1) +
+                                   ": " + message);
+  }
+  Status Overflow(const std::string& message) const {
+    return Status::OutOfRange("request:1:" + std::to_string(pos_ + 1) + ": " +
+                              message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status Expect(char c) {
+    if (AtEnd() || text_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > limits_.max_depth) {
+      return Overflow("nesting deeper than max_depth=" +
+                      std::to_string(limits_.max_depth));
+    }
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        DGC_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        DGC_RETURN_IF_ERROR(ExpectLiteral("true"));
+        *out = JsonValue(true);
+        return Status::OK();
+      case 'f':
+        DGC_RETURN_IF_ERROR(ExpectLiteral("false"));
+        *out = JsonValue(false);
+        return Status::OK();
+      case 'n':
+        DGC_RETURN_IF_ERROR(ExpectLiteral("null"));
+        *out = JsonValue();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ExpectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("unrecognized token");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    DGC_RETURN_IF_ERROR(Expect('{'));
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      DGC_RETURN_IF_ERROR(ParseString(&key));
+      for (const auto& [k, unused] : members) {
+        if (k == key) return Error("duplicate key '" + key + "'");
+      }
+      SkipWhitespace();
+      DGC_RETURN_IF_ERROR(Expect(':'));
+      SkipWhitespace();
+      JsonValue value;
+      DGC_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      members.emplace_back(std::move(key), std::move(value));
+      if (static_cast<int64_t>(members.size()) > limits_.max_members) {
+        return Overflow("object larger than max_members=" +
+                        std::to_string(limits_.max_members));
+      }
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+    *out = JsonValue(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    DGC_RETURN_IF_ERROR(Expect('['));
+    JsonValue::Array elements;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(elements));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue value;
+      DGC_RETURN_IF_ERROR(ParseValue(depth + 1, &value));
+      elements.push_back(std::move(value));
+      if (static_cast<int64_t>(elements.size()) > limits_.max_members) {
+        return Overflow("array larger than max_members=" +
+                        std::to_string(limits_.max_members));
+      }
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        break;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+    *out = JsonValue(std::move(elements));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (AtEnd() || Peek() != '"') return Error("expected a string");
+    ++pos_;
+    out->clear();
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (static_cast<int64_t>(out->size()) >= limits_.max_string_bytes) {
+        return Overflow("string longer than max_string_bytes=" +
+                        std::to_string(limits_.max_string_bytes));
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) break;
+        switch (text_[pos_]) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            // Only the ASCII subset U+0000..U+007F is accepted: the protocol
+            // carries paths and identifiers, and a partial UTF-16 decoder
+            // (surrogates, multi-byte encoding) is attack surface with no
+            // payload that needs it. Non-ASCII goes through raw UTF-8.
+            if (pos_ + 4 >= text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            const char* first = text_.data() + pos_ + 1;
+            const auto r = std::from_chars(first, first + 4, code, 16);
+            if (r.ec != std::errc() || r.ptr != first + 4) {
+              return Error("malformed \\u escape");
+            }
+            if (code > 0x7f) {
+              return Error("\\u escape beyond ASCII; send raw UTF-8 instead");
+            }
+            out->push_back(static_cast<char>(code));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Error("unknown escape sequence");
+        }
+        ++pos_;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    while (!AtEnd()) {
+      const char c = Peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("unrecognized token");
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto r = std::from_chars(first, last, value);
+    if (r.ec != std::errc() || r.ptr != last || !std::isfinite(value)) {
+      pos_ = start;
+      return Error("malformed number");
+    }
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  const JsonLimits& limits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, const JsonLimits& limits) {
+  if (static_cast<int64_t>(text.size()) > limits.max_bytes) {
+    return Status::OutOfRange(
+        "request:1:1: document larger than max_bytes=" +
+        std::to_string(limits.max_bytes));
+  }
+  return Parser(text, limits).Parse();
+}
+
+}  // namespace dgc

@@ -1,0 +1,90 @@
+// Bounded single-document JSON parser for the serve protocol
+// (docs/SERVING.md). Follows the bounded-parser discipline of graph/io.h:
+// every malformed case — bad escapes, trailing junk, duplicate keys,
+// unterminated strings, numbers that do not round-trip — yields a clean
+// Status carrying a `request:1:<column>:` diagnostic, never a crash or an
+// unbounded allocation. JsonLimits bounds (document bytes, nesting depth,
+// string length, container sizes) are enforced *during* the scan, before
+// anything is allocated proportionally to attacker-controlled input.
+//
+// The dialect is deliberately small and strict (RFC 8259 minus the parts
+// the protocol never uses): UTF-8 pass-through, no \uXXXX escapes beyond
+// ASCII (rejected, not mangled), no comments, no trailing commas, one
+// value per document. Object member order is preserved and duplicate keys
+// are an error — a versioned request schema must not silently
+// last-write-wins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Hard caps enforced while scanning a JSON document.
+///
+/// The defaults fit the serve protocol (requests are small; responses are
+/// built, not parsed). As with IoLimits, violations surface as
+/// Status(kOutOfRange) anchored to the offending byte.
+struct JsonLimits {
+  /// Max document size in bytes.
+  int64_t max_bytes = int64_t{1} << 20;
+  /// Max container nesting depth.
+  int max_depth = 32;
+  /// Max decoded bytes in one string.
+  int64_t max_string_bytes = int64_t{1} << 16;
+  /// Max members in one object / elements in one array.
+  int64_t max_members = 1 << 16;
+};
+
+/// \brief A parsed JSON value: null, bool, number (double), string, array
+/// or object (member order preserved).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; calling the wrong one is a checked programming error
+  /// (validate with the predicates first).
+  bool AsBool() const { return std::get<bool>(value_); }
+  double AsNumber() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+
+  /// Object member lookup (linear scan; objects are protocol-sized).
+  /// Null when `this` is not an object or the key is absent.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (leading/trailing
+/// ASCII whitespace tolerated; anything else after the value is
+/// "trailing junk"). Error statuses are anchored `request:1:<column>:`
+/// where column is the 1-based byte offset.
+Result<JsonValue> ParseJson(std::string_view text,
+                            const JsonLimits& limits = {});
+
+}  // namespace dgc

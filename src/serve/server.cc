@@ -1,0 +1,311 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/budget.h"
+
+namespace dgc {
+
+namespace {
+
+/// Poll interval for the accept/read loops: long enough to cost nothing,
+/// short enough that a shutdown request drains idle connections promptly.
+constexpr int kPollMillis = 100;
+
+/// Writes all of `line` plus a terminating newline. MSG_NOSIGNAL: a client
+/// that disconnected mid-response must surface as an error return, not a
+/// process-killing SIGPIPE.
+bool SendLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_max_bytes, options_.metrics) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::string Server::HandleRequestLine(std::string_view line) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCounter("serve.requests", 1);
+  }
+  Result<ServeRequest> parsed =
+      ParseServeRequest(line, options_.limits.json);
+  if (!parsed.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("serve.errors", 1);
+    }
+    // The id is unknown when the line would not even parse; "" tells the
+    // client to correlate by order.
+    return BuildErrorResponse("", parsed.status());
+  }
+  if (parsed->shutdown) {
+    stop_.store(true, std::memory_order_release);
+    return BuildShutdownResponse(parsed->id);
+  }
+  return HandleClusterRequest(*parsed);
+}
+
+std::string Server::HandleClusterRequest(const ServeRequest& req) {
+  MetricsRegistry req_metrics;
+  std::string disposition(CacheModeName(req.cache));
+  Status failure = Status::OK();
+  Index num_clusters = 0;
+  std::vector<Index> labels;
+
+  // Inner scope: the spans must close (fixing their wall/cpu times) before
+  // the registry serializes into the response envelope.
+  {
+    StageSpan request_span(&req_metrics, "serve.request");
+    request_span.Metric("op", "cluster");
+    request_span.Metric("cache_mode", CacheModeName(req.cache));
+
+    // Arm the budget before the graph loads: a request's deadline covers
+    // the whole request, not just the pipeline. The token is handed to the
+    // pipeline as a caller-owned `cancel`, which disables its internal
+    // arming (cluster/pipeline.h).
+    CancelToken token;
+    token.Arm(ResourceBudget{req.deadline_ms, req.max_memory_bytes});
+    PipelineOptions options = PipelineOptionsForRequest(req);
+    options.metrics = &req_metrics;
+    if (req.deadline_ms > 0 || req.max_memory_bytes > 0) {
+      options.cancel = &token;
+    }
+
+    Result<Digraph> graph = [&]() -> Result<Digraph> {
+      StageSpan load_span(&req_metrics, "serve.load_graph");
+      load_span.Metric("path", req.graph_path);
+      Result<Digraph> g = ReadEdgeList(req.graph_path, 0, options_.limits.io);
+      if (g.ok()) {
+        load_span.Metric("vertices", g->NumVertices());
+        load_span.Metric("arcs", g->NumEdges());
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          return options.cancel->status();
+        }
+      }
+      return g;
+    }();
+    if (!graph.ok()) {
+      failure = graph.status();
+      request_span.Metric("status", StatusCodeToString(failure.code()));
+    } else {
+      Result<Clustering> clustering = [&]() -> Result<Clustering> {
+        if (req.cache == CacheMode::kBypass) {
+          Result<PipelineResult> r = SymmetrizeAndCluster(*graph, options);
+          if (!r.ok()) return r.status();
+          return std::move(r->clustering);
+        }
+        const std::string key =
+            CacheKeyForRequest(req, GraphContentHash(graph->adjacency()));
+        if (req.cache == CacheMode::kRefresh) {
+          cache_.Erase(key);
+        }
+        std::shared_ptr<const UGraph> cached = cache_.Lookup(key);
+        if (cached != nullptr) {
+          disposition = "hit";
+          Result<PipelineResult> r = ClusterPresymmetrized(*cached, options);
+          if (!r.ok()) return r.status();
+          return std::move(r->clustering);
+        }
+        if (req.cache == CacheMode::kUse) disposition = "miss";
+        Result<PipelineResult> r = SymmetrizeAndCluster(*graph, options);
+        if (!r.ok()) return r.status();
+        cache_.Insert(key, std::make_shared<const UGraph>(
+                               std::move(r->symmetrized)));
+        return std::move(r->clustering);
+      }();
+      if (!clustering.ok()) {
+        failure = clustering.status();
+      } else {
+        num_clusters = clustering->NumClusters();
+        if (req.labels) labels = clustering->labels();
+      }
+      request_span.Metric("status", StatusCodeToString(failure.code()));
+      request_span.Metric("cache", disposition);
+    }
+  }
+
+  if (!failure.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("serve.errors", 1);
+    }
+    return BuildErrorResponse(req.id, failure, &req_metrics,
+                              req.redact_timings);
+  }
+  ServeResponseData data;
+  data.id = req.id;
+  data.cache = disposition;
+  data.num_clusters = num_clusters;
+  data.labels = req.labels ? &labels : nullptr;
+  data.metrics = &req_metrics;
+  data.redact_timings = req.redact_timings;
+  return BuildSuccessResponse(data);
+}
+
+Status Server::ServeStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // blank lines are keep-alive noise
+    out << HandleRequestLine(line) << "\n";
+    out.flush();
+    if (shutdown_requested()) break;
+  }
+  return Status::OK();
+}
+
+Result<int> Server::StartTcp() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("StartTcp called twice");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("bind: ") + std::strerror(err));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(err));
+  }
+  listen_fd_ = fd;
+  return static_cast<int>(ntohs(bound.sin_port));
+}
+
+Status Server::RunTcp() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("RunTcp before StartTcp");
+  }
+  while (!shutdown_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("accept: ") + std::strerror(errno));
+    }
+    connection_threads_.emplace_back(
+        [this, conn]() { ServeConnection(conn); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+  return Status::OK();
+}
+
+void Server::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !shutdown_requested()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or hard error: the client is gone
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    // A line that exceeds the request byte cap can never parse, and
+    // without its newline we cannot resync the stream — answer once and
+    // hang up.
+    if (static_cast<int64_t>(buffer.size()) > options_.limits.json.max_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      SendLine(fd, BuildErrorResponse(
+                       "", Status::OutOfRange(
+                               "request line exceeds max_bytes=" +
+                               std::to_string(options_.limits.json.max_bytes))));
+      break;
+    }
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) {
+        if (!SendLine(fd, HandleRequestLine(line))) {
+          open = false;
+          break;
+        }
+        if (shutdown_requested()) {
+          open = false;
+          break;
+        }
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+}  // namespace dgc

@@ -1,0 +1,98 @@
+// The dgc_serve daemon core (docs/SERVING.md): accepts
+// `dgc.serve.request.v1` lines over stdin/stdout or a TCP socket, runs the
+// two-stage pipeline per request, and answers with single-line
+// `dgc.serve.response.v1` envelopes embedding the run report.
+//
+// Threading model: each connection gets a dedicated I/O thread that parses
+// lines and runs requests sequentially (NDJSON pipelining); the compute
+// inside a request — SpGEMM rows, R-MCL iterations — fans out onto the
+// process-wide persistent thread pool exactly as the CLI tools do. Requests
+// from different connections therefore run concurrently, and the
+// determinism contract (bit-identical clustering at any thread count)
+// makes their results independent of that interleaving.
+//
+// Failure isolation: every per-request failure — malformed JSON, a missing
+// or hostile graph file, a tripped deadline/memory budget — is converted
+// into an ok=false envelope on that connection. Nothing a client sends
+// kills the daemon; only {"op": "shutdown"} (or EOF on stdin in stream
+// mode) stops it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/request.h"
+#include "util/result.h"
+
+namespace dgc {
+
+struct ServeOptions {
+  /// Byte budget for the symmetrization cache (0 disables caching).
+  int64_t cache_max_bytes = int64_t{256} << 20;
+  /// Request / graph-file bounds applied to every request.
+  ServeLimits limits;
+  /// Optional server-lifetime sink for cache and request counters
+  /// (serve.cache.hits/misses/evictions, serve.requests, serve.errors).
+  /// Distinct from the per-request registries that populate each response's
+  /// embedded report. Must outlive the server when set.
+  MetricsRegistry* metrics = nullptr;
+  /// TCP bind address; loopback by default — the protocol has no auth, so
+  /// exposing it wider is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port (0 = let the kernel pick; StartTcp returns the choice).
+  int port = 0;
+};
+
+/// \brief Serves pipeline requests; see the file comment for the model.
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request line and returns the single-line response
+  /// (without trailing newline). Never "throws": every failure is encoded
+  /// in the returned envelope. Safe to call from multiple threads.
+  std::string HandleRequestLine(std::string_view line);
+
+  /// Stream mode: reads newline-delimited requests from `in`, writes one
+  /// response line per request to `out` (flushed per line), returns after
+  /// EOF or an acknowledged shutdown request.
+  Status ServeStream(std::istream& in, std::ostream& out);
+
+  /// Opens, binds and listens on the TCP socket; returns the bound port.
+  /// Call once, before RunTcp().
+  Result<int> StartTcp();
+
+  /// Accept loop: one dedicated thread per connection, each serving
+  /// NDJSON request/response pairs. Returns after a shutdown request has
+  /// been acknowledged and in-flight connections have drained.
+  Status RunTcp();
+
+  /// True once a shutdown request has been accepted.
+  bool shutdown_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  SymmetrizationCache& cache() { return cache_; }
+
+ private:
+  std::string HandleClusterRequest(const ServeRequest& req);
+  void ServeConnection(int fd);
+
+  const ServeOptions options_;
+  SymmetrizationCache cache_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace dgc

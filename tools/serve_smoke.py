@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""End-to-end smoke driver for dgc_serve (docs/SERVING.md).
+
+Starts the daemon in TCP mode on an ephemeral port, drives the three
+request shapes the serving contract promises through a real socket --
+
+  1. cold:  cache miss, full pipeline, report contains the symmetrize span
+  2. hit:   same stage-1 parameters, different stage-2 parameters ->
+            cache hit, report has NO symmetrize span (the SpGEMM was
+            skipped) and the wall time drops
+  3. abort: deadline_ms=1 on a graph big enough that the budget trips ->
+            structured DeadlineExceeded envelope, daemon survives
+
+-- then shuts the daemon down via {"op": "shutdown"} and writes every raw
+response line to --out as a JSON array (the CI artifact).
+
+Exit 0 on success; any violated expectation prints the offending response
+and exits 1.
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+
+
+def fail(message, response=None):
+    print(f"FAIL: {message}", file=sys.stderr)
+    if response is not None:
+        print(f"response: {response}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request_line(sock_file, sock, payload):
+    sock.sendall((json.dumps(payload) + "\n").encode())
+    line = sock_file.readline()
+    if not line:
+        fail("daemon closed the connection mid-conversation")
+    return line.rstrip("\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True, help="path to dgc_serve")
+    parser.add_argument("--graph", required=True,
+                        help="edge-list input for the cold/hit requests")
+    parser.add_argument("--big-graph", required=True,
+                        help="larger edge list whose pipeline outlives a "
+                             "1ms deadline")
+    parser.add_argument("--out", required=True,
+                        help="file receiving all raw response lines as a "
+                             "JSON array")
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [args.binary, "--port=0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ready = daemon.stdout.readline()
+        match = re.match(r"listening on ([0-9.]+):(\d+)", ready)
+        if not match:
+            fail(f"no readiness line, got: {ready!r}")
+        with socket.create_connection((match.group(1),
+                                       int(match.group(2)))) as sock:
+            sock_file = sock.makefile()
+            responses = []
+
+            cold = request_line(sock_file, sock, {
+                "id": "cold", "graph": args.graph, "threshold": 0.01})
+            responses.append(cold)
+            doc = json.loads(cold)
+            if not doc.get("ok") or doc.get("cache") != "miss":
+                fail("cold request should be an ok cache miss", cold)
+            if '"name": "symmetrize"' not in cold:
+                fail("cold report must contain the symmetrize span", cold)
+            cold_wall = doc["report"]["spans"][0]["wall_seconds"]
+
+            hit = request_line(sock_file, sock, {
+                "id": "hit", "graph": args.graph, "threshold": 0.01,
+                "inflation": 3.0})
+            responses.append(hit)
+            doc = json.loads(hit)
+            if not doc.get("ok") or doc.get("cache") != "hit":
+                fail("repeat request should be an ok cache hit", hit)
+            if '"name": "symmetrize"' in hit:
+                fail("hit report must not contain a symmetrize span", hit)
+            if '"symmetrize": "cached"' not in hit:
+                fail("hit report must stamp symmetrize=cached", hit)
+            hit_wall = doc["report"]["spans"][0]["wall_seconds"]
+            if hit_wall >= cold_wall:
+                fail(f"cache hit should be faster: cold {cold_wall}s "
+                     f"vs hit {hit_wall}s", hit)
+
+            abort = request_line(sock_file, sock, {
+                "id": "abort", "graph": args.big_graph, "threshold": 0.01,
+                "deadline_ms": 1, "cache": "bypass"})
+            responses.append(abort)
+            doc = json.loads(abort)
+            if doc.get("ok") or doc.get("status") != "DeadlineExceeded":
+                fail("1ms deadline should abort with DeadlineExceeded", abort)
+
+            alive = request_line(sock_file, sock, {
+                "id": "alive", "graph": args.graph, "threshold": 0.01})
+            responses.append(alive)
+            if not json.loads(alive).get("ok"):
+                fail("daemon should keep serving after an abort", alive)
+
+            bye = request_line(sock_file, sock, {"op": "shutdown"})
+            responses.append(bye)
+            if not json.loads(bye).get("shutdown"):
+                fail("shutdown should be acknowledged", bye)
+
+        if daemon.wait(timeout=30) != 0:
+            fail(f"daemon exited nonzero: {daemon.returncode}: "
+                 f"{daemon.stderr.read()}")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+    with open(args.out, "w") as out:
+        json.dump([json.loads(r) for r in responses], out, indent=2)
+        out.write("\n")
+    print(f"serve smoke OK: cold {cold_wall:.3f}s -> hit {hit_wall:.3f}s, "
+          f"{len(responses)} responses in {args.out}")
+
+
+if __name__ == "__main__":
+    main()
