@@ -461,4 +461,73 @@ Result<Clustering> Rmcl(const UGraph& g, const RmclOptions& options) {
   return FlowToClustering(flow);
 }
 
+Result<Clustering> RmclWarmStart(const UGraph& g,
+                                 const CsrMatrix& previous_flow,
+                                 std::span<const Index> touched_rows,
+                                 const RmclOptions& options, int iterations,
+                                 CsrMatrix* final_flow) {
+  if (g.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty graph");
+  }
+  const Index n = g.NumVertices();
+  if (previous_flow.rows() != n || previous_flow.cols() != n) {
+    return Status::InvalidArgument(
+        "previous flow shape does not match the graph (warm starts require "
+        "an unchanged vertex set)");
+  }
+  for (size_t i = 0; i < touched_rows.size(); ++i) {
+    const Index r = touched_rows[i];
+    if (r < 0 || r >= n) {
+      return Status::OutOfRange("touched row out of range");
+    }
+    if (i > 0 && touched_rows[i - 1] >= r) {
+      return Status::InvalidArgument(
+          "touched rows must be sorted and unique");
+    }
+  }
+  StageSpan span(options.metrics, "rmcl.warm_start");
+  if (span.live()) {
+    span.Metric("n", n);
+    span.Metric("touched_rows", static_cast<int64_t>(touched_rows.size()));
+  }
+  CsrMatrix mg =
+      BuildFlowMatrix(g, options.self_loop_scale, options.num_threads);
+
+  // Seed M0: previous flow rows everywhere, fresh M_G rows on the touched
+  // set. Serial two-cursor row splice (memcpy-bound, deterministic).
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (Index r = 0; r < n; ++r) {
+    const bool touched =
+        std::binary_search(touched_rows.begin(), touched_rows.end(), r);
+    row_ptr[static_cast<size_t>(r) + 1] =
+        row_ptr[static_cast<size_t>(r)] +
+        (touched ? mg.RowNnz(r) : previous_flow.RowNnz(r));
+  }
+  std::vector<Index> col_idx(static_cast<size_t>(row_ptr.back()));
+  std::vector<Scalar> values(static_cast<size_t>(row_ptr.back()));
+  for (Index r = 0; r < n; ++r) {
+    const bool touched =
+        std::binary_search(touched_rows.begin(), touched_rows.end(), r);
+    const CsrMatrix& src = touched ? mg : previous_flow;
+    const auto cols = src.RowCols(r);
+    const auto vals = src.RowValues(r);
+    const size_t at = static_cast<size_t>(row_ptr[static_cast<size_t>(r)]);
+    std::copy(cols.begin(), cols.end(), col_idx.begin() + static_cast<long>(at));
+    std::copy(vals.begin(), vals.end(), values.begin() + static_cast<long>(at));
+  }
+  // Every row is a verbatim copy of a validated source row.
+  CsrMatrix m0 = CsrMatrix::FromPartsUnchecked(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  m0.ValidateStructure("RmclWarmStart");
+
+  DGC_ASSIGN_OR_RETURN(CsrMatrix flow,
+                       RmclIterate(std::move(m0), mg, options, iterations));
+  Clustering clustering = FlowToClustering(flow);
+  if (span.live()) {
+    span.Metric("num_clusters", clustering.NumClusters());
+  }
+  if (final_flow != nullptr) *final_flow = std::move(flow);
+  return clustering;
+}
+
 }  // namespace dgc

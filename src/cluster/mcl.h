@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/clustering.h"
 #include "graph/ugraph.h"
@@ -87,5 +88,27 @@ Clustering FlowToClustering(const CsrMatrix& m);
 
 /// Single-level R-MCL: BuildFlowMatrix + iterate to convergence + extract.
 Result<Clustering> Rmcl(const UGraph& g, const RmclOptions& options = {});
+
+/// \brief Single-level R-MCL warm-started from a previous converged flow.
+///
+/// Intended for streamed updates: after a small edge delta, the previous
+/// flow matrix is still near the fixed point for most rows, so far fewer
+/// iterations are needed than from scratch. The seed flow M0 keeps
+/// `previous_flow`'s rows everywhere except `touched_rows` (sorted, unique,
+/// in range — typically the affected-row set of the incremental
+/// symmetrizer), which are re-seeded from the fresh graph matrix M_G so
+/// structural changes are not anchored to stale attractors.
+///
+/// `previous_flow` must be n x n for the current graph (warm starts are
+/// only valid while the vertex set is unchanged). Runs up to `iterations`
+/// R-MCL iterations; when `final_flow` is non-null the converged flow is
+/// moved into it for the next warm start. Quality matches a from-scratch
+/// run near convergence, but labels are not guaranteed byte-identical —
+/// see docs/DYNAMIC.md for the caveats.
+Result<Clustering> RmclWarmStart(const UGraph& g,
+                                 const CsrMatrix& previous_flow,
+                                 std::span<const Index> touched_rows,
+                                 const RmclOptions& options, int iterations,
+                                 CsrMatrix* final_flow = nullptr);
 
 }  // namespace dgc

@@ -82,7 +82,8 @@ Result<CsrMatrix> ProjectFlow(const CsrMatrix& coarse_flow,
   return projected;
 }
 
-Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
+Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options,
+                          CsrMatrix* final_flow) {
   if (g.NumVertices() == 0) {
     return Status::InvalidArgument("cannot cluster an empty graph");
   }
@@ -156,6 +157,7 @@ Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options) {
     MergeSmallClusters(g, options.min_cluster_size, &clustering);
   }
   span.Metric("num_clusters", clustering.NumClusters());
+  if (final_flow != nullptr) *final_flow = std::move(flow);
   return clustering;
 }
 

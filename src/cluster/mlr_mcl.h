@@ -52,7 +52,13 @@ struct MlrMclOptions {
 /// \brief Clusters g with MLR-MCL. The number of output clusters is
 /// controlled indirectly via options.rmcl.inflation (Section 4.2 of the
 /// paper): sweep the inflation to sweep cluster granularity.
-Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options = {});
+///
+/// When `final_flow` is non-null the converged finest-level flow matrix is
+/// moved into it after label extraction, so callers can warm-start a later
+/// run (RmclWarmStart) after an edge delta without redoing the multilevel
+/// solve. Passing nullptr — the default — changes nothing.
+Result<Clustering> MlrMcl(const UGraph& g, const MlrMclOptions& options = {},
+                          CsrMatrix* final_flow = nullptr);
 
 /// \brief Projects a coarse flow matrix to the finer level: fine vertex i
 /// inherits its parent's flow row, with each coarse column's mass split

@@ -1,0 +1,119 @@
+#include "dynamic/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+namespace dgc {
+namespace {
+
+std::string EdgeLabel(Index src, Index dst) {
+  std::string out = "(";
+  out += std::to_string(src);
+  out += " -> ";
+  out += std::to_string(dst);
+  out += ")";
+  return out;
+}
+
+Status CheckEndpoint(const char* what, int64_t op, Index vertex,
+                     Index num_vertices) {
+  if (vertex < 0 || vertex >= num_vertices) {
+    return Status::InvalidArgument(
+        std::string("delta ") + what + " #" + std::to_string(op) +
+        ": vertex " + std::to_string(vertex) + " outside [0, " +
+        std::to_string(num_vertices) + ")");
+  }
+  return Status::OK();
+}
+
+uint64_t Fnv1a64(uint64_t hash, const void* data, size_t len) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Status EdgeDeltaBatch::Validate(Index num_vertices) const {
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    const Edge& e = inserts[i];
+    DGC_RETURN_IF_ERROR(
+        CheckEndpoint("insert", static_cast<int64_t>(i), e.src, num_vertices));
+    DGC_RETURN_IF_ERROR(
+        CheckEndpoint("insert", static_cast<int64_t>(i), e.dst, num_vertices));
+    if (!std::isfinite(e.weight) || e.weight <= 0.0) {
+      return Status::InvalidArgument(
+          "delta insert #" + std::to_string(i) + " " +
+          EdgeLabel(e.src, e.dst) + ": weight must be finite and positive");
+    }
+  }
+  for (size_t i = 0; i < deletes.size(); ++i) {
+    const EdgeKey& e = deletes[i];
+    DGC_RETURN_IF_ERROR(
+        CheckEndpoint("delete", static_cast<int64_t>(i), e.src, num_vertices));
+    DGC_RETURN_IF_ERROR(
+        CheckEndpoint("delete", static_cast<int64_t>(i), e.dst, num_vertices));
+  }
+
+  std::vector<EdgeKey> ins_keys;
+  ins_keys.reserve(inserts.size());
+  for (const Edge& e : inserts) ins_keys.push_back(EdgeKey{e.src, e.dst});
+  std::sort(ins_keys.begin(), ins_keys.end());
+  for (size_t i = 1; i < ins_keys.size(); ++i) {
+    if (ins_keys[i] == ins_keys[i - 1]) {
+      return Status::InvalidArgument(
+          "duplicate insert of edge " +
+          EdgeLabel(ins_keys[i].src, ins_keys[i].dst) + " in one batch");
+    }
+  }
+
+  std::vector<EdgeKey> del_keys(deletes);
+  std::sort(del_keys.begin(), del_keys.end());
+  for (size_t i = 1; i < del_keys.size(); ++i) {
+    if (del_keys[i] == del_keys[i - 1]) {
+      return Status::InvalidArgument(
+          "duplicate delete of edge " +
+          EdgeLabel(del_keys[i].src, del_keys[i].dst) + " in one batch");
+    }
+  }
+
+  for (const EdgeKey& key : ins_keys) {
+    if (std::binary_search(del_keys.begin(), del_keys.end(), key)) {
+      return Status::InvalidArgument(
+          "edge " + EdgeLabel(key.src, key.dst) +
+          " appears as both insert and delete in one batch");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t DeltaBatchDigest(uint64_t chain, const EdgeDeltaBatch& batch) {
+  // Hash a canonical serialization: op tag, endpoints, and (for inserts) the
+  // raw weight bits, in submission order. Submission order is part of the
+  // identity on purpose — the digest names the replayed stream, not the set.
+  for (const Edge& e : batch.inserts) {
+    const unsigned char tag = '+';
+    chain = Fnv1a64(chain, &tag, 1);
+    chain = Fnv1a64(chain, &e.src, sizeof(e.src));
+    chain = Fnv1a64(chain, &e.dst, sizeof(e.dst));
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(e.weight));
+    std::memcpy(&bits, &e.weight, sizeof(bits));
+    chain = Fnv1a64(chain, &bits, sizeof(bits));
+  }
+  for (const EdgeKey& e : batch.deletes) {
+    const unsigned char tag = '-';
+    chain = Fnv1a64(chain, &tag, 1);
+    chain = Fnv1a64(chain, &e.src, sizeof(e.src));
+    chain = Fnv1a64(chain, &e.dst, sizeof(e.dst));
+  }
+  return chain;
+}
+
+}  // namespace dgc

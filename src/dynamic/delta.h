@@ -1,0 +1,66 @@
+// Edge-stream deltas for dynamic directed graphs (docs/DYNAMIC.md).
+//
+// An EdgeDeltaBatch is the unit of change a streaming client submits: a set
+// of edge inserts plus a set of edge deletes that apply atomically — either
+// the whole batch lands or none of it does. Batch-local validation
+// (Validate) rejects malformed batches before any graph state is touched;
+// graph-dependent validation (insert of an existing edge, delete of a
+// missing one) happens inside DynamicGraph::Apply, which is equally
+// all-or-nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "linalg/types.h"
+#include "util/status.h"
+
+namespace dgc {
+
+/// Identifies one directed edge in a delete request. Ordered so delete
+/// lists can be sorted and binary-searched.
+struct EdgeKey {
+  Index src = 0;
+  Index dst = 0;
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+};
+
+/// \brief One atomic batch of edge inserts and deletes.
+///
+/// Semantics: an insert creates a new stored edge (src, dst, weight) — the
+/// edge must not already exist; a delete removes a stored edge entirely —
+/// it must exist. Updating a weight is a delete followed by an insert in
+/// the NEXT batch (the same edge may not appear on both sides of one
+/// batch). These strict semantics make every batch invertible and keep the
+/// stream-vs-scratch differential test exact: the cumulative edge set after
+/// any prefix of batches is unambiguous.
+struct EdgeDeltaBatch {
+  std::vector<Edge> inserts;
+  std::vector<EdgeKey> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  /// Total number of operations in the batch.
+  int64_t size() const {
+    return static_cast<int64_t>(inserts.size()) +
+           static_cast<int64_t>(deletes.size());
+  }
+
+  /// Batch-local validation against a graph of `num_vertices` vertices:
+  /// every endpoint in [0, num_vertices), insert weights finite and > 0,
+  /// no duplicate insert or delete of the same (src, dst), and no edge
+  /// both inserted and deleted. Violations return kInvalidArgument naming
+  /// the offending operation; the batch is not modified.
+  Status Validate(Index num_vertices) const;
+};
+
+/// Chains a batch onto a running FNV-1a 64-bit digest (seeded with the base
+/// graph's content hash in dgc_serve): the content-addressed cache key of
+/// an updated graph is the base key plus this digest, so a replayed stream
+/// of identical batches addresses the same entry and any divergence — one
+/// different weight bit — addresses a different one.
+uint64_t DeltaBatchDigest(uint64_t chain, const EdgeDeltaBatch& batch);
+
+}  // namespace dgc

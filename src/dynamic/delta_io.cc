@@ -1,0 +1,264 @@
+#include "dynamic/delta_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+namespace dgc {
+namespace {
+
+// Mirrors the bounded scanner in src/graph/io.cc (those helpers live in its
+// anonymous namespace on purpose — each reader owns its hardening locally).
+
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+bool IsCommentOrBlank(std::string_view line) {
+  for (char c : line) {
+    if (IsSpaceChar(c)) continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+enum class LineRead { kLine, kEof, kTooLong };
+
+LineRead ReadLineBounded(std::istream& in, int64_t max_bytes,
+                         std::string* out) {
+  out->clear();
+  char buf[4096];
+  for (;;) {
+    in.get(buf, sizeof(buf), '\n');
+    const std::streamsize got = in.gcount();
+    if (got > 0) out->append(buf, static_cast<size_t>(got));
+    if (static_cast<int64_t>(out->size()) > max_bytes) {
+      return LineRead::kTooLong;
+    }
+    if (in.eof()) return out->empty() ? LineRead::kEof : LineRead::kLine;
+    if (in.fail()) in.clear();
+    const int next = in.peek();
+    if (next == '\n') {
+      in.get();
+      return LineRead::kLine;
+    }
+    if (next == std::char_traits<char>::eof()) {
+      return out->empty() ? LineRead::kEof : LineRead::kLine;
+    }
+  }
+}
+
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view line) : line_(line) {}
+
+  bool Next(std::string_view* token, int64_t* column) {
+    SkipSpace();
+    if (pos_ >= line_.size()) return false;
+    const size_t start = pos_;
+    while (pos_ < line_.size() && !IsSpaceChar(line_[pos_])) ++pos_;
+    *token = line_.substr(start, pos_ - start);
+    *column = static_cast<int64_t>(start) + 1;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  int64_t column() {
+    SkipSpace();
+    return static_cast<int64_t>(pos_) + 1;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() && IsSpaceChar(line_[pos_])) ++pos_;
+  }
+
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+std::string Where(const std::string& path, int64_t line, int64_t col) {
+  return path + ":" + std::to_string(line) + ":" + std::to_string(col) + ": ";
+}
+
+std::string TokenPreview(std::string_view token) {
+  std::string out;
+  const size_t n = std::min<size_t>(token.size(), 24);
+  out.reserve(n + 3);
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(token[i]);
+    out.push_back(c >= 0x20 && c < 0x7f ? static_cast<char>(c) : '?');
+  }
+  if (token.size() > n) out += "...";
+  return out;
+}
+
+Status ParseInt64(const std::string& path, int64_t line_no, int64_t col,
+                  std::string_view token, const char* what, int64_t* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(Where(path, line_no, col) + std::string(what) +
+                              " '" + TokenPreview(token) +
+                              "' overflows a 64-bit integer");
+  }
+  if (ec != std::errc() || ptr != last) {
+    return Status::IOError(Where(path, line_no, col) + "malformed " +
+                           std::string(what) + " '" + TokenPreview(token) +
+                           "'");
+  }
+  return Status::OK();
+}
+
+Status ParseWeight(const std::string& path, int64_t line_no, int64_t col,
+                   std::string_view token, double* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::OutOfRange(Where(path, line_no, col) + "weight '" +
+                              TokenPreview(token) + "' is out of double range");
+  }
+  if (ec != std::errc() || ptr != last) {
+    return Status::IOError(Where(path, line_no, col) + "malformed weight '" +
+                           TokenPreview(token) + "'");
+  }
+  if (!std::isfinite(*out) || *out <= 0.0) {
+    return Status::IOError(Where(path, line_no, col) +
+                           "weight must be finite and positive, got '" +
+                           TokenPreview(token) + "'");
+  }
+  return Status::OK();
+}
+
+constexpr int64_t kIndexCap = std::numeric_limits<Index>::max();
+
+Status ParseVertex(const std::string& path, int64_t line_no, int64_t col,
+                   std::string_view token, const char* what, int64_t id_cap,
+                   Index* out) {
+  int64_t id = 0;
+  DGC_RETURN_IF_ERROR(ParseInt64(path, line_no, col, token, what, &id));
+  if (id < 0) {
+    return Status::IOError(Where(path, line_no, col) + "negative " +
+                           std::string(what) + " " + std::to_string(id));
+  }
+  if (id >= id_cap) {
+    return Status::OutOfRange(Where(path, line_no, col) + std::string(what) +
+                              " " + std::to_string(id) + " outside [0, " +
+                              std::to_string(id_cap) + ")");
+  }
+  *out = static_cast<Index>(id);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<EdgeDeltaBatch>> ReadDeltaBatches(const std::string& path,
+                                                     Index num_vertices,
+                                                     const IoLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  if (num_vertices <= 0) {
+    return Status::InvalidArgument(
+        path + ": delta streams require a declared num_vertices > 0");
+  }
+  const int64_t id_cap =
+      std::min(static_cast<int64_t>(num_vertices),
+               std::min(limits.max_vertices, kIndexCap));
+
+  std::vector<EdgeDeltaBatch> batches;
+  EdgeDeltaBatch current;
+  int64_t total_ops = 0;
+  std::string line;
+  int64_t line_no = 0;
+  for (;;) {
+    const LineRead read = ReadLineBounded(in, limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    ++line_no;
+    if (read == LineRead::kTooLong) {
+      return Status::OutOfRange(
+          Where(path, line_no, limits.max_line_bytes + 1) +
+          "line exceeds IoLimits.max_line_bytes = " +
+          std::to_string(limits.max_line_bytes));
+    }
+    if (IsCommentOrBlank(line)) continue;
+
+    TokenCursor cursor(line);
+    std::string_view op;
+    int64_t op_col = 0;
+    cursor.Next(&op, &op_col);  // non-blank line: always succeeds
+    if (op == "---") {
+      if (!cursor.AtEnd()) {
+        return Status::IOError(Where(path, line_no, cursor.column()) +
+                               "trailing junk after batch separator");
+      }
+      if (!current.empty()) {
+        batches.push_back(std::move(current));
+        current = EdgeDeltaBatch{};
+      }
+      continue;
+    }
+    if (op != "+" && op != "-") {
+      return Status::IOError(Where(path, line_no, op_col) +
+                             "unknown delta op '" + TokenPreview(op) +
+                             "' (expected '+', '-', or '---')");
+    }
+    if (total_ops >= limits.max_edges) {
+      return Status::OutOfRange(
+          Where(path, line_no, op_col) + "delta stream exceeds " +
+          "IoLimits.max_edges = " + std::to_string(limits.max_edges) +
+          " operations");
+    }
+
+    std::string_view token;
+    int64_t col = 0;
+    Index src = 0;
+    Index dst = 0;
+    if (!cursor.Next(&token, &col)) {
+      return Status::IOError(Where(path, line_no, cursor.column()) +
+                             "missing source vertex");
+    }
+    DGC_RETURN_IF_ERROR(
+        ParseVertex(path, line_no, col, token, "source vertex", id_cap, &src));
+    if (!cursor.Next(&token, &col)) {
+      return Status::IOError(Where(path, line_no, cursor.column()) +
+                             "missing destination vertex");
+    }
+    DGC_RETURN_IF_ERROR(ParseVertex(path, line_no, col, token,
+                                    "destination vertex", id_cap, &dst));
+
+    if (op == "+") {
+      double weight = 1.0;
+      if (cursor.Next(&token, &col)) {
+        DGC_RETURN_IF_ERROR(ParseWeight(path, line_no, col, token, &weight));
+      }
+      if (!cursor.AtEnd()) {
+        return Status::IOError(Where(path, line_no, cursor.column()) +
+                               "trailing junk after insert");
+      }
+      current.inserts.push_back(Edge{src, dst, weight});
+    } else {
+      if (!cursor.AtEnd()) {
+        return Status::IOError(Where(path, line_no, cursor.column()) +
+                               "trailing junk after delete");
+      }
+      current.deletes.push_back(EdgeKey{src, dst});
+    }
+    ++total_ops;
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace dgc

@@ -1,0 +1,37 @@
+// Text format for edge-delta streams (docs/DYNAMIC.md), parsed with the
+// same hardening contract as src/graph/io.h: streaming bounded scan,
+// std::from_chars tokenizing, file:line:column diagnostics, IoLimits
+// enforced before any proportional allocation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynamic/delta.h"
+#include "graph/io.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief Reads a delta stream: one operation per line, batches separated
+/// by `---` lines.
+///
+///   + src dst [weight]   insert edge (weight defaults to 1)
+///   - src dst            delete edge
+///   ---                  end of batch
+///   # or %               comment; blank lines are ignored
+///
+/// A trailing batch is flushed at end of file; separators that would
+/// produce an empty batch are skipped, so the result contains only
+/// non-empty batches in stream order. `num_vertices` bounds endpoint ids
+/// (ids must lie in [0, num_vertices)); `limits.max_edges` caps the total
+/// operation count across the file and `limits.max_line_bytes` each line.
+/// Every malformed case — unknown op tag, negative/overflowing ids,
+/// non-finite or non-positive weights, trailing junk — returns a
+/// structured Status with a path:line:column diagnostic, never a crash.
+/// Batch-level semantic validation (duplicates, insert/delete conflicts)
+/// is deferred to EdgeDeltaBatch::Validate at apply time.
+Result<std::vector<EdgeDeltaBatch>> ReadDeltaBatches(
+    const std::string& path, Index num_vertices, const IoLimits& limits = {});
+
+}  // namespace dgc

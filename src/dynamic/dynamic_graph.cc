@@ -1,0 +1,154 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dgc {
+namespace {
+
+std::string EdgeLabel(Index src, Index dst) {
+  std::string out = "(";
+  out += std::to_string(src);
+  out += " -> ";
+  out += std::to_string(dst);
+  out += ")";
+  return out;
+}
+
+bool RowHasColumn(const CsrMatrix& m, Index row, Index col) {
+  const auto cols = m.RowCols(row);
+  return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+/// One delta op in the orientation of the matrix being rebuilt: `col` is the
+/// stored column for `row`, `weight` is meaningful only for inserts.
+struct RowOp {
+  Index row = 0;
+  Index col = 0;
+  Scalar weight = 0.0;
+  bool insert = false;
+
+  friend bool operator<(const RowOp& a, const RowOp& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  }
+};
+
+/// Merge-rebuilds `m` applying the (sorted, validated, conflict-free) ops.
+/// Inserts splice a new entry into the row's sorted column list; deletes
+/// remove the matched entry. O(nnz + ops).
+CsrMatrix RebuildWithOps(const CsrMatrix& m, const std::vector<RowOp>& ops,
+                         int64_t insert_count, const char* context) {
+  const Index n_rows = m.rows();
+  const Offset new_nnz = m.nnz() + insert_count -
+                         (static_cast<Offset>(ops.size()) - insert_count);
+  std::vector<Offset> row_ptr(static_cast<size_t>(n_rows) + 1, 0);
+  std::vector<Index> col_idx(static_cast<size_t>(new_nnz));
+  std::vector<Scalar> values(static_cast<size_t>(new_nnz));
+
+  size_t op = 0;
+  Offset out = 0;
+  for (Index r = 0; r < n_rows; ++r) {
+    const auto cols = m.RowCols(r);
+    const auto vals = m.RowValues(r);
+    size_t j = 0;
+    while (j < cols.size() || (op < ops.size() && ops[op].row == r)) {
+      const bool op_here = op < ops.size() && ops[op].row == r;
+      if (op_here && ops[op].insert &&
+          (j == cols.size() || ops[op].col < cols[j])) {
+        col_idx[static_cast<size_t>(out)] = ops[op].col;
+        values[static_cast<size_t>(out)] = ops[op].weight;
+        ++out;
+        ++op;
+        continue;
+      }
+      DGC_DCHECK(j < cols.size());
+      if (op_here && !ops[op].insert && ops[op].col == cols[j]) {
+        ++op;  // delete: skip the stored entry
+        ++j;
+        continue;
+      }
+      col_idx[static_cast<size_t>(out)] = cols[j];
+      values[static_cast<size_t>(out)] = vals[j];
+      ++out;
+      ++j;
+    }
+    row_ptr[static_cast<size_t>(r) + 1] = out;
+  }
+  DGC_DCHECK(out == new_nnz);
+  DGC_DCHECK(op == ops.size());
+
+  CsrMatrix rebuilt = CsrMatrix::FromPartsUnchecked(
+      n_rows, m.cols(), std::move(row_ptr), std::move(col_idx),
+      std::move(values));
+  rebuilt.ValidateStructure(context);
+  return rebuilt;
+}
+
+}  // namespace
+
+Result<DynamicGraph> DynamicGraph::FromDigraph(const Digraph& g) {
+  if (g.NumVertices() <= 0) {
+    return Status::InvalidArgument(
+        "DynamicGraph requires a graph with at least one vertex");
+  }
+  DynamicGraph d;
+  d.a_ = g.adjacency();
+  d.at_ = d.a_.Transpose();
+  return d;
+}
+
+bool DynamicGraph::HasEdge(Index src, Index dst) const {
+  if (src < 0 || src >= a_.rows() || dst < 0 || dst >= a_.cols()) return false;
+  return RowHasColumn(a_, src, dst);
+}
+
+Status DynamicGraph::Apply(const EdgeDeltaBatch& batch) {
+  DGC_RETURN_IF_ERROR(batch.Validate(NumVertices()));
+
+  // Graph-dependent validation, before any state changes.
+  for (const Edge& e : batch.inserts) {
+    if (RowHasColumn(a_, e.src, e.dst)) {
+      return Status::InvalidArgument("insert of existing edge " +
+                                     EdgeLabel(e.src, e.dst));
+    }
+  }
+  for (const EdgeKey& e : batch.deletes) {
+    if (!RowHasColumn(a_, e.src, e.dst)) {
+      return Status::InvalidArgument("delete of nonexistent edge " +
+                                     EdgeLabel(e.src, e.dst));
+    }
+  }
+
+  if (batch.empty()) {
+    ++batches_applied_;
+    return Status::OK();
+  }
+
+  std::vector<RowOp> fwd;
+  std::vector<RowOp> rev;
+  fwd.reserve(static_cast<size_t>(batch.size()));
+  rev.reserve(static_cast<size_t>(batch.size()));
+  for (const Edge& e : batch.inserts) {
+    fwd.push_back(RowOp{e.src, e.dst, e.weight, /*insert=*/true});
+    rev.push_back(RowOp{e.dst, e.src, e.weight, /*insert=*/true});
+  }
+  for (const EdgeKey& e : batch.deletes) {
+    fwd.push_back(RowOp{e.src, e.dst, 0.0, /*insert=*/false});
+    rev.push_back(RowOp{e.dst, e.src, 0.0, /*insert=*/false});
+  }
+  std::sort(fwd.begin(), fwd.end());
+  std::sort(rev.begin(), rev.end());
+
+  const auto insert_count = static_cast<int64_t>(batch.inserts.size());
+  a_ = RebuildWithOps(a_, fwd, insert_count, "DynamicGraph::Apply(A)");
+  at_ = RebuildWithOps(at_, rev, insert_count, "DynamicGraph::Apply(At)");
+  ++batches_applied_;
+  return Status::OK();
+}
+
+}  // namespace dgc

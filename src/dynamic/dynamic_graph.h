@@ -1,0 +1,59 @@
+// DynamicGraph: a directed graph that maintains the CSR pair (A, Aᵀ) under
+// atomic EdgeDeltaBatch updates (docs/DYNAMIC.md).
+//
+// CsrMatrix has an immutable sparsity structure, so "applying" a batch is a
+// validated merge-rebuild of the index arrays: each batch costs O(nnz + k)
+// regardless of how the kernels downstream consume it. The transpose is
+// rebuilt by the same merge with the edge roles swapped, which keeps it
+// bit-identical to `adjacency().Transpose()` without paying a second
+// counting pass.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamic/delta.h"
+#include "graph/digraph.h"
+#include "linalg/csr_matrix.h"
+#include "util/result.h"
+
+namespace dgc {
+
+/// \brief CSR pair (A, Aᵀ) under atomic insert/delete batches.
+///
+/// Apply is all-or-nothing: the batch is validated (batch-local rules via
+/// EdgeDeltaBatch::Validate, then graph-dependent rules — an insert must
+/// name a missing edge, a delete an existing one) before any state
+/// changes, so a failed Apply leaves the graph untouched.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Seeds the dynamic state from a static graph.
+  static Result<DynamicGraph> FromDigraph(const Digraph& g);
+
+  /// Applies one batch atomically. Returns kInvalidArgument (and changes
+  /// nothing) if the batch fails batch-local validation, inserts an edge
+  /// that already exists, or deletes an edge that does not.
+  Status Apply(const EdgeDeltaBatch& batch);
+
+  const CsrMatrix& adjacency() const { return a_; }
+  const CsrMatrix& transpose() const { return at_; }
+  Index NumVertices() const { return a_.rows(); }
+  Offset NumEdges() const { return a_.nnz(); }
+
+  /// Number of batches applied since construction.
+  int64_t batches_applied() const { return batches_applied_; }
+
+  /// Snapshot of the current state as a static Digraph (copies A).
+  Result<Digraph> ToDigraph() const { return Digraph::FromAdjacency(a_); }
+
+  /// True if the stored edge (src, dst) exists.
+  bool HasEdge(Index src, Index dst) const;
+
+ private:
+  CsrMatrix a_;
+  CsrMatrix at_;
+  int64_t batches_applied_ = 0;
+};
+
+}  // namespace dgc

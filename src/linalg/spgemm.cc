@@ -193,6 +193,135 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
   return upper;
 }
 
+Result<CsrMatrix> SpGemmAAtSymmetricUpdateRows(
+    const CsrMatrix& a, std::span<const Scalar> row_scale,
+    std::span<const Scalar> col_scale, const SpGemmOptions& options,
+    const CsrMatrix& a_transpose, std::span<const Index> rows,
+    const CsrMatrix& cached_upper) {
+  const Index n = a.rows();
+  if (!row_scale.empty() && static_cast<Index>(row_scale.size()) != n) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetricUpdateRows: row_scale size " +
+        std::to_string(row_scale.size()) + " != rows of " + a.DebugString());
+  }
+  if (!col_scale.empty() &&
+      static_cast<Index>(col_scale.size()) != a.cols()) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetricUpdateRows: col_scale size " +
+        std::to_string(col_scale.size()) + " != cols of " + a.DebugString());
+  }
+  if (a_transpose.rows() != a.cols() || a_transpose.cols() != n ||
+      a_transpose.nnz() != a.nnz()) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetricUpdateRows: a_transpose " +
+        a_transpose.DebugString() + " is not the transpose of " +
+        a.DebugString());
+  }
+  if (cached_upper.rows() != n || cached_upper.cols() != n) {
+    return Status::InvalidArgument(
+        "SpGemmAAtSymmetricUpdateRows: cached triangle " +
+        cached_upper.DebugString() + " does not match " + a.DebugString());
+  }
+  for (size_t p = 0; p < rows.size(); ++p) {
+    if (rows[p] < 0 || rows[p] >= n ||
+        (p > 0 && rows[p] <= rows[p - 1])) {
+      return Status::InvalidArgument(
+          "SpGemmAAtSymmetricUpdateRows: row list must be sorted, unique, "
+          "and within [0, " +
+          std::to_string(n) + ")");
+    }
+  }
+  if (rows.empty()) return cached_upper;
+
+  const Index k = static_cast<Index>(rows.size());
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ResolveNumThreads(options.num_threads), std::max<Index>(k, 1)));
+  StageSpan span(options.metrics, "spgemm.aat_symmetric.update");
+  if (span.live()) {
+    span.Metric("rows_total", n);
+    span.Metric("rows_recomputed", k);
+    span.Metric("threshold", options.threshold);
+  }
+
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge accum_charge(
+      options.cancel,
+      static_cast<int64_t>(threads) * n *
+          static_cast<int64_t>(sizeof(Scalar) + sizeof(Index)));
+  if (accum_charge.exceeded()) return options.cancel->status();
+
+  // Pass 1 over list POSITIONS: position p computes global row rows[p]
+  // through the shared upper-triangle kernel (marker stamps use the global
+  // row id, so reuse across positions stays sound), but buffers the row
+  // under p. AssembleRows with row_base = 0 then yields a compact k-row
+  // "patch" CSR whose row p holds the recomputed global row rows[p].
+  std::vector<SpGemmWorkspace> workspaces(static_cast<size_t>(threads));
+  std::vector<Offset> row_nnz(static_cast<size_t>(k), 0);
+  ParallelForWorkers(
+      0, k, threads, /*grain=*/0,
+      [&](int worker, int64_t lo, int64_t hi) {
+        if (Cancelled(options.cancel)) return;
+        SpGemmWorkspace& w = workspaces[static_cast<size_t>(worker)];
+        w.EnsureSize(n);
+        for (int64_t p = lo; p < hi; ++p) {
+          const size_t before = w.cols.size();
+          ComputeUpperRow(a, a_transpose, row_scale, col_scale,
+                          rows[static_cast<size_t>(p)], options, w);
+          row_nnz[static_cast<size_t>(p)] =
+              static_cast<Offset>(w.cols.size() - before);
+          w.rows.push_back(static_cast<Index>(p));
+        }
+      });
+  if (Cancelled(options.cancel)) return options.cancel->status();
+  MemoryCharge assembly_charge(options.cancel, AssemblyBytes(k, workspaces));
+  if (assembly_charge.exceeded()) return options.cancel->status();
+  RecordPassStats(span, workspaces, threads);
+  const CsrMatrix patch =
+      AssembleRows(k, n, threads, workspaces, row_nnz,
+                   /*row_base=*/0, "SpGemmAAtSymmetricUpdateRows(patch)");
+
+  // Splice: serial two-cursor pass replacing the listed rows of the cached
+  // triangle with the patch rows. Memcpy-bound O(nnz); kept serial so the
+  // only parallel surface of the update is the shared row kernel above.
+  const Offset spliced_nnz =
+      cached_upper.nnz() + patch.nnz() -
+      [&] {
+        Offset replaced = 0;
+        for (Index r : rows) replaced += cached_upper.RowNnz(r);
+        return replaced;
+      }();
+  MemoryCharge splice_charge(
+      options.cancel,
+      spliced_nnz * static_cast<int64_t>(sizeof(Index) + sizeof(Scalar)) +
+          (static_cast<int64_t>(n) + 1) *
+              static_cast<int64_t>(sizeof(Offset)));
+  if (splice_charge.exceeded()) return options.cancel->status();
+  std::vector<Offset> row_ptr(static_cast<size_t>(n) + 1, 0);
+  std::vector<Index> col_idx(static_cast<size_t>(spliced_nnz));
+  std::vector<Scalar> values(static_cast<size_t>(spliced_nnz));
+  size_t next = 0;
+  Offset out = 0;
+  for (Index r = 0; r < n; ++r) {
+    const bool patched = next < rows.size() && rows[next] == r;
+    const CsrMatrix& src = patched ? patch : cached_upper;
+    const Index src_row = patched ? static_cast<Index>(next) : r;
+    if (patched) ++next;
+    const auto cols = src.RowCols(src_row);
+    const auto vals = src.RowValues(src_row);
+    std::copy_n(cols.begin(), cols.size(),
+                col_idx.begin() + static_cast<long>(out));
+    std::copy_n(vals.begin(), vals.size(),
+                values.begin() + static_cast<long>(out));
+    out += static_cast<Offset>(cols.size());
+    row_ptr[static_cast<size_t>(r) + 1] = out;
+  }
+  CsrMatrix spliced = CsrMatrix::FromPartsUnchecked(
+      n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+  spliced.ValidateStructure("SpGemmAAtSymmetricUpdateRows");
+  span.Metric("output_nnz", spliced.nnz());
+  return spliced;
+}
+
 Result<CsrMatrix> SpGemmSymmetricSum(const CsrMatrix& upper_b,
                                      const CsrMatrix& upper_c,
                                      const SpGemmOptions& options) {

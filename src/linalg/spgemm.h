@@ -108,6 +108,27 @@ Result<CsrMatrix> SpGemmAAtSymmetric(const CsrMatrix& a,
                                      const SpGemmOptions& options = {},
                                      const CsrMatrix* a_transpose = nullptr);
 
+/// \brief Incremental row refresh of an SpGemmAAtSymmetric upper triangle:
+/// recomputes only the rows listed in `rows` against the UPDATED inputs
+/// (a / a_transpose / scales) and splices them into `cached_upper`, the
+/// triangle computed for the previous inputs.
+///
+/// `rows` must be sorted, unique, and within [0, a.rows()). Correctness
+/// contract (the basis of the dynamic-graph path, docs/DYNAMIC.md): if
+/// every row of the product whose entries differ between the old and new
+/// inputs is listed in `rows`, the result is byte-identical to running
+/// SpGemmAAtSymmetric from scratch on the new inputs — each row kernel is a
+/// pure function of (inputs, row, options), so unlisted rows keep their
+/// cached bytes and listed rows are recomputed by the exact same kernel.
+/// Unlike SpGemmAAtSymmetric, `a_transpose` is required here: the caller
+/// maintains both orientations incrementally anyway, and rebuilding it for
+/// a handful of rows would defeat the point.
+Result<CsrMatrix> SpGemmAAtSymmetricUpdateRows(
+    const CsrMatrix& a, std::span<const Scalar> row_scale,
+    std::span<const Scalar> col_scale, const SpGemmOptions& options,
+    const CsrMatrix& a_transpose, std::span<const Index> rows,
+    const CsrMatrix& cached_upper);
+
 /// \brief Fused U = mirror(prune(B + C)) for two upper-triangle matrices:
 /// merges the triangles entrywise, applies `options.threshold` (entries with
 /// |value| < threshold dropped; threshold <= 0 keeps everything) and

@@ -84,6 +84,52 @@ Result<CacheMode> ParseCacheMode(std::string_view name) {
                           "\" (want use, bypass or refresh)");
 }
 
+/// One wire edge: [u, v] (deletes) or [u, v] / [u, v, w] (inserts). The
+/// endpoints must be non-negative integers; range-against-the-graph checks
+/// happen later in EdgeDeltaBatch::Validate, which knows the vertex count.
+Status ParseWireEdge(std::string_view key, const JsonValue& v, bool insert,
+                     EdgeDeltaBatch* out) {
+  if (!v.is_array()) {
+    return FieldError(key, "expected an array of [u, v] arrays");
+  }
+  const auto& tuple = v.AsArray();
+  const size_t max_arity = insert ? 3 : 2;
+  if (tuple.size() < 2 || tuple.size() > max_arity) {
+    return FieldError(key, insert ? "each insert must be [u, v] or [u, v, w]"
+                                  : "each delete must be [u, v]");
+  }
+  int64_t endpoints[2] = {0, 0};
+  for (size_t i = 0; i < 2; ++i) {
+    DGC_RETURN_IF_ERROR(ExpectInt(key, tuple[i], 0,
+                                  std::numeric_limits<Index>::max(),
+                                  &endpoints[i]));
+  }
+  if (insert) {
+    Edge e;
+    e.src = static_cast<Index>(endpoints[0]);
+    e.dst = static_cast<Index>(endpoints[1]);
+    if (tuple.size() == 3) {
+      DGC_RETURN_IF_ERROR(ExpectNumber(key, tuple[2], &e.weight));
+    }
+    out->inserts.push_back(e);
+  } else {
+    out->deletes.push_back(EdgeKey{static_cast<Index>(endpoints[0]),
+                                   static_cast<Index>(endpoints[1])});
+  }
+  return Status::OK();
+}
+
+Status ParseWireEdges(std::string_view key, const JsonValue& v, bool insert,
+                      EdgeDeltaBatch* out) {
+  if (!v.is_array()) {
+    return FieldError(key, "expected an array of [u, v] arrays");
+  }
+  for (const JsonValue& e : v.AsArray()) {
+    DGC_RETURN_IF_ERROR(ParseWireEdge(key, e, insert, out));
+  }
+  return Status::OK();
+}
+
 /// Appends a shortest-round-trip double rendering (the cache-key format;
 /// must distinguish every distinct bit pattern).
 void AppendDouble(std::string* out, double v) {
@@ -130,10 +176,17 @@ Result<ServeRequest> ParseServeRequest(std::string_view line,
       DGC_RETURN_IF_ERROR(ExpectString(key, value, &req.id));
     } else if (key == "op") {
       DGC_RETURN_IF_ERROR(ExpectString(key, value, &op));
-      if (op != "cluster" && op != "shutdown") {
+      if (op != "cluster" && op != "shutdown" && op != "apply_delta") {
         return FieldError(key, "unknown op \"" + op +
-                                   "\" (want cluster or shutdown)");
+                                   "\" (want cluster, apply_delta or "
+                                   "shutdown)");
       }
+    } else if (key == "inserts") {
+      DGC_RETURN_IF_ERROR(
+          ParseWireEdges(key, value, /*insert=*/true, &req.delta));
+    } else if (key == "deletes") {
+      DGC_RETURN_IF_ERROR(
+          ParseWireEdges(key, value, /*insert=*/false, &req.delta));
     } else if (key == "graph") {
       DGC_RETURN_IF_ERROR(ExpectString(key, value, &req.graph_path));
     } else if (key == "method") {
@@ -201,9 +254,15 @@ Result<ServeRequest> ParseServeRequest(std::string_view line,
   }
 
   req.shutdown = (op == "shutdown");
-  if (!req.shutdown && req.graph_path.empty()) {
+  req.apply_delta = (op == "apply_delta");
+  if (!req.apply_delta && !req.delta.empty()) {
     return Status::InvalidArgument(
-        "request field \"graph\": required for op=cluster");
+        "request fields \"inserts\"/\"deletes\": only valid for "
+        "op=apply_delta");
+  }
+  if (!req.shutdown && req.graph_path.empty()) {
+    return Status::InvalidArgument("request field \"graph\": required for op=" +
+                                   op);
   }
   return req;
 }
@@ -279,6 +338,22 @@ std::string BuildSuccessResponse(const ServeResponseData& data) {
   w.String("num_clusters");
   w.Raw(": ");
   w.Int(data.num_clusters);
+  if (data.rows_total >= 0) {
+    w.Raw(", ");
+    w.String("rows_recomputed");
+    w.Raw(": ");
+    w.Int(data.rows_recomputed);
+    w.Raw(", ");
+    w.String("rows_total");
+    w.Raw(": ");
+    w.Int(data.rows_total);
+  }
+  if (!data.delta_digest.empty()) {
+    w.Raw(", ");
+    w.String("delta");
+    w.Raw(": ");
+    w.String(data.delta_digest);
+  }
   if (data.labels != nullptr) {
     w.Raw(", ");
     w.String("labels");

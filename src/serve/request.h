@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cluster/pipeline.h"
+#include "dynamic/delta.h"
 #include "graph/io.h"
 #include "serve/json.h"
 #include "util/result.h"
@@ -59,6 +60,15 @@ struct ServeRequest {
   /// True for {"op": "shutdown"}: the server finishes in-flight requests,
   /// acknowledges, and stops accepting.
   bool shutdown = false;
+
+  /// True for {"op": "apply_delta"}: stream an edge batch into the
+  /// incremental session addressed by the stage-1 fields, recompute only
+  /// the affected rows of the symmetrization, and re-cluster warm-started
+  /// from the previous flow (docs/DYNAMIC.md).
+  bool apply_delta = false;
+  /// The edge batch for op=apply_delta: "inserts" is an array of [u, v] or
+  /// [u, v, w] arrays, "deletes" an array of [u, v] arrays.
+  EdgeDeltaBatch delta;
 
   /// Path to the directed edge-list input (required unless shutdown).
   std::string graph_path;
@@ -111,6 +121,12 @@ struct ServeResponseData {
   /// Per-request registry whose run report embeds under "report".
   const MetricsRegistry* metrics = nullptr;
   bool redact_timings = false;
+  /// Incremental counters for op=apply_delta responses; a negative
+  /// rows_total (the default) omits both fields from the envelope.
+  int64_t rows_recomputed = -1;
+  int64_t rows_total = -1;
+  /// Chained delta digest (16 hex chars) for op=apply_delta; empty omits.
+  std::string delta_digest;
 };
 
 /// Single-line `dgc.serve.response.v1` success envelope (no trailing

@@ -7,12 +7,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <istream>
 #include <memory>
 #include <ostream>
 #include <utility>
 
+#include "cluster/mcl.h"
+#include "cluster/mlr_mcl.h"
+#include "dynamic/incremental.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/budget.h"
@@ -20,6 +24,18 @@
 namespace dgc {
 
 namespace {
+
+/// Cap on concurrently retained incremental sessions; least-recently-used
+/// sessions beyond it are dropped (the next delta against that
+/// configuration restarts from the on-disk graph — correct, just cold).
+constexpr size_t kMaxDeltaSessions = 16;
+
+std::string DigestHex(uint64_t digest) {
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(hex);
+}
 
 /// Poll interval for the accept/read loops: long enough to cost nothing,
 /// short enough that a shutdown request drains idle connections promptly.
@@ -45,6 +61,22 @@ bool SendLine(int fd, const std::string& line) {
 }
 
 }  // namespace
+
+struct Server::DeltaSession {
+  IncrementalSymmetrizer sym;
+  /// Chained digest: starts at the base graph's content hash, extended by
+  /// DeltaBatchDigest per applied batch. Identifies the evolved graph state
+  /// in cache keys (`<base key>;d=<16 hex>`).
+  uint64_t chain = 0;
+  /// Previous converged flow matrix (empty until the first clustering on
+  /// this session completes); seeds RmclWarmStart on later deltas.
+  CsrMatrix flow;
+  bool has_flow = false;
+  uint64_t last_used = 0;
+
+  DeltaSession(IncrementalSymmetrizer s, uint64_t c)
+      : sym(std::move(s)), chain(c) {}
+};
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
@@ -75,7 +107,13 @@ std::string Server::HandleRequestLine(std::string_view line) {
     stop_.store(true, std::memory_order_release);
     return BuildShutdownResponse(parsed->id);
   }
+  if (parsed->apply_delta) return HandleDeltaRequest(*parsed);
   return HandleClusterRequest(*parsed);
+}
+
+int64_t Server::num_delta_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return static_cast<int64_t>(sessions_.size());
 }
 
 std::string Server::HandleClusterRequest(const ServeRequest& req) {
@@ -171,6 +209,163 @@ std::string Server::HandleClusterRequest(const ServeRequest& req) {
   data.labels = req.labels ? &labels : nullptr;
   data.metrics = &req_metrics;
   data.redact_timings = req.redact_timings;
+  return BuildSuccessResponse(data);
+}
+
+std::string Server::HandleDeltaRequest(const ServeRequest& req) {
+  MetricsRegistry req_metrics;
+  Status failure = Status::OK();
+  Index num_clusters = 0;
+  std::vector<Index> labels;
+  int64_t rows_recomputed = -1;
+  int64_t rows_total = -1;
+  std::string digest_hex;
+  std::string disposition = "chain";
+
+  {
+    StageSpan request_span(&req_metrics, "serve.request");
+    request_span.Metric("op", "apply_delta");
+
+    Result<Digraph> graph = [&]() -> Result<Digraph> {
+      StageSpan load_span(&req_metrics, "serve.load_graph");
+      load_span.Metric("path", req.graph_path);
+      Result<Digraph> g = ReadEdgeList(req.graph_path, 0, options_.limits.io);
+      if (g.ok()) {
+        load_span.Metric("vertices", g->NumVertices());
+        load_span.Metric("arcs", g->NumEdges());
+      }
+      return g;
+    }();
+    if (!graph.ok()) {
+      failure = graph.status();
+    } else {
+      PipelineOptions options = PipelineOptionsForRequest(req);
+      options.metrics = &req_metrics;
+      SymmetrizationOptions sym_options = options.symmetrization;
+      if (options.num_threads != 1) {
+        sym_options.num_threads = options.num_threads;
+      }
+      const uint64_t base_hash = GraphContentHash(graph->adjacency());
+      const std::string base_key = CacheKeyForRequest(req, base_hash);
+
+      // Delta requests serialize server-wide (see sessions_mutex_).
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      DeltaSession* session = nullptr;
+      auto it = sessions_.find(base_key);
+      if (it != sessions_.end()) {
+        session = it->second.get();
+      } else {
+        Result<IncrementalSymmetrizer> created = IncrementalSymmetrizer::Create(
+            *graph, req.method, sym_options);
+        if (!created.ok()) {
+          failure = created.status();
+        } else {
+          auto owned =
+              std::make_unique<DeltaSession>(std::move(*created), base_hash);
+          session = owned.get();
+          sessions_.emplace(base_key, std::move(owned));
+          // Evict the least-recently-used other session beyond the cap.
+          if (sessions_.size() > kMaxDeltaSessions) {
+            auto victim = sessions_.end();
+            for (auto s = sessions_.begin(); s != sessions_.end(); ++s) {
+              if (s->second.get() == session) continue;
+              if (victim == sessions_.end() ||
+                  s->second->last_used < victim->second->last_used) {
+                victim = s;
+              }
+            }
+            if (victim != sessions_.end()) sessions_.erase(victim);
+          }
+        }
+      }
+
+      if (session != nullptr) {
+        session->last_used = ++session_seq_;
+        {
+          StageSpan delta_span(&req_metrics, "delta");
+          delta_span.Metric("inserts",
+                            static_cast<int64_t>(req.delta.inserts.size()));
+          delta_span.Metric("deletes",
+                            static_cast<int64_t>(req.delta.deletes.size()));
+          failure = session->sym.ApplyDelta(req.delta);
+          if (failure.ok()) {
+            session->chain = DeltaBatchDigest(session->chain, req.delta);
+            const IncrementalStats stats = session->sym.last_stats();
+            rows_recomputed = stats.rows_recomputed;
+            rows_total = stats.rows_total;
+            delta_span.Metric("rows_recomputed", rows_recomputed);
+            delta_span.Metric("rows_total", rows_total);
+          }
+        }
+        if (failure.ok()) {
+          if (options_.metrics != nullptr) {
+            options_.metrics->AddCounter("serve.incremental.rows_recomputed",
+                                         rows_recomputed);
+            options_.metrics->AddCounter("serve.incremental.rows_total",
+                                         rows_total);
+          }
+          digest_hex = DigestHex(session->chain);
+          const std::string chained_key = base_key + ";d=" + digest_hex;
+          cache_.Insert(chained_key, std::make_shared<const UGraph>(
+                                         session->sym.symmetrized()));
+
+          Result<Clustering> clustering = [&]() -> Result<Clustering> {
+            if (req.algorithm != ClusterAlgorithm::kMlrMcl) {
+              Result<PipelineResult> r = ClusterPresymmetrized(
+                  session->sym.symmetrized(), options);
+              if (!r.ok()) return r.status();
+              return std::move(r->clustering);
+            }
+            MlrMclOptions mlr = options.mlr_mcl;
+            mlr.metrics = &req_metrics;
+            if (options.num_threads != 1) {
+              mlr.rmcl.num_threads = options.num_threads;
+            }
+            if (session->has_flow) {
+              disposition = "chain+warm";
+              RmclOptions rmcl = mlr.rmcl;
+              rmcl.metrics = &req_metrics;
+              const int iterations =
+                  mlr.iterations_per_level + mlr.finest_extra_iterations;
+              return RmclWarmStart(session->sym.symmetrized(), session->flow,
+                                   session->sym.last_affected_rows(), rmcl,
+                                   iterations, &session->flow);
+            }
+            Result<Clustering> c =
+                MlrMcl(session->sym.symmetrized(), mlr, &session->flow);
+            if (c.ok()) session->has_flow = true;
+            return c;
+          }();
+          if (!clustering.ok()) {
+            failure = clustering.status();
+          } else {
+            num_clusters = clustering->NumClusters();
+            if (req.labels) labels = clustering->labels();
+          }
+        }
+      }
+      request_span.Metric("status", StatusCodeToString(failure.code()));
+      request_span.Metric("cache", disposition);
+    }
+  }
+
+  if (!failure.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter("serve.errors", 1);
+    }
+    return BuildErrorResponse(req.id, failure, &req_metrics,
+                              req.redact_timings);
+  }
+  ServeResponseData data;
+  data.id = req.id;
+  data.cache = disposition;
+  data.num_clusters = num_clusters;
+  data.labels = req.labels ? &labels : nullptr;
+  data.metrics = &req_metrics;
+  data.redact_timings = req.redact_timings;
+  data.rows_recomputed = rows_recomputed;
+  data.rows_total = rows_total;
+  data.delta_digest = digest_hex;
   return BuildSuccessResponse(data);
 }
 

@@ -21,6 +21,9 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -84,8 +87,19 @@ class Server {
 
   SymmetrizationCache& cache() { return cache_; }
 
+  /// Number of live incremental delta sessions (tests/ops visibility).
+  int64_t num_delta_sessions() const;
+
  private:
+  /// One streamed-update session: the incremental symmetrizer state plus
+  /// the chained delta digest and the previous converged flow matrix used
+  /// to warm-start re-clustering. Sessions are keyed by the stage-1 cache
+  /// key of the *base* (on-disk) graph, so every client that streams deltas
+  /// against the same graph + configuration shares one evolving state.
+  struct DeltaSession;
+
   std::string HandleClusterRequest(const ServeRequest& req);
+  std::string HandleDeltaRequest(const ServeRequest& req);
   void ServeConnection(int fd);
 
   const ServeOptions options_;
@@ -93,6 +107,14 @@ class Server {
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
   std::vector<std::thread> connection_threads_;
+
+  /// Guards sessions_ and every session's mutable state: delta requests are
+  /// serialized server-wide, which keeps the chain digests, warm-start
+  /// flows and incremental counters coherent without per-session locking.
+  /// (Deltas are small by design; the cluster path stays concurrent.)
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::unique_ptr<DeltaSession>> sessions_;
+  uint64_t session_seq_ = 0;
 };
 
 }  // namespace dgc

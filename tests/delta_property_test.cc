@@ -1,0 +1,270 @@
+// Property tests for the dynamic-update layer (src/dynamic/):
+//   * the computed affected-row set is a SUPERSET of the rows whose
+//     symmetrized values actually changed (checked against a brute-force
+//     before/after row diff);
+//   * malformed batches — deletes of nonexistent edges, duplicate inserts,
+//     insert/delete conflicts, out-of-range endpoints, bad weights — are
+//     rejected with kInvalidArgument and leave all state untouched;
+//   * an empty batch is an exact no-op.
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/symmetrize.h"
+#include "dynamic/delta.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental.h"
+#include "gen/rmat.h"
+#include "graph/digraph.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace dgc {
+namespace {
+
+Digraph TestGraph() {
+  RmatOptions rmat;
+  rmat.scale = 7;
+  rmat.edge_factor = 6.0;
+  rmat.seed = 31;
+  auto data = GenerateRmat(rmat);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data->graph);
+}
+
+bool RowBytesEqual(const CsrMatrix& a, const CsrMatrix& b, Index r) {
+  if (a.RowNnz(r) != b.RowNnz(r)) return false;
+  const auto ac = a.RowCols(r);
+  const auto bc = b.RowCols(r);
+  const auto av = a.RowValues(r);
+  const auto bv = b.RowValues(r);
+  return std::memcmp(ac.data(), bc.data(), ac.size_bytes()) == 0 &&
+         std::memcmp(av.data(), bv.data(), av.size_bytes()) == 0;
+}
+
+std::pair<Index, Index> SomeEdge(const Digraph& g, size_t skip) {
+  const CsrMatrix& a = g.adjacency();
+  size_t seen = 0;
+  for (Index u = 0; u < a.rows(); ++u) {
+    for (Index v : a.RowCols(u)) {
+      if (seen++ == skip) return {u, v};
+    }
+  }
+  ADD_FAILURE() << "graph has fewer than " << skip + 1 << " edges";
+  return {0, 0};
+}
+
+/// A (u, v) pair that is not an edge of g.
+std::pair<Index, Index> SomeNonEdge(const Digraph& g, uint64_t seed) {
+  Rng rng(seed);
+  const Index n = g.NumVertices();
+  const CsrMatrix& a = g.adjacency();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const Index u =
+        static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+    const Index v =
+        static_cast<Index>(rng.UniformU64(static_cast<uint64_t>(n)));
+    auto cols = a.RowCols(u);
+    if (!std::binary_search(cols.begin(), cols.end(), v)) return {u, v};
+  }
+  ADD_FAILURE() << "could not find a non-edge";
+  return {0, 0};
+}
+
+class AffectedSupersetTest
+    : public testing::TestWithParam<SymmetrizationMethod> {};
+
+TEST_P(AffectedSupersetTest, CoversEveryChangedRow) {
+  const Digraph start = TestGraph();
+  const Index n = start.NumVertices();
+  SymmetrizationOptions options;
+  auto inc = IncrementalSymmetrizer::Create(start, GetParam(), options);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  auto before = Symmetrize(start, GetParam(), options);
+  ASSERT_TRUE(before.ok());
+
+  EdgeDeltaBatch batch;
+  const auto del1 = SomeEdge(start, 5);
+  const auto del2 = SomeEdge(start, 97);
+  batch.deletes.push_back(EdgeKey{del1.first, del1.second});
+  if (del2 != del1) batch.deletes.push_back(EdgeKey{del2.first, del2.second});
+  const auto ins1 = SomeNonEdge(start, 11);
+  batch.inserts.push_back(Edge{ins1.first, ins1.second, 2.25});
+  ASSERT_TRUE(inc->ApplyDelta(batch).ok());
+
+  auto current = inc->graph().ToDigraph();
+  ASSERT_TRUE(current.ok());
+  auto after = Symmetrize(*current, GetParam(), options);
+  ASSERT_TRUE(after.ok());
+
+  const auto affected = inc->last_affected_rows();
+  ASSERT_TRUE(std::is_sorted(affected.begin(), affected.end()));
+  // Brute force: every row whose from-scratch bytes changed must be listed.
+  for (Index r = 0; r < n; ++r) {
+    if (RowBytesEqual(before->adjacency(), after->adjacency(), r)) continue;
+    EXPECT_TRUE(std::binary_search(affected.begin(), affected.end(), r))
+        << "row " << r << " changed but is not in the affected set";
+  }
+  EXPECT_EQ(inc->last_stats().rows_total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, AffectedSupersetTest,
+    testing::Values(SymmetrizationMethod::kAPlusAT,
+                    SymmetrizationMethod::kRandomWalk,
+                    SymmetrizationMethod::kBibliometric,
+                    SymmetrizationMethod::kDegreeDiscounted),
+    [](const testing::TestParamInfo<SymmetrizationMethod>& info) {
+      switch (info.param) {
+        case SymmetrizationMethod::kAPlusAT:
+          return std::string("APlusAT");
+        case SymmetrizationMethod::kRandomWalk:
+          return std::string("RandomWalk");
+        case SymmetrizationMethod::kBibliometric:
+          return std::string("Bibliometric");
+        case SymmetrizationMethod::kDegreeDiscounted:
+          return std::string("DegreeDiscounted");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(DeltaValidationTest, RejectsDeleteOfNonexistentEdge) {
+  const Digraph g = TestGraph();
+  auto dyn = DynamicGraph::FromDigraph(g);
+  ASSERT_TRUE(dyn.ok());
+  const auto non_edge = SomeNonEdge(g, 3);
+  EdgeDeltaBatch batch;
+  batch.deletes.push_back(EdgeKey{non_edge.first, non_edge.second});
+  const Status status = dyn->Apply(batch);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(dyn->batches_applied(), 0);
+}
+
+TEST(DeltaValidationTest, RejectsInsertOfExistingEdge) {
+  const Digraph g = TestGraph();
+  auto dyn = DynamicGraph::FromDigraph(g);
+  ASSERT_TRUE(dyn.ok());
+  const auto edge = SomeEdge(g, 0);
+  EdgeDeltaBatch batch;
+  batch.inserts.push_back(Edge{edge.first, edge.second, 1.0});
+  const Status status = dyn->Apply(batch);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(DeltaValidationTest, RejectsDuplicateInserts) {
+  EdgeDeltaBatch batch;
+  batch.inserts.push_back(Edge{1, 2, 1.0});
+  batch.inserts.push_back(Edge{1, 2, 3.0});
+  const Status status = batch.Validate(10);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(DeltaValidationTest, RejectsDuplicateDeletes) {
+  EdgeDeltaBatch batch;
+  batch.deletes.push_back(EdgeKey{1, 2});
+  batch.deletes.push_back(EdgeKey{1, 2});
+  const Status status = batch.Validate(10);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(DeltaValidationTest, RejectsInsertDeleteConflict) {
+  EdgeDeltaBatch batch;
+  batch.inserts.push_back(Edge{1, 2, 1.0});
+  batch.deletes.push_back(EdgeKey{1, 2});
+  const Status status = batch.Validate(10);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(DeltaValidationTest, RejectsOutOfRangeEndpoints) {
+  for (const Edge e : {Edge{-1, 2, 1.0}, Edge{2, -1, 1.0}, Edge{10, 0, 1.0},
+                       Edge{0, 10, 1.0}}) {
+    EdgeDeltaBatch batch;
+    batch.inserts.push_back(e);
+    EXPECT_TRUE(batch.Validate(10).IsInvalidArgument())
+        << "(" << e.src << ", " << e.dst << ")";
+  }
+  EdgeDeltaBatch batch;
+  batch.deletes.push_back(EdgeKey{10, 0});
+  EXPECT_TRUE(batch.Validate(10).IsInvalidArgument());
+}
+
+TEST(DeltaValidationTest, RejectsBadWeights) {
+  for (const Scalar w :
+       {0.0, -1.0, std::numeric_limits<Scalar>::infinity(),
+        std::numeric_limits<Scalar>::quiet_NaN()}) {
+    EdgeDeltaBatch batch;
+    batch.inserts.push_back(Edge{1, 2, w});
+    EXPECT_TRUE(batch.Validate(10).IsInvalidArgument()) << "weight " << w;
+  }
+}
+
+TEST(DeltaValidationTest, FailedBatchLeavesIncrementalStateUntouched) {
+  const Digraph g = TestGraph();
+  SymmetrizationOptions options;
+  auto inc = IncrementalSymmetrizer::Create(
+      g, SymmetrizationMethod::kDegreeDiscounted, options);
+  ASSERT_TRUE(inc.ok());
+  const CsrMatrix before = inc->symmetrized().adjacency();
+
+  EdgeDeltaBatch bad;
+  const auto non_edge = SomeNonEdge(g, 8);
+  bad.inserts.push_back(Edge{0, 1 % g.NumVertices(), 1.0});  // may exist
+  bad.deletes.push_back(EdgeKey{non_edge.first, non_edge.second});
+  const Status status = inc->ApplyDelta(bad);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(inc->graph().batches_applied(), 0);
+  EXPECT_EQ(before.nnz(), inc->symmetrized().adjacency().nnz());
+  EXPECT_EQ(0, std::memcmp(before.values().data(),
+                           inc->symmetrized().adjacency().values().data(),
+                           before.values().size_bytes()));
+}
+
+TEST(DeltaValidationTest, EmptyBatchIsExactNoOp) {
+  const Digraph g = TestGraph();
+  for (SymmetrizationMethod method :
+       {SymmetrizationMethod::kAPlusAT, SymmetrizationMethod::kRandomWalk,
+        SymmetrizationMethod::kBibliometric,
+        SymmetrizationMethod::kDegreeDiscounted}) {
+    SymmetrizationOptions options;
+    auto inc = IncrementalSymmetrizer::Create(g, method, options);
+    ASSERT_TRUE(inc.ok());
+    const CsrMatrix before = inc->symmetrized().adjacency();
+    EdgeDeltaBatch empty;
+    ASSERT_TRUE(inc->ApplyDelta(empty).ok());
+    EXPECT_EQ(inc->last_stats().rows_recomputed, 0);
+    EXPECT_EQ(inc->last_stats().rows_total, g.NumVertices());
+    EXPECT_TRUE(inc->last_affected_rows().empty());
+    const CsrMatrix& after = inc->symmetrized().adjacency();
+    ASSERT_EQ(before.nnz(), after.nnz());
+    EXPECT_EQ(0, std::memcmp(before.row_ptr().data(), after.row_ptr().data(),
+                             before.row_ptr().size_bytes()));
+    EXPECT_EQ(0, std::memcmp(before.col_idx().data(), after.col_idx().data(),
+                             before.col_idx().size_bytes()));
+    EXPECT_EQ(0, std::memcmp(before.values().data(), after.values().data(),
+                             before.values().size_bytes()));
+  }
+}
+
+TEST(DeltaDigestTest, DeterministicAndOrderSensitive) {
+  EdgeDeltaBatch a;
+  a.inserts.push_back(Edge{1, 2, 1.0});
+  a.deletes.push_back(EdgeKey{3, 4});
+  EdgeDeltaBatch b;
+  b.inserts.push_back(Edge{2, 1, 1.0});
+  b.deletes.push_back(EdgeKey{3, 4});
+  const uint64_t chain = 0x12345678u;
+  EXPECT_EQ(DeltaBatchDigest(chain, a), DeltaBatchDigest(chain, a));
+  EXPECT_NE(DeltaBatchDigest(chain, a), DeltaBatchDigest(chain, b));
+  EXPECT_NE(DeltaBatchDigest(chain, a), DeltaBatchDigest(chain + 1, a));
+  // Weight bits matter: the digest addresses cache entries whose values
+  // depend on them.
+  EdgeDeltaBatch c = a;
+  c.inserts[0].weight = 1.5;
+  EXPECT_NE(DeltaBatchDigest(chain, a), DeltaBatchDigest(chain, c));
+}
+
+}  // namespace
+}  // namespace dgc

@@ -13,18 +13,26 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
+#include "cluster/mlr_mcl.h"
 #include "cluster/pipeline.h"
+#include "core/symmetrize.h"
+#include "dynamic/delta.h"
+#include "dynamic/incremental.h"
 #include "eval/record.h"
 #include "graph/io.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "util/rng.h"
 
 namespace dgc {
 namespace {
@@ -218,6 +226,97 @@ TEST_P(GoldenPipelineTest, OutOfCoreTiledRunsMatchTheSameGoldens) {
     const auto av = actual.values();
     const auto ev = expected.values();
     EXPECT_EQ(0, std::memcmp(av.data(), ev.data(), av.size() * sizeof(Scalar)));
+  }
+}
+
+bool HasArc(const CsrMatrix& a, Index u, Index v) {
+  auto cols = a.RowCols(u);
+  return std::binary_search(cols.begin(), cols.end(), v);
+}
+
+/// Deterministic delta batch derived from the current adjacency: two
+/// deletes of existing arcs and two inserts of fresh arcs, seeded by the
+/// batch index so the schedule is reproducible at any thread count (the
+/// adjacency bytes it samples from are themselves thread-invariant).
+EdgeDeltaBatch MakeReplayBatch(const CsrMatrix& a, uint64_t salt) {
+  Rng rng(UINT64_C(0x601dfade) ^ salt);
+  EdgeDeltaBatch batch;
+  const Index n = a.rows();
+  std::set<std::pair<Index, Index>> used;
+  while (batch.deletes.size() < 2) {
+    const Index u = static_cast<Index>(rng.UniformU64(n));
+    auto cols = a.RowCols(u);
+    if (cols.empty()) continue;
+    const Index v = cols[rng.UniformU64(cols.size())];
+    if (!used.insert({u, v}).second) continue;
+    batch.deletes.push_back(EdgeKey{u, v});
+  }
+  while (batch.inserts.size() < 2) {
+    const Index u = static_cast<Index>(rng.UniformU64(n));
+    const Index v = static_cast<Index>(rng.UniformU64(n));
+    if (u == v || HasArc(a, u, v)) continue;
+    if (!used.insert({u, v}).second) continue;
+    batch.inserts.push_back(
+        Edge{u, v, 1.0 + 0.25 * static_cast<double>(rng.UniformU64(4))});
+  }
+  return batch;
+}
+
+// Batched-update replay (docs/DYNAMIC.md): a deterministic 4-batch delta
+// schedule streamed through IncrementalSymmetrizer must land on a
+// symmetrized matrix byte-identical to re-symmetrizing the updated graph
+// from scratch, and the post-update MLR-MCL labels are pinned to a
+// committed golden (regenerate with DGC_UPDATE_GOLDEN=1). Run at 1, 8
+// and hardware threads: the updated labels carry the same
+// thread-invariance contract as the static pipeline goldens above.
+TEST_P(GoldenPipelineTest, BatchedUpdateReplayLabelsMatchGolden) {
+  const SymmetrizationMethod method = GetParam();
+  auto graph = ReadEdgeList(kFixture);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const std::string slug = MethodSlug(method);
+
+  std::string serial_labels;
+  for (int threads : {1, 8, 0}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SymmetrizationOptions sym;
+    sym.prune_threshold = 0.001;
+    sym.num_threads = threads;
+    auto inc = IncrementalSymmetrizer::Create(*graph, method, sym);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    for (uint64_t b = 0; b < 4; ++b) {
+      EdgeDeltaBatch batch = MakeReplayBatch(inc->graph().adjacency(), b);
+      Status applied = inc->ApplyDelta(batch);
+      ASSERT_TRUE(applied.ok()) << "batch " << b << ": " << applied.ToString();
+    }
+
+    // The streamed result must be bit-identical to a from-scratch
+    // symmetrization of the updated digraph before any label pinning.
+    auto updated = inc->graph().ToDigraph();
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    auto scratch = Symmetrize(*updated, method, sym);
+    ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+    const CsrMatrix& got = inc->symmetrized().adjacency();
+    const CsrMatrix& want = scratch->adjacency();
+    ASSERT_EQ(got.nnz(), want.nnz());
+    EXPECT_EQ(0, std::memcmp(got.row_ptr().data(), want.row_ptr().data(),
+                             got.row_ptr().size_bytes()));
+    EXPECT_EQ(0, std::memcmp(got.col_idx().data(), want.col_idx().data(),
+                             got.col_idx().size_bytes()));
+    EXPECT_EQ(0, std::memcmp(got.values().data(), want.values().data(),
+                             got.values().size_bytes()));
+
+    MlrMclOptions mlr;
+    mlr.rmcl.max_iterations = 12;
+    mlr.rmcl.num_threads = threads;
+    auto clustering = MlrMcl(inc->symmetrized(), mlr);
+    ASSERT_TRUE(clustering.ok()) << clustering.status().ToString();
+    const std::string labels = LabelsToString(*clustering);
+    if (threads == 1) {
+      serial_labels = labels;
+      CheckGolden(slug + ".update.labels.txt", labels);
+    } else {
+      EXPECT_EQ(labels, serial_labels);
+    }
   }
 }
 

@@ -28,6 +28,9 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/delta_io.h"
+#include "dynamic/dynamic_graph.h"
+#include "graph/digraph.h"
 #include "graph/serialize.h"
 #include "util/rng.h"
 
@@ -247,6 +250,67 @@ TEST_F(IoFuzzTest, ClusteringSurvivesMutants) {
   }
 }
 
+/// The delta-batch reader (src/dynamic/delta_io.h) under the same mutation
+/// corpus, plus delta-specific seeds: malformed vertex ids, insert/delete
+/// conflicts inside one batch, and op soup around the `---` separators.
+/// Every parse either yields validated batches or a clean path-anchored
+/// Status; parsed batches are then driven into a DynamicGraph, which must
+/// apply them or reject them with a structured status — never crash.
+TEST_F(IoFuzzTest, DeltaBatchesSurviveMutants) {
+  const std::vector<std::string> corpus = {
+      "# stream\n+ 0 1 0.5\n- 1 2\n---\n+ 2 3\n+ 3 4 2.0\n",
+      "+ 5 6\n---\n- 6 5\n---\n+ 6 5 1.25\n",
+      "- 0 1\n+ 0 1 3.0\n---\n# weight update split across batches\n+ 9 9\n",
+      "+ 1 1\n+ 1 2\n- 1 2\n",      // insert/delete conflict (must reject)
+      "+ -3 7\n- 7 99999999999\n",  // malformed vertex ids
+  };
+  const std::string path = Path("deltas.txt");
+  const IoLimits limits = FuzzLimits();
+  // A small cycle graph the surviving batches are applied against.
+  const Index n = 40;
+  std::vector<Edge> edges;
+  for (Index u = 0; u < n; ++u) {
+    edges.push_back(Edge{u, static_cast<Index>((u + 1) % n), 1.0});
+  }
+  Digraph base = std::move(Digraph::FromEdges(n, edges)).ValueOrDie();
+  DynamicGraph dyn = std::move(DynamicGraph::FromDigraph(base)).ValueOrDie();
+
+  Rng rng(20260808);
+  const int count = MutantCount();
+  for (int i = 0; i < count; ++i) {
+    const std::string& base_input = corpus[rng.UniformU64(corpus.size())];
+    const std::string& other = corpus[rng.UniformU64(corpus.size())];
+    WriteFile(path, Mutate(base_input, other, rng));
+    auto batches = ReadDeltaBatches(path, n, limits);
+    ExpectCleanStatus(batches.status(), path, i);
+    if (!batches.ok()) continue;
+    for (const EdgeDeltaBatch& batch : *batches) {
+      // Apply never crashes; failures are structured and leave the pair
+      // (A, Aᵀ) untouched — transpose consistency is re-checked below.
+      (void)dyn.Apply(batch);
+    }
+  }
+  EXPECT_EQ(dyn.adjacency().nnz(), dyn.transpose().nnz());
+}
+
+/// A delta stream with more ops than IoLimits.max_edges must be refused
+/// up front (kOutOfRange), not parsed into an unbounded batch list.
+TEST_F(IoFuzzTest, DeltaBatchesRespectOpBudget) {
+  IoLimits limits = FuzzLimits();
+  limits.max_edges = 8;
+  std::string stream;
+  for (int i = 0; i < 20; ++i) {
+    stream += "+ " + std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  }
+  const std::string path = Path("big_deltas.txt");
+  WriteFile(path, stream);
+  auto batches = ReadDeltaBatches(path, 2000, limits);
+  ASSERT_FALSE(batches.ok());
+  EXPECT_EQ(batches.status().code(), StatusCode::kOutOfRange)
+      << batches.status().ToString();
+  EXPECT_NE(batches.status().message().find(path), std::string::npos);
+}
+
 /// Binary mutator for the dgc matrix format: truncations, byte flips,
 /// 8-byte header-word patches (forged dims, offsets near 2^63, negative
 /// counts), splices of two valid files, zeroed ranges, and appended junk.
@@ -387,6 +451,11 @@ TEST_F(IoFuzzTest, SeedCorpusParses) {
   EXPECT_TRUE(ReadGroundTruth(Path("s_truth.txt"), 8, limits).ok());
   WriteFile(Path("s_labels.txt"), "0\n0\n1\n1\n2\n");
   EXPECT_TRUE(ReadClustering(Path("s_labels.txt"), limits).ok());
+  WriteFile(Path("s_deltas.txt"),
+            "# stream\n+ 0 1 0.5\n- 1 2\n---\n+ 2 3\n+ 3 4 2.0\n");
+  auto batches = ReadDeltaBatches(Path("s_deltas.txt"), 2000, limits);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  EXPECT_EQ(batches->size(), 2u);
 }
 
 }  // namespace

@@ -438,5 +438,77 @@ TEST_F(ServeTest, ServeStreamHandlesRequestsUntilShutdown) {
   EXPECT_NE(responses[1].find("\"shutdown\": true"), std::string::npos);
 }
 
+// --- apply_delta (docs/DYNAMIC.md) -----------------------------------------
+
+/// Extracts the quoted value of `"key": "..."` from a response line.
+std::string QuotedField(const std::string& response, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t start = response.find(needle);
+  if (start == std::string::npos) return "";
+  const size_t begin = start + needle.size();
+  return response.substr(begin, response.find('"', begin) - begin);
+}
+
+TEST_F(ServeTest, ApplyDeltaChainsSessionsAndReportsLocality) {
+  // A fixed 8-vertex directed ring, so delta endpoints are known a priori
+  // (an R-MAT sample could already contain any arc we try to insert).
+  std::vector<Edge> ring;
+  for (Index u = 0; u < 8; ++u) ring.push_back(Edge{u, (u + 1) % 8, 1.0});
+  auto g = Digraph::FromEdges(8, ring);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(WriteEdgeList(*g, Path("ring.txt")).ok());
+  const std::string graph = Path("ring.txt");
+
+  MetricsRegistry metrics;
+  ServeOptions options;
+  options.metrics = &metrics;
+  Server server(options);
+
+  // First batch: delete the 0->1 arc, insert a chord. A fresh session is
+  // created (disposition "chain"), the delta span + counters report a
+  // strict subset of rows recomputed, and the chained digest is stamped.
+  const std::string first = server.HandleRequestLine(
+      R"({"id": "d1", "op": "apply_delta", "graph": ")" + graph +
+      R"(", "deletes": [[0, 1]], "inserts": [[0, 2, 1.0]]})");
+  EXPECT_NE(first.find("\"ok\": true"), std::string::npos) << first;
+  EXPECT_EQ(QuotedField(first, "cache"), "chain") << first;
+  EXPECT_NE(first.find("\"name\": \"delta\""), std::string::npos) << first;
+  const std::string digest1 = QuotedField(first, "delta");
+  EXPECT_EQ(digest1.size(), 16u) << first;
+  const int64_t recomputed =
+      metrics.CounterValue("serve.incremental.rows_recomputed");
+  EXPECT_EQ(metrics.CounterValue("serve.incremental.rows_total"), 8);
+  EXPECT_GT(recomputed, 0);
+  EXPECT_LT(recomputed, 8);
+  EXPECT_EQ(server.num_delta_sessions(), 1);
+
+  // Second batch on the same session undoes the first: the session holds
+  // the previous flow matrix so clustering warm-starts ("chain+warm"),
+  // the digest advances, and no new session is created.
+  const std::string second = server.HandleRequestLine(
+      R"({"id": "d2", "op": "apply_delta", "graph": ")" + graph +
+      R"(", "deletes": [[0, 2]], "inserts": [[0, 1, 1.0]]})");
+  EXPECT_NE(second.find("\"ok\": true"), std::string::npos) << second;
+  EXPECT_EQ(QuotedField(second, "cache"), "chain+warm") << second;
+  const std::string digest2 = QuotedField(second, "delta");
+  EXPECT_EQ(digest2.size(), 16u) << second;
+  EXPECT_NE(digest2, digest1);
+  EXPECT_EQ(server.num_delta_sessions(), 1);
+
+  // Graph-dependent validation surfaces as a structured error — deleting
+  // an arc that is gone after the second batch... 0->2 was re-deleted, so
+  // deleting it again must fail without killing the server or the session.
+  const std::string bad = server.HandleRequestLine(
+      R"({"id": "d3", "op": "apply_delta", "graph": ")" + graph +
+      R"(", "deletes": [[0, 2]]})");
+  EXPECT_NE(bad.find("\"ok\": false"), std::string::npos) << bad;
+  EXPECT_EQ(server.num_delta_sessions(), 1);
+
+  // Delta payloads on a non-delta request are a schema violation.
+  const std::string stray = server.HandleRequestLine(
+      R"({"id": "d4", "graph": ")" + graph + R"(", "inserts": [[1, 3]]})");
+  EXPECT_NE(stray.find("\"ok\": false"), std::string::npos) << stray;
+}
+
 }  // namespace
 }  // namespace dgc

@@ -10,6 +10,11 @@ request shapes the serving contract promises through a real socket --
             skipped) and the wall time drops
   3. abort: deadline_ms=1 on a graph big enough that the budget trips ->
             structured DeadlineExceeded envelope, daemon survives
+  4. delta: op=apply_delta streams an edge batch into an incremental
+            session -> rows_recomputed < rows_total (the point of the
+            incremental path), chained digest stamped; a second batch on
+            the same session warm-starts clustering (cache=chain+warm)
+            and advances the digest (docs/DYNAMIC.md)
 
 -- then shuts the daemon down via {"op": "shutdown"} and writes every raw
 response line to --out as a JSON array (the CI artifact).
@@ -31,6 +36,30 @@ def fail(message, response=None):
     if response is not None:
         print(f"response: {response}", file=sys.stderr)
     sys.exit(1)
+
+
+def sample_delta_edges(graph_path):
+    """Returns (existing_arc, missing_arc) from an edge-list file: the
+    first listed arc (a valid delete) and a deterministic (0, k) arc not
+    present in the file (a valid insert)."""
+    arcs = set()
+    first = None
+    with open(graph_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            u, v = int(parts[0]), int(parts[1])
+            arcs.add((u, v))
+            if first is None:
+                first = [u, v]
+    if first is None:
+        fail(f"no arcs in {graph_path}")
+    k = 0
+    while (0, k) in arcs or k == first[1]:
+        k += 1
+    return first, [0, k]
 
 
 def request_line(sock_file, sock, payload):
@@ -106,6 +135,42 @@ def main():
             responses.append(alive)
             if not json.loads(alive).get("ok"):
                 fail("daemon should keep serving after an abort", alive)
+
+            # Incremental path: delete the first listed arc, insert an arc
+            # the generator never produced. The affected-row machinery must
+            # recompute a strict subset of rows and stamp a chained digest.
+            arc, fresh = sample_delta_edges(args.graph)
+            delta1 = request_line(sock_file, sock, {
+                "id": "delta1", "op": "apply_delta", "graph": args.graph,
+                "threshold": 0.01,
+                "deletes": [arc], "inserts": [fresh + [1.5]]})
+            responses.append(delta1)
+            doc = json.loads(delta1)
+            if not doc.get("ok") or doc.get("cache") != "chain":
+                fail("first apply_delta should be an ok chain", delta1)
+            rows = doc.get("rows_recomputed")
+            total = doc.get("rows_total")
+            if rows is None or total is None or not 0 < rows < total:
+                fail(f"small delta must recompute a strict subset of rows, "
+                     f"got {rows}/{total}", delta1)
+            digest1 = doc.get("delta")
+            if not digest1:
+                fail("apply_delta must stamp the chained digest", delta1)
+
+            # Second batch on the same session: undo the first. The session
+            # holds the previous flow matrix, so clustering warm-starts,
+            # and the chain digest must advance.
+            delta2 = request_line(sock_file, sock, {
+                "id": "delta2", "op": "apply_delta", "graph": args.graph,
+                "threshold": 0.01,
+                "deletes": [fresh], "inserts": [arc + [1.0]]})
+            responses.append(delta2)
+            doc = json.loads(delta2)
+            if not doc.get("ok") or doc.get("cache") != "chain+warm":
+                fail("second apply_delta should warm-start (chain+warm)",
+                     delta2)
+            if doc.get("delta") == digest1:
+                fail("chain digest must advance with each batch", delta2)
 
             bye = request_line(sock_file, sock, {"op": "shutdown"})
             responses.append(bye)
